@@ -1,0 +1,64 @@
+// Command iotsim regenerates every table and figure of the paper plus
+// the design-choice ablations, printing paper-style rows.
+//
+// Usage:
+//
+//	iotsim            # run everything
+//	iotsim -exp t1    # one experiment: t1 t2 f1 f2 f3 f4 f5 a1 a2 a3 a4 a5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iotsec/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (t1,t2,f1..f5,a1..a6 or all)")
+	seed := flag.Int64("seed", 1, "seed for synthesized corpora")
+	flag.Parse()
+
+	runners := []struct {
+		id  string
+		run func() (*experiment.Table, error)
+	}{
+		{"t1", experiment.RunTable1},
+		{"t2", func() (*experiment.Table, error) { return experiment.RunTable2(*seed), nil }},
+		{"f1", experiment.RunFigure1},
+		{"f2", experiment.RunFigure2},
+		{"f3", experiment.RunFigure3},
+		{"f4", experiment.RunFigure4},
+		{"f5", experiment.RunFigure5},
+		{"a1", func() (*experiment.Table, error) { return experiment.RunAblationStatePruning(), nil }},
+		{"a2", func() (*experiment.Table, error) { return experiment.RunAblationHierarchy(2 * time.Millisecond), nil }},
+		{"a3", experiment.RunAblationMicroMbox},
+		{"a4", func() (*experiment.Table, error) { return experiment.RunAblationFuzzCoverage(), nil }},
+		{"a5", func() (*experiment.Table, error) { return experiment.RunAblationReputation(*seed), nil }},
+		{"a6", func() (*experiment.Table, error) { return experiment.RunAblationConsistency(*seed), nil }},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, r := range runners {
+		if want != "all" && want != r.id {
+			continue
+		}
+		start := time.Now()
+		tbl, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iotsim: %s failed: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		tbl.Print(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n", strings.ToUpper(r.id), time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "iotsim: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,77 @@
+// Command mboxctl inspects and controls a running iotsecd via its
+// admin API.
+//
+// Usage:
+//
+//	mboxctl [-addr host:port] status
+//	mboxctl [-addr host:port] env
+//	mboxctl [-addr host:port] set-env <var> <value>
+//	mboxctl [-addr host:port] set-context <device> <context>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iotsec/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "iotsecd admin address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	var req core.AdminRequest
+	switch args[0] {
+	case "status":
+		req = core.AdminRequest{Op: "status"}
+	case "env":
+		req = core.AdminRequest{Op: "env"}
+	case "set-env":
+		if len(args) != 3 {
+			usage()
+		}
+		req = core.AdminRequest{Op: "set-env", Var: args[1], Value: args[2]}
+	case "set-context":
+		if len(args) != 3 {
+			usage()
+		}
+		req = core.AdminRequest{Op: "set-context", Device: args[1], Value: args[2]}
+	default:
+		usage()
+	}
+
+	resp, err := core.AdminCall(*addr, req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mboxctl: %v\n", err)
+		os.Exit(1)
+	}
+	switch args[0] {
+	case "status":
+		fmt.Printf("µmbox boots: %d   posture reconfigurations: %d   view version: %d\n\n",
+			resp.Boots, resp.Reconf, resp.Version)
+		for _, d := range resp.Devices {
+			fmt.Printf("%-12s %-22s %s\n", d.Name, d.SKU, d.IP)
+			fmt.Printf("  context:  %s\n", d.Context)
+			fmt.Printf("  posture:  %s\n", d.Posture)
+			fmt.Printf("  pipeline: %s\n", strings.Join(d.Pipeline, " -> "))
+			fmt.Printf("  state:    %s\n", d.State)
+		}
+	case "env":
+		for k, v := range resp.Env {
+			fmt.Printf("%-24s %s\n", k, v)
+		}
+	default:
+		fmt.Println("ok")
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>")
+	os.Exit(2)
+}

@@ -1,0 +1,76 @@
+// Command sigrepod runs the crowdsourced signature repository server
+// (§4.1): anonymous publish-subscribe of per-SKU attack signatures
+// with reputation-weighted voting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iotsec/internal/sigrepo"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7800", "listen address")
+	salt := flag.String("salt", "", "pseudonymization salt (default: random per run)")
+	lag := flag.Duration("priority-lag", 30*time.Second, "notification delay for non-contributors")
+	state := flag.String("state", "", "snapshot file to load at start and save on shutdown/periodically")
+	flag.Parse()
+
+	s := *salt
+	if s == "" {
+		s = fmt.Sprintf("salt-%d", time.Now().UnixNano())
+	}
+	repo := sigrepo.NewRepository(s)
+	repo.PriorityLag = *lag
+	if *state != "" {
+		if err := repo.LoadFile(*state); err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "sigrepod: loading %s: %v\n", *state, err)
+				os.Exit(1)
+			}
+			fmt.Printf("sigrepod: starting fresh (no snapshot at %s)\n", *state)
+		} else {
+			total, q := repo.Stats()
+			fmt.Printf("sigrepod: restored %d signatures (%d quarantined) from %s\n", total, q, *state)
+		}
+	}
+	persist := func() {
+		if *state == "" {
+			return
+		}
+		if err := repo.SaveFile(*state); err != nil {
+			fmt.Fprintf(os.Stderr, "sigrepod: saving %s: %v\n", *state, err)
+		}
+	}
+	defer persist()
+	srv := sigrepo.NewServer(repo)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigrepod: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("sigrepod: listening on %s (priority lag %v)\n", addr, *lag)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nsigrepod: shutting down")
+			return
+		case <-ticker.C:
+			total, quarantined := repo.Stats()
+			fmt.Printf("sigrepod: %d signatures (%d quarantined) across %d SKUs\n",
+				total, quarantined, len(repo.SKUs()))
+			persist()
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package iotsec is a full reproduction of "Handling a trillion
+// (unfixable) flaws on a billion devices: Rethinking network security
+// for the Internet-of-Things" (Yu, Sekar, Seshan, Agarwal, Xu —
+// HotNets 2015): the IoTSec software-defined IoT security platform,
+// built from scratch on a simulated network fabric, emulated
+// vulnerable devices, and a physical-environment simulator.
+//
+// The implementation lives under internal/; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduction of every
+// table and figure. The runnable entry points are the binaries under
+// cmd/ and the programs under examples/.
+package iotsec

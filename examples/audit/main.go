@@ -1,0 +1,148 @@
+// Audit: verify a security policy BEFORE deploying it (§3.2's
+// correctness-checking challenge). The deployment's device models —
+// one of them extracted automatically from a live emulated device —
+// feed an attack-graph search that audits each policy state: in which
+// world states can an attacker still reach the bad outcome, and via
+// which concrete path?
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/envsim"
+	"iotsec/internal/learn"
+	"iotsec/internal/netsim"
+	"iotsec/internal/packet"
+	"iotsec/internal/policy"
+)
+
+func main() {
+	// --- step 1: extract the window actuator's model from a live
+	// unit on an instrumented testbed ---
+	fmt.Println("--- extracting the window model from a live device ---")
+	winModel := extractWindowModel()
+	fmt.Printf("extracted: states=%v initial=%s transitions=%d\n",
+		winModel.States, winModel.Initial, len(winModel.Transitions))
+
+	// --- step 2: assemble the abstract deployment ---
+	lib := learn.StandardLibrary()
+	build := func() *learn.World {
+		w := learn.NewWorld(map[string]string{
+			"temperature": "normal", "window": "closed", "smoke": "no",
+		})
+		plugModel, _ := lib.Get("plug")
+		alarmModel, _ := lib.Get("fire-alarm")
+		w.AddInstance("plug", plugModel)
+		w.AddInstance("window", winModel) // the extracted one
+		w.AddInstance("firealarm", alarmModel)
+		return w
+	}
+
+	// --- step 3: the candidate policy (Figure 3, verbatim) ---
+	d := policy.NewDomain()
+	d.AddDevice("firealarm", policy.ContextNormal, policy.ContextSuspicious)
+	d.AddDevice("window", policy.ContextNormal, policy.ContextSuspicious)
+	d.AddDevice("plug", policy.ContextNormal, policy.ContextSuspicious)
+	fsm := policy.NewFSM(d)
+	fsm.AddRule(policy.Rule{
+		Name:       "alarm-suspicious-blocks-window-open",
+		Conditions: []policy.Condition{policy.DeviceIs("firealarm", policy.ContextSuspicious)},
+		Device:     "window",
+		Posture:    policy.Posture{BlockCommands: []string{"OPEN"}},
+		Priority:   10,
+	})
+
+	// --- step 4: audit states against the break-in goal ---
+	search := &learn.AttackSearch{
+		Build:      build,
+		Vulnerable: map[string]bool{"window": true, "plug": true},
+		MaxDepth:   8,
+	}
+	bad := learn.GoalDeviceState("window", "open")
+
+	normal := d.DefaultState()
+	alarmSuspicious := normal.Clone()
+	alarmSuspicious.Contexts["firealarm"] = policy.ContextSuspicious
+
+	fmt.Println("\n--- auditing the Figure 3 policy ---")
+	reports := learn.VerifyPolicyStates(search, fsm, []policy.State{normal, alarmSuspicious}, bad)
+	for key, r := range reports {
+		if r.Holds {
+			fmt.Printf("SAFE    %s\n", key)
+		} else {
+			fmt.Printf("UNSAFE  %s\n        witness: %s\n", key, learn.PathString(r.Witness))
+		}
+	}
+
+	// --- step 5: the audit exposes the implicit route; patch the
+	// policy and re-verify ---
+	fmt.Println("\n--- patching the policy with the implicit-route mitigation ---")
+	fsm.AddRule(policy.Rule{
+		Name:       "alarm-suspicious-blocks-plug-heat",
+		Conditions: []policy.Condition{policy.DeviceIs("firealarm", policy.ContextSuspicious)},
+		Device:     "plug",
+		Posture:    policy.Posture{BlockCommands: []string{"ON"}},
+		Priority:   10,
+	})
+	report := learn.CheckSafety(search, fsm.Lookup(alarmSuspicious), bad)
+	if report.Holds {
+		fmt.Println("patched policy verified: no attack path reaches 'window open' while the alarm is suspicious ✔")
+	} else {
+		log.Fatalf("still unsafe: %s", learn.PathString(report.Witness))
+	}
+	// The all-normal state intentionally allows opening the window —
+	// the audit distinguishes "reachable by design" from "reachable
+	// by attack" through which states you ask about.
+	fmt.Println("\n(the all-normal state stays permissive by design: the owner may open windows)")
+}
+
+// extractWindowModel drives a live emulated window actuator on a
+// throwaway testbed and returns its learned abstract model.
+func extractWindowModel() *learn.Model {
+	n := netsim.NewNetwork()
+	sw := netsim.NewSwitch("sw", 1)
+	sw.SetMissBehavior(netsim.MissFlood)
+	env := envsim.StandardHome()
+
+	win := device.NewWindowActuator("win", packet.MustParseIPv4("10.0.0.10"))
+	port, err := win.Device.Attach(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n.Connect(port, sw.AttachPort(n, 1), netsim.LinkOptions{})
+	win.BindEnvironment(env)
+
+	probeIP := packet.MustParseIPv4("10.0.0.200")
+	probe := netsim.NewStack("probe", device.MACFor(probeIP), probeIP)
+	n.Connect(probe.Attach(n), sw.AttachPort(n, 2), netsim.LinkOptions{})
+	n.Start()
+	defer func() {
+		probe.Stop()
+		win.Stop()
+		n.Stop()
+	}()
+
+	tb := &learn.Testbed{
+		Client:   &device.Client{Stack: probe, Timeout: time.Second},
+		Device:   win.Device,
+		Env:      env,
+		Disc:     envsim.StandardDiscretizer(),
+		StateKey: "window",
+		User:     "admin",
+		Pass:     device.WindowPassword,
+	}
+	m, err := learn.ExtractModel(tb, "window-extracted", []string{"OPEN", "CLOSE"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Graft the known IFTTT observation (open when hot) the testbed
+	// cannot elicit without a heat source: community models combine
+	// extracted transitions with curated observations.
+	m.Observations = append(m.Observations, learn.Observation{
+		Var: "temperature", Level: "high", ToState: "open",
+	})
+	return m
+}

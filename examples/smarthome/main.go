@@ -1,0 +1,114 @@
+// Smarthome: the full Figure 3 scenario — the FSM policy abstraction
+// reacting to two different attacks on a fire-alarm + window-actuator
+// deployment, narrated step by step.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"iotsec/internal/controller"
+	"iotsec/internal/core"
+	"iotsec/internal/device"
+	"iotsec/internal/netsim"
+	"iotsec/internal/packet"
+	"iotsec/internal/policy"
+)
+
+func main() {
+	// The Figure 3 policy, verbatim:
+	//   FireAlarm suspicious  -> block "open" messages to the window
+	//   Window suspicious     -> robot-check in front of the window
+	domain := policy.NewDomain()
+	domain.AddDevice("firealarm", policy.ContextNormal, policy.ContextSuspicious)
+	domain.AddDevice("window", policy.ContextNormal, policy.ContextSuspicious)
+	fsm := policy.NewFSM(domain)
+	fsm.AddRule(policy.Rule{
+		Name:       "alarm-suspicious-blocks-window-open",
+		Conditions: []policy.Condition{policy.DeviceIs("firealarm", policy.ContextSuspicious)},
+		Device:     "window",
+		Posture:    policy.Posture{BlockCommands: []string{"OPEN"}},
+		Priority:   10,
+	})
+	fsm.AddRule(policy.Rule{
+		Name:       "window-suspicious-robot-check",
+		Conditions: []policy.Condition{policy.DeviceIs("window", policy.ContextSuspicious)},
+		Device:     "window",
+		Posture:    policy.Posture{Modules: []policy.ModuleSpec{{Kind: "robot-check"}}},
+		Priority:   10,
+	})
+
+	platform, err := core.New(core.Options{Policy: fsm, ChallengeSolution: "tulip"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.Global.View.Observe(func(c controller.ViewChange) {
+		fmt.Printf("    [controller] %s = %s (%s)\n", c.Var, c.Value, c.Reason)
+	})
+
+	alarm := device.NewFireAlarm("firealarm", packet.MustParseIPv4("10.0.0.20"))
+	window := device.NewWindowActuator("window", packet.MustParseIPv4("10.0.0.21"))
+	for _, d := range []*device.Device{alarm.Device, window.Device} {
+		if _, err := platform.AddDevice(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	attackerIP := packet.MustParseIPv4("10.0.0.66")
+	attacker := netsim.NewStack("attacker", device.MACFor(attackerIP), attackerIP)
+	platform.AttachHost(attacker)
+	platform.Start()
+	defer platform.Stop()
+	client := &device.Client{Stack: attacker, Timeout: time.Second}
+
+	show := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+
+	show("state: FireAlarm:<%s> Window:<%s>",
+		platform.Global.View.DeviceContext("firealarm"),
+		platform.Global.View.DeviceContext("window"))
+
+	show("\n--- attack 1: the fire alarm's maintenance backdoor ---")
+	if _, err := client.Call(alarm.IP(), device.Request{Cmd: "TEST", Args: []string{device.AlarmBackdoorToken}}); err != nil {
+		log.Fatal(err)
+	}
+	platform.WaitForContext("firealarm", policy.ContextSuspicious, 2*time.Second)
+	time.Sleep(20 * time.Millisecond)
+	show("state: FireAlarm:<%s> Window:<%s>",
+		platform.Global.View.DeviceContext("firealarm"),
+		platform.Global.View.DeviceContext("window"))
+
+	show("attacker now sends OPEN to the window (with the correct PIN!)...")
+	if _, err := client.Call(window.IP(), device.Request{Cmd: "OPEN", User: "admin", Pass: device.WindowPassword}); err != nil {
+		show("  -> BLOCKED: %v", err)
+	} else {
+		show("  -> opened?! enforcement failed")
+	}
+	show("window state: %s", window.Get("window"))
+
+	show("\nthe administrator investigates, patches the alarm's exposure, and clears it:")
+	platform.Global.View.SetDeviceContext("firealarm", policy.ContextNormal, "admin cleared after investigation")
+	time.Sleep(20 * time.Millisecond)
+	show("state: FireAlarm:<%s> Window:<%s> — the OPEN block lifts automatically",
+		platform.Global.View.DeviceContext("firealarm"),
+		platform.Global.View.DeviceContext("window"))
+
+	show("\n--- attack 2: brute-forcing the window's 4-digit PIN ---")
+	for i := 0; i < 5; i++ {
+		_, _ = client.Call(window.IP(), device.Request{Cmd: "OPEN", User: "admin", Pass: fmt.Sprintf("%04d", 9000+i)})
+	}
+	platform.WaitForContext("window", policy.ContextSuspicious, 2*time.Second)
+	time.Sleep(20 * time.Millisecond)
+
+	show("the script continues with the RIGHT PIN...")
+	if _, err := client.Call(window.IP(), device.Request{Cmd: "OPEN", User: "admin", Pass: device.WindowPassword}); err != nil {
+		show("  -> BLOCKED by robot check: %v", err)
+	}
+	show("a human answers the challenge...")
+	resp, err := client.Call(window.IP(), device.Request{
+		Cmd: "OPEN", User: "admin", Pass: device.WindowPassword, Args: []string{"captcha:tulip"},
+	})
+	if err != nil || !resp.OK {
+		log.Fatalf("  -> challenged open failed: %v %+v", err, resp)
+	}
+	show("  -> window opened for the verified human (state: %s)", window.Get("window"))
+}

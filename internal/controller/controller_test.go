@@ -1,0 +1,329 @@
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/ids"
+	"iotsec/internal/policy"
+)
+
+func TestStoreVersionsMonotonic(t *testing.T) {
+	s := NewStore()
+	v1 := s.Put("a", "1")
+	v2 := s.Put("b", "2")
+	v3 := s.Put("a", "3")
+	if !(v1 < v2 && v2 < v3) {
+		t.Errorf("versions = %d %d %d", v1, v2, v3)
+	}
+	val, ver, ok := s.Get("a")
+	if !ok || val != "3" || ver != v3 {
+		t.Errorf("get a = %q v%d %v", val, ver, ok)
+	}
+	if s.Version() != v3 {
+		t.Errorf("store version = %d", s.Version())
+	}
+}
+
+func TestStoreWatchOrdering(t *testing.T) {
+	s := NewStore()
+	w := s.Watch(16)
+	for i := 0; i < 10; i++ {
+		s.Put("k", fmt.Sprint(i))
+	}
+	var last uint64
+	for i := 0; i < 10; i++ {
+		select {
+		case u := <-w:
+			if u.Version <= last {
+				t.Fatalf("out of order: %d after %d", u.Version, last)
+			}
+			last = u.Version
+		case <-time.After(time.Second):
+			t.Fatal("watch starved")
+		}
+	}
+}
+
+func TestStoreSinceAndSnapshot(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("k%d", i), "v")
+	}
+	ups, ok := s.Since(2)
+	if !ok || len(ups) != 3 {
+		t.Errorf("since(2) = %v ok=%v", ups, ok)
+	}
+	// Truncated log forces resync.
+	s2 := NewStore()
+	s2.LogLimit = 2
+	for i := 0; i < 10; i++ {
+		s2.Put("k", fmt.Sprint(i))
+	}
+	if _, ok := s2.Since(1); ok {
+		t.Error("truncated log claimed completeness")
+	}
+	snap, ver := s2.Snapshot()
+	if snap["k"] != "9" || ver != 10 {
+		t.Errorf("snapshot = %v v%d", snap, ver)
+	}
+}
+
+func TestStorePutGetProperty(t *testing.T) {
+	s := NewStore()
+	f := func(key, value string) bool {
+		v := s.Put(key, value)
+		got, ver, ok := s.Get(key)
+		return ok && got == value && ver == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewEscalationRules(t *testing.T) {
+	v := NewView()
+	var changes []ViewChange
+	var mu sync.Mutex
+	v.Observe(func(c ViewChange) {
+		mu.Lock()
+		changes = append(changes, c)
+		mu.Unlock()
+	})
+
+	// Backdoor access flips to suspicious immediately.
+	v.HandleDeviceEvent(device.Event{Device: "alarm", Kind: device.EventBackdoorAccess, Detail: "TEST"})
+	if v.DeviceContext("alarm") != policy.ContextSuspicious {
+		t.Error("backdoor did not escalate")
+	}
+
+	// Brute force needs the threshold.
+	for i := 0; i < 4; i++ {
+		v.HandleDeviceEvent(device.Event{Device: "window", Kind: device.EventAuthFailure})
+	}
+	if v.DeviceContext("window") != policy.ContextNormal {
+		t.Error("escalated below threshold")
+	}
+	v.HandleDeviceEvent(device.Event{Device: "window", Kind: device.EventAuthFailure})
+	if v.DeviceContext("window") != policy.ContextSuspicious {
+		t.Error("brute force did not escalate at threshold")
+	}
+
+	// Success resets the counter.
+	v2 := NewView()
+	for i := 0; i < 4; i++ {
+		v2.HandleDeviceEvent(device.Event{Device: "d", Kind: device.EventAuthFailure})
+	}
+	v2.HandleDeviceEvent(device.Event{Device: "d", Kind: device.EventAuthSuccess})
+	for i := 0; i < 4; i++ {
+		v2.HandleDeviceEvent(device.Event{Device: "d", Kind: device.EventAuthFailure})
+	}
+	if v2.DeviceContext("d") != policy.ContextNormal {
+		t.Error("auth success did not reset the failure counter")
+	}
+
+	// State changes surface as env vars.
+	v.HandleDeviceEvent(device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=yes"})
+	if v.Env("cam_person") != "yes" {
+		t.Errorf("cam_person = %q", v.Env("cam_person"))
+	}
+
+	// Idempotent writes do not notify.
+	mu.Lock()
+	n := len(changes)
+	mu.Unlock()
+	v.HandleDeviceEvent(device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=yes"})
+	mu.Lock()
+	if len(changes) != n {
+		t.Error("idempotent write notified observers")
+	}
+	mu.Unlock()
+}
+
+func TestViewAlertsAndAnomalies(t *testing.T) {
+	v := NewView()
+	v.HandleAlert("cam", ids.Alert{SID: 7, Action: ids.ActionAlert, Msg: "probe"})
+	if v.DeviceContext("cam") != policy.ContextSuspicious {
+		t.Error("alert did not mark suspicious")
+	}
+	v.HandleAlert("cam", ids.Alert{SID: 8, Action: ids.ActionBlock, Msg: "exploit"})
+	if v.DeviceContext("cam") != policy.ContextCompromised {
+		t.Error("block alert did not mark compromised")
+	}
+	v.HandleAnomaly(ids.Anomaly{Device: "plug", Kind: ids.AnomalyRate, Detail: "burst"})
+	if v.DeviceContext("plug") != policy.ContextSuspicious {
+		t.Error("anomaly did not mark suspicious")
+	}
+}
+
+func TestPartitioning(t *testing.T) {
+	devices := []string{"a", "b", "c", "d", "e", "f"}
+	edges := []InteractionEdge{
+		{A: "a", B: "b", Weight: 100},
+		{A: "b", B: "c", Weight: 90},
+		{A: "d", B: "e", Weight: 80},
+		{A: "c", B: "d", Weight: 1}, // light cross edge
+	}
+	p := Partition(devices, edges, 3)
+	if !p.SameGroup("a", "b") || !p.SameGroup("b", "c") {
+		t.Errorf("heavy triangle split: %v", p.Groups)
+	}
+	if !p.SameGroup("d", "e") {
+		t.Errorf("d,e split: %v", p.Groups)
+	}
+	if p.SameGroup("c", "d") {
+		t.Errorf("size cap violated: %v", p.Groups)
+	}
+	if p.GroupOf("ghost") != -1 {
+		t.Error("unknown device got a group")
+	}
+	if r := p.LocalityRatio(); r < 0.98 {
+		t.Errorf("locality = %.3f, want ~0.996", r)
+	}
+}
+
+func TestGlobalControllerPostureDeltas(t *testing.T) {
+	d := policy.NewDomain()
+	d.AddDevice("window", policy.ContextNormal, policy.ContextSuspicious)
+	d.AddDevice("alarm", policy.ContextNormal, policy.ContextSuspicious)
+	f := policy.NewFSM(d)
+	f.AddRule(policy.Rule{
+		Name:       "fig3",
+		Conditions: []policy.Condition{policy.DeviceIs("alarm", policy.ContextSuspicious)},
+		Device:     "window",
+		Posture:    policy.Posture{BlockCommands: []string{"OPEN"}},
+		Priority:   10,
+	})
+
+	type change struct {
+		dev string
+		p   policy.Posture
+	}
+	var mu sync.Mutex
+	var changes []change
+	g := NewGlobal(f, func(dev string, p policy.Posture, _ uint64) {
+		mu.Lock()
+		changes = append(changes, change{dev, p})
+		mu.Unlock()
+	})
+
+	g.View.HandleDeviceEvent(device.Event{Device: "alarm", Kind: device.EventBackdoorAccess})
+	mu.Lock()
+	defer mu.Unlock()
+	var winChanged bool
+	for _, c := range changes {
+		if c.dev == "window" && len(c.p.BlockCommands) == 1 {
+			winChanged = true
+		}
+	}
+	if !winChanged {
+		t.Errorf("posture deltas = %+v", changes)
+	}
+}
+
+func TestHierarchyLocalVsGlobalRouting(t *testing.T) {
+	// Two partitions: {cam, plug} and {alarm, window}. One local rule
+	// per partition plus one global (cross-partition) rule.
+	d := policy.NewDomain()
+	for _, dev := range []string{"cam", "plug", "alarm", "window"} {
+		d.AddDevice(dev, policy.ContextNormal, policy.ContextSuspicious)
+	}
+	d.AddEnvVar("cam_person", "yes", "no")
+	f := policy.NewFSM(d)
+	// Local to group 0: cam person drives plug gating.
+	f.AddRule(policy.Rule{
+		Name:       "local-g0",
+		Conditions: []policy.Condition{policy.EnvIs("cam_person", "no")},
+		Device:     "plug",
+		Posture:    policy.Posture{BlockCommands: []string{"ON"}},
+		Priority:   5,
+	})
+	// Global: alarm context drives window, but ALSO references plug
+	// (cross-partition).
+	f.AddRule(policy.Rule{
+		Name: "global-cross",
+		Conditions: []policy.Condition{
+			policy.DeviceIs("alarm", policy.ContextSuspicious),
+			policy.DeviceIs("plug", policy.ContextSuspicious),
+		},
+		Device:   "window",
+		Posture:  policy.Posture{Isolate: true},
+		Priority: 9,
+	})
+
+	part := Partition(
+		[]string{"cam", "plug", "alarm", "window"},
+		[]InteractionEdge{{A: "cam", B: "plug", Weight: 10}, {A: "alarm", B: "window", Weight: 10}},
+		2,
+	)
+	envLocality := map[string]int{"cam_person": part.GroupOf("cam")}
+
+	var mu sync.Mutex
+	postures := map[string]policy.Posture{}
+	h := NewHierarchy(f, part, envLocality, func(dev string, p policy.Posture, _ uint64) {
+		mu.Lock()
+		postures[dev] = p
+		mu.Unlock()
+	})
+	if h.Locals() != 1 {
+		t.Errorf("local controllers = %d, want 1 (only group 0 has a fully local rule)", h.Locals())
+	}
+
+	// A cam state change is local: handled without escalation.
+	h.HandleDeviceEvent(device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=no"})
+	local, escalated := h.Metrics()
+	if local != 1 || escalated != 0 {
+		t.Errorf("after local event: local=%d escalated=%d", local, escalated)
+	}
+	mu.Lock()
+	if p, ok := postures["plug"]; !ok || len(p.BlockCommands) != 1 {
+		t.Errorf("local rule did not fire: %+v", postures)
+	}
+	mu.Unlock()
+
+	// Alarm backdoor is globally relevant (global rule references
+	// dev:alarm): escalates.
+	h.HandleDeviceEvent(device.Event{Device: "alarm", Kind: device.EventBackdoorAccess})
+	_, escalated = h.Metrics()
+	if escalated != 1 {
+		t.Errorf("escalated = %d, want 1", escalated)
+	}
+	// Plug backdoor also escalates and completes the global rule.
+	h.HandleDeviceEvent(device.Event{Device: "plug", Kind: device.EventBackdoorAccess})
+	mu.Lock()
+	if p, ok := postures["window"]; !ok || !p.Isolate {
+		t.Errorf("global rule did not fire: %+v", postures)
+	}
+	mu.Unlock()
+}
+
+func TestHierarchyGlobalDelayAccounting(t *testing.T) {
+	d := policy.NewDomain()
+	d.AddDevice("a", policy.ContextNormal, policy.ContextSuspicious)
+	d.AddDevice("b", policy.ContextNormal, policy.ContextSuspicious)
+	f := policy.NewFSM(d)
+	// Cross rule: references both devices → global.
+	f.AddRule(policy.Rule{
+		Name: "cross",
+		Conditions: []policy.Condition{
+			policy.DeviceIs("a", policy.ContextSuspicious),
+			policy.DeviceIs("b", policy.ContextSuspicious),
+		},
+		Device:   "a",
+		Posture:  policy.Posture{Isolate: true},
+		Priority: 1,
+	})
+	part := Partition([]string{"a", "b"}, nil, 1)
+	h := NewHierarchy(f, part, nil, nil)
+	h.GlobalDelay = 20 * time.Millisecond
+
+	start := time.Now()
+	h.HandleDeviceEvent(device.Event{Device: "a", Kind: device.EventBackdoorAccess})
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("escalation did not pay the global delay: %v", elapsed)
+	}
+}

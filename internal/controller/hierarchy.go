@@ -1,0 +1,278 @@
+package controller
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/policy"
+)
+
+// PostureSink receives recomputed postures for devices whose
+// treatment changed; the enforcement layer (µmbox orchestrator) wires
+// in here.
+type PostureSink func(deviceName string, p policy.Posture, version uint64)
+
+// Global is the logically centralized controller: it owns the
+// authoritative view and the full policy, recomputing postures on
+// every committed change.
+type Global struct {
+	View *View
+	fsm  *policy.FSM
+
+	mu           sync.Mutex
+	sink         PostureSink
+	lastPostures map[string]string // device → posture key
+
+	recomputes atomic.Uint64
+	changes    atomic.Uint64
+}
+
+// NewGlobal builds the global controller over a fresh view.
+func NewGlobal(fsm *policy.FSM, sink PostureSink) *Global {
+	g := &Global{
+		View:         NewView(),
+		fsm:          fsm,
+		sink:         sink,
+		lastPostures: make(map[string]string),
+	}
+	g.View.Observe(func(c ViewChange) { g.reconcile(c.Version) })
+	return g
+}
+
+// reconcile recomputes all postures and pushes the deltas.
+func (g *Global) reconcile(version uint64) {
+	g.recomputes.Add(1)
+	state := g.View.State()
+	postures := g.fsm.Lookup(state)
+
+	g.mu.Lock()
+	var changed []struct {
+		dev string
+		p   policy.Posture
+	}
+	for dev, p := range postures {
+		key := p.Key()
+		if g.lastPostures[dev] != key {
+			g.lastPostures[dev] = key
+			changed = append(changed, struct {
+				dev string
+				p   policy.Posture
+			}{dev, p})
+		}
+	}
+	sink := g.sink
+	g.mu.Unlock()
+
+	for _, c := range changed {
+		g.changes.Add(1)
+		if sink != nil {
+			sink(c.dev, c.p, version)
+		}
+	}
+}
+
+// Metrics reports recomputation and posture-change counts.
+func (g *Global) Metrics() (recomputes, postureChanges uint64) {
+	return g.recomputes.Load(), g.changes.Load()
+}
+
+// Hierarchy splits event handling between per-partition local
+// controllers and the global controller (§5.1): events whose policy
+// consequences stay within one partition are resolved locally;
+// everything else escalates and pays the global round trip.
+type Hierarchy struct {
+	Global       *Global
+	partitioning *Partitioning
+	fsm          *policy.FSM
+
+	// GlobalDelay models the extra round trip an escalation pays
+	// (zero = no modeling).
+	GlobalDelay time.Duration
+
+	// localVars[g] is the variable support a partition can resolve
+	// alone; globalVars is the remainder.
+	localRuleVars map[int]map[string]bool
+	globalVars    map[string]bool
+
+	locals map[int]*Local
+
+	localHandled atomic.Uint64
+	escalated    atomic.Uint64
+}
+
+// Local is one partition's controller: it keeps a local view and
+// resolves partition-local rules itself.
+type Local struct {
+	Group int
+	View  *View
+	fsm   *policy.FSM // the partition-local rule subset
+	sink  PostureSink
+
+	mu           sync.Mutex
+	lastPostures map[string]string
+}
+
+// NewHierarchy builds the hierarchy over a partitioning. Rules whose
+// device and condition variables all fall within one partition are
+// delegated to that partition's local controller; all other rules run
+// globally. Environment variables are local to a partition when named
+// in envLocality.
+func NewHierarchy(fsm *policy.FSM, part *Partitioning, envLocality map[string]int, sink PostureSink) *Hierarchy {
+	h := &Hierarchy{
+		Global:        NewGlobal(fsm, sink),
+		partitioning:  part,
+		fsm:           fsm,
+		localRuleVars: make(map[int]map[string]bool),
+		globalVars:    make(map[string]bool),
+		locals:        make(map[int]*Local),
+	}
+
+	// Classify each rule.
+	localRules := make(map[int][]policy.Rule)
+	varGroup := func(v string) (int, bool) {
+		if name, ok := strings.CutPrefix(v, "dev:"); ok {
+			g := part.GroupOf(name)
+			return g, g >= 0
+		}
+		if name, ok := strings.CutPrefix(v, "env:"); ok {
+			g, ok := envLocality[name]
+			return g, ok
+		}
+		return 0, false
+	}
+	for _, r := range fsm.Rules() {
+		g := part.GroupOf(r.Device)
+		local := g >= 0
+		for _, c := range r.Conditions {
+			cg, ok := varGroup(c.Var)
+			if !ok || cg != g {
+				local = false
+				break
+			}
+		}
+		if local {
+			localRules[g] = append(localRules[g], r)
+			if h.localRuleVars[g] == nil {
+				h.localRuleVars[g] = make(map[string]bool)
+			}
+			for _, c := range r.Conditions {
+				h.localRuleVars[g][c.Var] = true
+			}
+		} else {
+			for _, c := range r.Conditions {
+				h.globalVars[c.Var] = true
+			}
+		}
+	}
+
+	// Build the local controllers.
+	for g, rules := range localRules {
+		lf := policy.NewFSM(h.fsm.Domain)
+		for _, r := range rules {
+			lf.AddRule(r)
+		}
+		local := &Local{
+			Group:        g,
+			View:         NewView(),
+			fsm:          lf,
+			sink:         sink,
+			lastPostures: make(map[string]string),
+		}
+		local.View.Observe(func(c ViewChange) { local.reconcile(c.Version) })
+		h.locals[g] = local
+	}
+	return h
+}
+
+// reconcile runs the local rule subset.
+func (l *Local) reconcile(version uint64) {
+	state := l.View.State()
+	postures := l.fsm.Lookup(state)
+	l.mu.Lock()
+	var changed []struct {
+		dev string
+		p   policy.Posture
+	}
+	for dev, p := range postures {
+		// Only devices in this group are authoritative locally.
+		key := p.Key()
+		if l.lastPostures[dev] != key {
+			l.lastPostures[dev] = key
+			changed = append(changed, struct {
+				dev string
+				p   policy.Posture
+			}{dev, p})
+		}
+	}
+	sink := l.sink
+	l.mu.Unlock()
+	for _, c := range changed {
+		if sink != nil {
+			sink(c.dev, c.p, version)
+		}
+	}
+}
+
+// HandleDeviceEvent routes an event: the owning partition's local
+// controller absorbs it; only events touching globally referenced
+// variables escalate (paying GlobalDelay).
+func (h *Hierarchy) HandleDeviceEvent(e device.Event) {
+	group := h.partitioning.GroupOf(e.Device)
+	if local, ok := h.locals[group]; ok {
+		local.View.HandleDeviceEvent(e)
+	}
+
+	if h.eventGloballyRelevant(e) {
+		h.escalated.Add(1)
+		if h.GlobalDelay > 0 {
+			time.Sleep(h.GlobalDelay)
+		}
+		h.Global.View.HandleDeviceEvent(e)
+		return
+	}
+	h.localHandled.Add(1)
+}
+
+// eventGloballyRelevant decides whether the global policy could care
+// about this event.
+func (h *Hierarchy) eventGloballyRelevant(e device.Event) bool {
+	// Context-affecting events matter if any global rule references
+	// the device's context.
+	switch e.Kind {
+	case device.EventBackdoorAccess, device.EventAuthFailure:
+		return h.globalVars["dev:"+e.Device]
+	case device.EventStateChange, device.EventSensor:
+		if attr, _, ok := strings.Cut(e.Detail, "="); ok {
+			return h.globalVars["env:"+e.Device+"_"+attr]
+		}
+	}
+	return false
+}
+
+// HandleEnv routes an environment reading to the owning partition (if
+// local) and to the global view when globally referenced.
+func (h *Hierarchy) HandleEnv(envVar, level string, group int, reason string) {
+	if local, ok := h.locals[group]; ok {
+		local.View.SetEnv(envVar, level, reason)
+	}
+	if h.globalVars["env:"+envVar] {
+		h.escalated.Add(1)
+		if h.GlobalDelay > 0 {
+			time.Sleep(h.GlobalDelay)
+		}
+		h.Global.View.SetEnv(envVar, level, reason)
+		return
+	}
+	h.localHandled.Add(1)
+}
+
+// Metrics reports locally absorbed vs escalated events.
+func (h *Hierarchy) Metrics() (local, escalated uint64) {
+	return h.localHandled.Load(), h.escalated.Load()
+}
+
+// Locals reports the number of local controllers.
+func (h *Hierarchy) Locals() int { return len(h.locals) }

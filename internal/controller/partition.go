@@ -1,0 +1,115 @@
+package controller
+
+import (
+	"sort"
+)
+
+// InteractionEdge weights how often two devices interact (explicitly
+// or through the environment) — the signal §5.1 proposes partitioning
+// on.
+type InteractionEdge struct {
+	A, B   string
+	Weight float64
+}
+
+// Partitioning assigns devices to local controllers so that
+// frequently interacting devices share one, minimizing traffic that
+// must escalate to the global controller.
+type Partitioning struct {
+	// Groups lists the device sets, one per local controller.
+	Groups [][]string
+	// assignment maps device → group index.
+	assignment map[string]int
+	// CutWeight sums edge weights crossing partitions.
+	CutWeight float64
+	// InternalWeight sums edge weights kept local.
+	InternalWeight float64
+}
+
+// GroupOf reports a device's partition (-1 if unknown).
+func (p *Partitioning) GroupOf(device string) int {
+	if g, ok := p.assignment[device]; ok {
+		return g
+	}
+	return -1
+}
+
+// SameGroup reports whether two devices share a local controller.
+func (p *Partitioning) SameGroup(a, b string) bool {
+	ga, ok1 := p.assignment[a]
+	gb, ok2 := p.assignment[b]
+	return ok1 && ok2 && ga == gb
+}
+
+// Partition greedily merges the heaviest edges first (Kruskal-style
+// with a size cap): devices joined by heavy interaction end up
+// together unless the group would exceed maxGroupSize.
+func Partition(devices []string, edges []InteractionEdge, maxGroupSize int) *Partitioning {
+	if maxGroupSize <= 0 {
+		maxGroupSize = 8
+	}
+	parent := make(map[string]string, len(devices))
+	size := make(map[string]int, len(devices))
+	for _, d := range devices {
+		parent[d] = d
+		size[d] = 1
+	}
+	var find func(string) string
+	find = func(x string) string {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	sorted := append([]InteractionEdge(nil), edges...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Weight > sorted[j].Weight })
+
+	for _, e := range sorted {
+		ra, rb := find(e.A), find(e.B)
+		if ra == rb {
+			continue
+		}
+		if size[ra]+size[rb] > maxGroupSize {
+			continue
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+
+	groupIdx := make(map[string]int)
+	p := &Partitioning{assignment: make(map[string]int, len(devices))}
+	for _, d := range devices {
+		root := find(d)
+		idx, ok := groupIdx[root]
+		if !ok {
+			idx = len(p.Groups)
+			groupIdx[root] = idx
+			p.Groups = append(p.Groups, nil)
+		}
+		p.Groups[idx] = append(p.Groups[idx], d)
+		p.assignment[d] = idx
+	}
+	for i := range p.Groups {
+		sort.Strings(p.Groups[i])
+	}
+	for _, e := range edges {
+		if p.SameGroup(e.A, e.B) {
+			p.InternalWeight += e.Weight
+		} else {
+			p.CutWeight += e.Weight
+		}
+	}
+	return p
+}
+
+// LocalityRatio reports the fraction of interaction weight handled
+// locally (1.0 = everything local).
+func (p *Partitioning) LocalityRatio() float64 {
+	total := p.InternalWeight + p.CutWeight
+	if total == 0 {
+		return 1
+	}
+	return p.InternalWeight / total
+}

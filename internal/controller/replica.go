@@ -1,0 +1,101 @@
+package controller
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Replica is a weakly consistent follower of a Store: updates become
+// visible only after a replication lag, the way traditional SDN state
+// distribution works (§5.1: "traditional mechanisms for scaling SDN
+// typically exploit weak consistency semantics"). IoTSec's critical
+// security state cannot ride on this — the replica exists so the
+// ablation can measure exactly why.
+//
+// Time is injected explicitly (Offer records the commit time,
+// AdvanceTo applies everything older than now-lag), so experiments
+// are deterministic; FollowStore provides the convenience live mode.
+type Replica struct {
+	// Lag is the replication delay.
+	Lag time.Duration
+
+	mu      sync.Mutex
+	pending []timedUpdate
+	values  map[string]Update
+}
+
+type timedUpdate struct {
+	u  Update
+	at time.Time
+}
+
+// NewReplica builds a follower with the given lag.
+func NewReplica(lag time.Duration) *Replica {
+	return &Replica{Lag: lag, values: make(map[string]Update)}
+}
+
+// Offer records one committed update with its commit time.
+func (r *Replica) Offer(u Update, committedAt time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending = append(r.pending, timedUpdate{u: u, at: committedAt})
+}
+
+// AdvanceTo applies every pending update whose commit time is at
+// least Lag in the past, in version order.
+func (r *Replica) AdvanceTo(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.SliceStable(r.pending, func(i, j int) bool {
+		return r.pending[i].u.Version < r.pending[j].u.Version
+	})
+	kept := r.pending[:0]
+	for _, tu := range r.pending {
+		if now.Sub(tu.at) >= r.Lag {
+			if cur, ok := r.values[tu.u.Key]; !ok || tu.u.Version > cur.Version {
+				r.values[tu.u.Key] = tu.u
+			}
+		} else {
+			kept = append(kept, tu)
+		}
+	}
+	r.pending = kept
+}
+
+// Get reads the replica's (possibly stale) view.
+func (r *Replica) Get(key string) (value string, version uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.values[key]
+	return u.Value, u.Version, ok
+}
+
+// Staleness reports how many updates are known but not yet visible.
+func (r *Replica) Staleness() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// FollowStore wires the replica to a live store with wall-clock
+// timing. Returns a stop function.
+func (r *Replica) FollowStore(s *Store) (stop func()) {
+	ch := s.Watch(1024)
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case u := <-ch:
+				r.Offer(u, time.Now())
+			case now := <-ticker.C:
+				r.AdvanceTo(now)
+			}
+		}
+	}()
+	return func() { close(done) }
+}

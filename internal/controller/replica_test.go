@@ -1,0 +1,66 @@
+package controller
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReplicaLagVisibility(t *testing.T) {
+	r := NewReplica(100 * time.Millisecond)
+	base := time.Now()
+	r.Offer(Update{Key: "occupancy", Value: "away", Version: 1}, base)
+
+	// Before the lag elapses the update is invisible.
+	r.AdvanceTo(base.Add(50 * time.Millisecond))
+	if _, _, ok := r.Get("occupancy"); ok {
+		t.Fatal("update visible before lag")
+	}
+	if r.Staleness() != 1 {
+		t.Errorf("staleness = %d", r.Staleness())
+	}
+	// After the lag it appears.
+	r.AdvanceTo(base.Add(100 * time.Millisecond))
+	v, ver, ok := r.Get("occupancy")
+	if !ok || v != "away" || ver != 1 {
+		t.Errorf("get = %q v%d %v", v, ver, ok)
+	}
+}
+
+func TestReplicaVersionOrderingUnderReordering(t *testing.T) {
+	r := NewReplica(10 * time.Millisecond)
+	base := time.Now()
+	// Offers arrive out of order (network reordering); the replica
+	// must still end with the highest version.
+	r.Offer(Update{Key: "k", Value: "new", Version: 5}, base)
+	r.Offer(Update{Key: "k", Value: "old", Version: 3}, base)
+	r.AdvanceTo(base.Add(time.Second))
+	v, ver, _ := r.Get("k")
+	if v != "new" || ver != 5 {
+		t.Errorf("replica regressed: %q v%d", v, ver)
+	}
+	// A later-arriving stale version never overwrites.
+	r.Offer(Update{Key: "k", Value: "ancient", Version: 2}, base)
+	r.AdvanceTo(base.Add(2 * time.Second))
+	if v, _, _ := r.Get("k"); v != "new" {
+		t.Errorf("stale overwrite: %q", v)
+	}
+}
+
+func TestReplicaFollowStoreLive(t *testing.T) {
+	s := NewStore()
+	r := NewReplica(5 * time.Millisecond)
+	stop := r.FollowStore(s)
+	defer stop()
+
+	s.Put("x", "1")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, _, ok := r.Get("x"); ok && v == "1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never converged")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,232 @@
+package controller
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"iotsec/internal/openflow"
+	"iotsec/internal/packet"
+)
+
+// SteeredDevice describes one protected device on a steered switch:
+// where the device hangs and where its µmbox's two legs connect.
+type SteeredDevice struct {
+	Name string
+	MAC  packet.MACAddress
+	// DevicePort is the switch port the device connects to.
+	DevicePort uint16
+	// MboxNorthPort / MboxSouthPort are the switch ports wired to the
+	// µmbox's network-side and device-side legs.
+	MboxNorthPort uint16
+	MboxSouthPort uint16
+}
+
+// Steering is the Figure 2 tunnel fabric: an SDN application that
+// programs switches (over the real southbound protocol) so every
+// frame to or from a protected device traverses its µmbox, while
+// plain hosts talk directly.
+//
+// Per protected device D with ports (P_dev, A=north, B=south):
+//
+//	prio 220: in_port=B            -> output P_dev   (processed, toward device)
+//	prio 220: in_port=P_dev        -> output B       (device-origin, into µmbox)
+//	prio 200: in_port=A            -> output {host ports}  (processed, outward)
+//	prio 150: eth_dst=D.MAC        -> output A       (device-bound, into µmbox)
+//	prio  50: (default)            -> output {host ports} + {A for broadcast}
+type Steering struct {
+	mu      sync.Mutex
+	devices []SteeredDevice
+	// pending switches connect before AddDevice in some orders; we
+	// reprogram on every change.
+	endpoint *openflow.ControllerEndpoint
+	switches map[uint64][]uint16 // dpid → ports
+	logger   *log.Logger
+}
+
+// NewSteering builds the application and its southbound endpoint.
+// Call Listen, point switch agents at the address, then AddDevice.
+func NewSteering(logger *log.Logger) *Steering {
+	if logger == nil {
+		logger = log.New(discardWriter{}, "", 0)
+	}
+	s := &Steering{switches: make(map[uint64][]uint16), logger: logger}
+	s.endpoint = openflow.NewControllerEndpoint(s, logger)
+	return s
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Listen starts the southbound listener, returning the bound address.
+func (s *Steering) Listen(addr string) (string, error) {
+	return s.endpoint.Listen(addr)
+}
+
+// Close tears down the southbound endpoint.
+func (s *Steering) Close() error { return s.endpoint.Close() }
+
+// Endpoint exposes the raw southbound endpoint (for stats requests in
+// experiments).
+func (s *Steering) Endpoint() *openflow.ControllerEndpoint { return s.endpoint }
+
+// AddDevice registers a protected device and reprograms all connected
+// switches.
+func (s *Steering) AddDevice(d SteeredDevice) {
+	s.mu.Lock()
+	s.devices = append(s.devices, d)
+	dpids := make([]uint64, 0, len(s.switches))
+	for dpid := range s.switches {
+		dpids = append(dpids, dpid)
+	}
+	s.mu.Unlock()
+	for _, dpid := range dpids {
+		s.program(dpid)
+	}
+}
+
+// SwitchConnected implements openflow.SwitchHandler. Programming is
+// asynchronous: this callback runs on the switch's receive goroutine,
+// which must stay free to deliver the barrier replies program waits
+// for.
+func (s *Steering) SwitchConnected(dpid uint64, ports []uint16) {
+	s.mu.Lock()
+	s.switches[dpid] = ports
+	s.mu.Unlock()
+	go s.program(dpid)
+}
+
+// SwitchDisconnected implements openflow.SwitchHandler.
+func (s *Steering) SwitchDisconnected(dpid uint64) {
+	s.mu.Lock()
+	delete(s.switches, dpid)
+	s.mu.Unlock()
+}
+
+// HandlePacketIn implements openflow.SwitchHandler: with proactive
+// rules installed nothing should punt; log for diagnosis.
+func (s *Steering) HandlePacketIn(pi *openflow.PacketIn) {
+	s.logger.Printf("steering: unexpected packet-in from dpid %d port %d (%d bytes)",
+		pi.DatapathID, pi.InPort, len(pi.Data))
+}
+
+// HandleFlowRemoved implements openflow.SwitchHandler.
+func (s *Steering) HandleFlowRemoved(fr *openflow.FlowRemoved) {}
+
+// hostPorts lists switch ports that belong to neither devices nor
+// µmbox legs.
+func hostPorts(ports []uint16, devices []SteeredDevice) []uint16 {
+	special := map[uint16]bool{}
+	for _, d := range devices {
+		special[d.DevicePort] = true
+		special[d.MboxNorthPort] = true
+		special[d.MboxSouthPort] = true
+	}
+	var hosts []uint16
+	for _, p := range ports {
+		if !special[p] {
+			hosts = append(hosts, p)
+		}
+	}
+	return hosts
+}
+
+// program pushes the full steering rule set to one switch, fencing
+// with a barrier so enforcement is in place before program returns.
+func (s *Steering) program(dpid uint64) {
+	s.mu.Lock()
+	ports := s.switches[dpid]
+	devices := append([]SteeredDevice(nil), s.devices...)
+	s.mu.Unlock()
+	if ports == nil {
+		return
+	}
+	hosts := hostPorts(ports, devices)
+
+	send := func(fm *openflow.FlowMod) {
+		if err := s.endpoint.SendFlowMod(dpid, fm); err != nil {
+			s.logger.Printf("steering: flow-mod to %d: %v", dpid, err)
+		}
+	}
+	// Start from a clean table.
+	send(&openflow.FlowMod{Command: openflow.FlowDelete, Match: openflow.MatchAll()})
+
+	outputsTo := func(ports []uint16) []openflow.Action {
+		acts := make([]openflow.Action, len(ports))
+		for i, p := range ports {
+			acts[i] = openflow.Output(p)
+		}
+		return acts
+	}
+
+	for _, d := range devices {
+		// Processed traffic exiting the µmbox toward the device.
+		send(&openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Match:    openflow.MatchAll().WithInPort(d.MboxSouthPort),
+			Priority: 220,
+			Actions:  []openflow.Action{openflow.Output(d.DevicePort)},
+			Cookie:   dpid,
+		})
+		// Device-origin traffic enters the µmbox south leg.
+		send(&openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Match:    openflow.MatchAll().WithInPort(d.DevicePort),
+			Priority: 220,
+			Actions:  []openflow.Action{openflow.Output(d.MboxSouthPort)},
+			Cookie:   dpid,
+		})
+		// Processed device-origin traffic exits toward the hosts and
+		// toward other protected devices' tunnels (device-to-device
+		// traffic crosses both µmboxes).
+		northActions := outputsTo(hosts)
+		for _, other := range devices {
+			if other.Name != d.Name {
+				northActions = append(northActions, openflow.Output(other.MboxNorthPort))
+			}
+		}
+		send(&openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Match:    openflow.MatchAll().WithInPort(d.MboxNorthPort),
+			Priority: 200,
+			Actions:  northActions,
+			Cookie:   dpid,
+		})
+		// Device-bound traffic detours into the µmbox north leg.
+		send(&openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Match:    openflow.MatchAll().WithEthDst(d.MAC),
+			Priority: 150,
+			Actions:  []openflow.Action{openflow.Output(d.MboxNorthPort)},
+			Cookie:   dpid,
+		})
+	}
+
+	// Default: host-to-host plus broadcast reach into every µmbox
+	// north leg (so ARP finds the devices through their tunnels).
+	var defaults []openflow.Action
+	defaults = append(defaults, outputsTo(hosts)...)
+	for _, d := range devices {
+		defaults = append(defaults, openflow.Output(d.MboxNorthPort))
+	}
+	send(&openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Match:    openflow.MatchAll(),
+		Priority: 50,
+		Actions:  defaults,
+		Cookie:   dpid,
+	})
+
+	if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
+		s.logger.Printf("steering: barrier to %d: %v", dpid, err)
+	}
+}
+
+// String summarizes the steering state.
+func (s *Steering) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("steering: %d devices, %d switches", len(s.devices), len(s.switches))
+}

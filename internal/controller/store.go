@@ -1,0 +1,118 @@
+package controller
+
+import (
+	"sync"
+)
+
+// Store is a versioned key-value state store providing the strong
+// consistency semantics §5.1 argues critical IoT security state needs
+// (unlike the weakly consistent stores traditional SDN scales with):
+// a single total order of updates, monotonic-reads, and ordered
+// watch delivery.
+type Store struct {
+	mu       sync.Mutex
+	version  uint64
+	values   map[string]versioned
+	watchers []chan Update
+	log      []Update
+	// LogLimit bounds the retained update log (default 4096).
+	LogLimit int
+}
+
+type versioned struct {
+	value   string
+	version uint64
+}
+
+// Update is one committed write.
+type Update struct {
+	Key     string
+	Value   string
+	Version uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{values: make(map[string]versioned), LogLimit: 4096}
+}
+
+// Put commits a write, returning its (globally ordered) version.
+func (s *Store) Put(key, value string) uint64 {
+	s.mu.Lock()
+	s.version++
+	v := s.version
+	s.values[key] = versioned{value: value, version: v}
+	u := Update{Key: key, Value: value, Version: v}
+	s.log = append(s.log, u)
+	if s.LogLimit > 0 && len(s.log) > s.LogLimit {
+		s.log = s.log[len(s.log)-s.LogLimit:]
+	}
+	watchers := append([]chan Update(nil), s.watchers...)
+	s.mu.Unlock()
+	for _, w := range watchers {
+		// Watch channels are buffered; a full watcher loses its
+		// guarantee and must Resync.
+		select {
+		case w <- u:
+		default:
+		}
+	}
+	return v
+}
+
+// Get reads a key with the version that wrote it.
+func (s *Store) Get(key string) (value string, version uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.values[key]
+	return v.value, v.version, ok
+}
+
+// Version reports the newest committed version.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Watch subscribes to updates committed after the call; the channel
+// is buffered with the given depth.
+func (s *Store) Watch(buffer int) <-chan Update {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	ch := make(chan Update, buffer)
+	s.mu.Lock()
+	s.watchers = append(s.watchers, ch)
+	s.mu.Unlock()
+	return ch
+}
+
+// Since returns retained updates with Version > after, in order; ok
+// is false if the log no longer reaches back that far (caller must
+// snapshot instead).
+func (s *Store) Since(after uint64) (updates []Update, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.log) > 0 && s.log[0].Version > after+1 {
+		return nil, false
+	}
+	for _, u := range s.log {
+		if u.Version > after {
+			updates = append(updates, u)
+		}
+	}
+	return updates, true
+}
+
+// Snapshot returns a consistent copy of all keys at the current
+// version.
+func (s *Store) Snapshot() (map[string]string, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.values))
+	for k, v := range s.values {
+		out[k] = v.value
+	}
+	return out, s.version
+}

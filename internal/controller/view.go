@@ -1,0 +1,196 @@
+// Package controller implements the IoTSec control plane (§5.1): a
+// context monitor that folds device events, anomaly alerts and
+// environment readings into a global system-state view; a versioned
+// store giving the strong consistency critical security state needs;
+// interaction-frequency partitioning; and the hierarchical
+// local/global controller split that keeps frequent interactions off
+// the global coordination path.
+package controller
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/ids"
+	"iotsec/internal/policy"
+)
+
+// ViewChange describes one state-variable update.
+type ViewChange struct {
+	// Var uses the policy convention: "dev:<name>" or "env:<name>".
+	Var string
+	// Value is the new context/level.
+	Value string
+	// Version is the store version that carried the change.
+	Version uint64
+	// Reason explains the transition (event kind, alert sid, ...).
+	Reason string
+	When   time.Time
+}
+
+// ViewObserver is notified of committed changes in order. Must not
+// block.
+type ViewObserver func(ViewChange)
+
+// View is the context monitor: the authoritative, versioned global
+// system state Sk. All mutations flow through the embedded versioned
+// store, so observers see a single total order — the consistency §5.1
+// demands for critical security state.
+type View struct {
+	store *Store
+
+	mu        sync.RWMutex
+	contexts  map[string]policy.SecurityContext
+	env       map[string]string
+	observers []ViewObserver
+
+	// escalation policy knobs
+	// BruteForceThreshold flips a device to suspicious after this
+	// many consecutive auth failures (default 5).
+	BruteForceThreshold int
+	failures            map[string]int
+}
+
+// NewView builds an empty view.
+func NewView() *View {
+	v := &View{
+		store:               NewStore(),
+		contexts:            make(map[string]policy.SecurityContext),
+		env:                 make(map[string]string),
+		BruteForceThreshold: 5,
+		failures:            make(map[string]int),
+	}
+	return v
+}
+
+// Observe registers a change observer.
+func (v *View) Observe(o ViewObserver) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.observers = append(v.observers, o)
+}
+
+// SetDeviceContext transitions a device's security context.
+func (v *View) SetDeviceContext(deviceName string, ctx policy.SecurityContext, reason string) {
+	v.apply("dev:"+deviceName, string(ctx), reason)
+}
+
+// SetEnv commits an environment level.
+func (v *View) SetEnv(envVar, level, reason string) {
+	v.apply("env:"+envVar, level, reason)
+}
+
+// apply commits a change through the store and notifies observers.
+func (v *View) apply(varName, value, reason string) {
+	v.mu.Lock()
+	// Idempotence: unchanged values do not spam observers.
+	var old string
+	if name, ok := strings.CutPrefix(varName, "dev:"); ok {
+		old = string(v.contexts[name])
+	} else if name, ok := strings.CutPrefix(varName, "env:"); ok {
+		old = v.env[name]
+	}
+	if old == value {
+		v.mu.Unlock()
+		return
+	}
+	version := v.store.Put(varName, value)
+	if name, ok := strings.CutPrefix(varName, "dev:"); ok {
+		v.contexts[name] = policy.SecurityContext(value)
+	} else if name, ok := strings.CutPrefix(varName, "env:"); ok {
+		v.env[name] = value
+	}
+	observers := append([]ViewObserver(nil), v.observers...)
+	v.mu.Unlock()
+
+	change := ViewChange{Var: varName, Value: value, Version: version, Reason: reason, When: time.Now()}
+	for _, o := range observers {
+		o(change)
+	}
+}
+
+// DeviceContext reads a device's context (normal when unknown).
+func (v *View) DeviceContext(deviceName string) policy.SecurityContext {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if c, ok := v.contexts[deviceName]; ok {
+		return c
+	}
+	return policy.ContextNormal
+}
+
+// Env reads an environment level.
+func (v *View) Env(envVar string) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.env[envVar]
+}
+
+// State materializes the current policy.State.
+func (v *View) State() policy.State {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	s := policy.NewState()
+	for dev, ctx := range v.contexts {
+		s.Contexts[dev] = ctx
+	}
+	for k, val := range v.env {
+		s.Env[k] = val
+	}
+	return s
+}
+
+// Version reports the store's current version.
+func (v *View) Version() uint64 { return v.store.Version() }
+
+// HandleDeviceEvent folds a device event into the view, applying the
+// standard escalation rules:
+//
+//   - backdoor access → suspicious immediately (Figure 3's trigger)
+//   - ≥ BruteForceThreshold consecutive auth failures → suspicious
+//   - device state changes surface as env variables
+//     "<device>_<attr>" so policies can condition on them
+func (v *View) HandleDeviceEvent(e device.Event) {
+	switch e.Kind {
+	case device.EventBackdoorAccess:
+		v.SetDeviceContext(e.Device, policy.ContextSuspicious, "backdoor access: "+e.Detail)
+	case device.EventAuthFailure:
+		v.mu.Lock()
+		v.failures[e.Device]++
+		n := v.failures[e.Device]
+		threshold := v.BruteForceThreshold
+		v.mu.Unlock()
+		if n >= threshold {
+			v.SetDeviceContext(e.Device, policy.ContextSuspicious,
+				fmt.Sprintf("brute force: %d consecutive auth failures", n))
+		}
+	case device.EventAuthSuccess:
+		v.mu.Lock()
+		v.failures[e.Device] = 0
+		v.mu.Unlock()
+	case device.EventStateChange, device.EventSensor:
+		if attr, val, ok := strings.Cut(e.Detail, "="); ok {
+			v.SetEnv(e.Device+"_"+attr, val, "device report")
+		}
+	}
+}
+
+// HandleAlert folds an IDS alert into the view: any signature match
+// against a device marks it suspicious; block-action matches mark it
+// compromised.
+func (v *View) HandleAlert(deviceName string, a ids.Alert) {
+	ctx := policy.ContextSuspicious
+	if a.Action == ids.ActionBlock {
+		ctx = policy.ContextCompromised
+	}
+	v.SetDeviceContext(deviceName, ctx, fmt.Sprintf("ids sid=%d %s", a.SID, a.Msg))
+}
+
+// HandleAnomaly folds an anomaly detection into the view.
+func (v *View) HandleAnomaly(a ids.Anomaly) {
+	v.SetDeviceContext(a.Device, policy.ContextSuspicious,
+		fmt.Sprintf("anomaly %s: %s", a.Kind, a.Detail))
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"iotsec/internal/device"
+	"iotsec/internal/packet"
+	"iotsec/internal/policy"
+)
+
+func TestAdminInterface(t *testing.T) {
+	d := policy.NewDomain()
+	d.AddDevice("cam", policy.ContextNormal, policy.ContextCompromised)
+	f := policy.NewFSM(d)
+	f.AddRule(policy.Rule{
+		Name:       "quarantine",
+		Conditions: []policy.Condition{policy.DeviceIs("cam", policy.ContextCompromised)},
+		Device:     "cam",
+		Posture:    policy.Posture{Isolate: true},
+		Priority:   10,
+	})
+	p, err := New(Options{Policy: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := device.NewCamera("cam", packet.MustParseIPv4("10.0.0.10"))
+	if _, err := p.AddDevice(cam.Device); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	admin, addr, err := p.ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	// status
+	resp, err := AdminCall(addr, AdminRequest{Op: "status"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Devices) != 1 || resp.Devices[0].Name != "cam" {
+		t.Fatalf("devices = %+v", resp.Devices)
+	}
+	if resp.Devices[0].Context != "normal" {
+		t.Errorf("context = %s", resp.Devices[0].Context)
+	}
+	if resp.Boots != 1 {
+		t.Errorf("boots = %d", resp.Boots)
+	}
+
+	// env + set-env
+	resp, err = AdminCall(addr, AdminRequest{Op: "env"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.Env["temperature"]; !ok {
+		t.Errorf("env = %v", resp.Env)
+	}
+	if _, err := AdminCall(addr, AdminRequest{Op: "set-env", Var: "occupancy", Value: "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Env.Get("occupancy") != 0 {
+		t.Error("set-env had no effect")
+	}
+
+	// set-context drives real enforcement.
+	if _, err := AdminCall(addr, AdminRequest{Op: "set-context", Device: "cam", Value: "compromised"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = AdminCall(addr, AdminRequest{Op: "status"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Devices[0].Context != "compromised" || resp.Devices[0].Posture != "ISOLATE" {
+		t.Errorf("after set-context: %+v", resp.Devices[0])
+	}
+
+	// error paths
+	if _, err := AdminCall(addr, AdminRequest{Op: "set-context", Device: "cam", Value: "bogus"}); err == nil {
+		t.Error("bogus context accepted")
+	}
+	if _, err := AdminCall(addr, AdminRequest{Op: "nonsense"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}

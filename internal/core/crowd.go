@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"iotsec/internal/learn"
+	"iotsec/internal/packet"
+	"iotsec/internal/sigrepo"
+)
+
+// CrowdLink connects a platform to a signature repository: cleared
+// signatures for any managed SKU flow into the running IDS µmboxes,
+// and the platform can share what it observes.
+type CrowdLink struct {
+	platform *Platform
+	client   *sigrepo.Client
+}
+
+// ConnectSigrepo dials the repository as the given identity and
+// subscribes to every SKU currently under management. Pushed
+// signatures are installed live.
+func (p *Platform) ConnectSigrepo(addr, identity string) (*CrowdLink, error) {
+	client, err := sigrepo.DialClient(addr, identity)
+	if err != nil {
+		return nil, fmt.Errorf("core: sigrepo: %w", err)
+	}
+	link := &CrowdLink{platform: p, client: client}
+	client.OnNotify = func(sig sigrepo.Signature, priority bool) {
+		// Installation failures (malformed community rules) must not
+		// kill the notification loop.
+		_ = p.AddSignatureRule(sig.SKU, sig.Rule)
+	}
+
+	for _, sku := range p.managedSKUs() {
+		if err := client.Subscribe(sku); err != nil {
+			client.Close()
+			return nil, fmt.Errorf("core: sigrepo subscribe %s: %w", sku, err)
+		}
+		// Backfill already-cleared signatures.
+		sigs, err := client.Fetch(sku)
+		if err != nil {
+			client.Close()
+			return nil, fmt.Errorf("core: sigrepo fetch %s: %w", sku, err)
+		}
+		for _, sig := range sigs {
+			_ = p.AddSignatureRule(sig.SKU, sig.Rule)
+		}
+	}
+	return link, nil
+}
+
+// managedSKUs lists distinct SKUs under management, sorted.
+func (p *Platform) managedSKUs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := map[string]bool{}
+	for _, m := range p.devices {
+		seen[m.Device.Profile.SKU] = true
+	}
+	out := make([]string, 0, len(seen))
+	for sku := range seen {
+		out = append(out, sku)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DistillSignature runs the §4.1 post-incident analysis against the
+// platform's capture: the attacker's management traffic toward the
+// device is contrasted with everyone else's, and the distinguishing
+// token becomes an ids-dialect block rule ready to Publish. Requires
+// Options.Capture.
+func (p *Platform) DistillSignature(deviceName string, attackerIP packet.IPv4Address, msg string, sid int) (string, error) {
+	if p.recorder == nil {
+		return "", fmt.Errorf("core: DistillSignature requires Options.Capture")
+	}
+	m, ok := p.Device(deviceName)
+	if !ok {
+		return "", fmt.Errorf("core: unknown device %s", deviceName)
+	}
+	frames := p.recorder.Frames()
+	attack := learn.MgmtPayloadsFrom(frames, m.Device.IP(), attackerIP)
+	benign := learn.MgmtPayloadsExcluding(frames, m.Device.IP(), attackerIP)
+	if len(attack) == 0 {
+		return "", fmt.Errorf("core: no captured traffic from %s to %s", attackerIP, deviceName)
+	}
+	return learn.GenerateRule(attack, benign, msg, sid)
+}
+
+// Publish shares a locally observed signature with the community.
+func (l *CrowdLink) Publish(sku, rule, description string) (*sigrepo.Signature, error) {
+	return l.client.Publish(sku, rule, description)
+}
+
+// Vote casts this deployment's verdict on a community signature.
+func (l *CrowdLink) Vote(sigID string, up bool) error {
+	_, err := l.client.Vote(sigID, up)
+	return err
+}
+
+// Close drops the repository connection.
+func (l *CrowdLink) Close() { l.client.Close() }

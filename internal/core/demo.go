@@ -1,0 +1,88 @@
+package core
+
+import (
+	"iotsec/internal/device"
+	"iotsec/internal/envsim"
+	"iotsec/internal/packet"
+	"iotsec/internal/policy"
+)
+
+// DemoHome assembles the reference smart-home deployment used by
+// cmd/iotsecd and the documentation: five devices under the combined
+// Figure 3/4/5 policy, with the community backdoor signature armed.
+func DemoHome() (*Platform, error) {
+	d := policy.NewDomain()
+	for _, dev := range []string{"cam", "wemo", "firealarm", "window", "thermostat"} {
+		d.AddDevice(dev, policy.ContextNormal, policy.ContextSuspicious, policy.ContextCompromised)
+	}
+	d.AddEnvVar(envsim.VarOccupancy, "away", "home")
+	d.AddEnvVar(envsim.VarSmoke, "no", "yes")
+
+	f := policy.NewFSM(d)
+	f.AddRule(policy.Rule{ // Figure 4
+		Name:   "cam-password-proxy",
+		Device: "cam",
+		Posture: policy.Posture{Modules: []policy.ModuleSpec{{
+			Kind:   "password-proxy",
+			Config: map[string]string{"user": "homeadmin", "pass": "Str0ng!pass"},
+		}}},
+		Priority: 1,
+	})
+	f.AddRule(policy.Rule{ // Figure 5 + community IDS signatures
+		Name:   "oven-needs-person",
+		Device: "wemo",
+		Posture: policy.Posture{Modules: []policy.ModuleSpec{
+			{Kind: "ids"}, // sees traffic before the gate so signatures escalate context
+			{
+				Kind:   "context-gate",
+				Config: map[string]string{"guard": "ON", "require_env": envsim.VarOccupancy, "require_value": "home"},
+			},
+		}},
+		Priority: 1,
+	})
+	f.AddRule(policy.Rule{ // Figure 3 arrow 1
+		Name:       "alarm-suspicious-blocks-window",
+		Conditions: []policy.Condition{policy.DeviceIs("firealarm", policy.ContextSuspicious)},
+		Device:     "window",
+		Posture:    policy.Posture{BlockCommands: []string{"OPEN"}},
+		Priority:   10,
+	})
+	f.AddRule(policy.Rule{ // Figure 3 arrow 2
+		Name:       "window-suspicious-robot-check",
+		Conditions: []policy.Condition{policy.DeviceIs("window", policy.ContextSuspicious)},
+		Device:     "window",
+		Posture:    policy.Posture{Modules: []policy.ModuleSpec{{Kind: "robot-check"}}},
+		Priority:   10,
+	})
+	f.AddRule(policy.Rule{ // quarantine anything compromised
+		Name:       "quarantine-wemo",
+		Conditions: []policy.Condition{policy.DeviceIs("wemo", policy.ContextCompromised)},
+		Device:     "wemo",
+		Posture:    policy.Posture{Isolate: true},
+		Priority:   20,
+	})
+
+	p, err := New(Options{Policy: f})
+	if err != nil {
+		return nil, err
+	}
+	devices := []*device.Device{
+		device.NewCamera("cam", packet.MustParseIPv4("10.0.0.10")).Device,
+		device.NewSmartPlug("wemo", packet.MustParseIPv4("10.0.0.11"), device.Appliance{
+			Name: "oven", PowerVar: "oven_power", Watts: 1800, HeatVar: "oven_heat_rate", HeatRate: 0.02,
+		}).Device,
+		device.NewFireAlarm("firealarm", packet.MustParseIPv4("10.0.0.12")).Device,
+		device.NewWindowActuator("window", packet.MustParseIPv4("10.0.0.13")).Device,
+		device.NewThermostat("thermostat", packet.MustParseIPv4("10.0.0.14")).Device,
+	}
+	for _, dev := range devices {
+		if _, err := p.AddDevice(dev); err != nil {
+			return nil, err
+		}
+	}
+	sig := `block tcp any any -> any 80 (msg:"wemo backdoor token"; content:"` + device.PlugBackdoorToken + `"; sid:9001;)`
+	if err := p.AddSignatureRule(device.SmartPlugProfile().SKU, sig); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

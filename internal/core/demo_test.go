@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/envsim"
+	"iotsec/internal/policy"
+)
+
+// TestDemoHomeScenarios drives the reference deployment through all
+// three paper use cases in one session.
+func TestDemoHomeScenarios(t *testing.T) {
+	p, err := DemoHome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Env.Set(envsim.VarOccupancy, 0)
+	p.Start()
+	defer p.Stop()
+	p.RunEnvironment(1)
+
+	attacker := newClient(t, p, "10.0.0.200")
+	cam, _ := p.Device("cam")
+	wemo, _ := p.Device("wemo")
+	alarm, _ := p.Device("firealarm")
+	win, _ := p.Device("window")
+
+	// Figure 4: factory creds dead; admin creds live.
+	if _, err := attacker.Call(cam.Device.IP(), device.Request{Cmd: "SNAPSHOT", User: "admin", Pass: "admin"}); err == nil {
+		t.Error("fig4: factory creds worked")
+	}
+	if resp, err := attacker.Call(cam.Device.IP(), device.Request{Cmd: "SNAPSHOT", User: "homeadmin", Pass: "Str0ng!pass"}); err != nil || !resp.OK {
+		t.Errorf("fig4: admin creds failed: %v %+v", err, resp)
+	}
+
+	// Figure 5 + signature: the Wemo backdoor is double-dead — the
+	// IDS signature marks the device compromised and the quarantine
+	// rule isolates it.
+	if _, err := attacker.Call(wemo.Device.IP(), device.Request{Cmd: "ON", Args: []string{device.PlugBackdoorToken}}); err == nil {
+		t.Error("fig5: backdoor ON worked while away")
+	}
+	if !p.WaitForContext("wemo", policy.ContextCompromised, 2*time.Second) {
+		t.Error("signature hit did not escalate the wemo")
+	}
+
+	// Figure 3: alarm backdoor → window OPEN blocked.
+	if _, err := attacker.Call(alarm.Device.IP(), device.Request{Cmd: "TEST", Args: []string{device.AlarmBackdoorToken}}); err != nil {
+		t.Fatalf("fig3: alarm backdoor transport error: %v", err)
+	}
+	if !p.WaitForContext("firealarm", policy.ContextSuspicious, 2*time.Second) {
+		t.Fatal("fig3: alarm never suspicious")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := attacker.Call(win.Device.IP(), device.Request{Cmd: "OPEN", User: "admin", Pass: device.WindowPassword}); err == nil {
+		t.Error("fig3: window OPEN not blocked")
+	}
+
+	// The thermostat keeps doing its job throughout.
+	th, _ := p.Device("thermostat")
+	if resp, err := attacker.Call(th.Device.IP(), device.Request{Cmd: "READ", User: "nest", Pass: "nest"}); err != nil || !resp.OK {
+		t.Errorf("thermostat unavailable: %v %+v", err, resp)
+	}
+}

@@ -1,0 +1,402 @@
+// Package core is IoTSec itself: the facade that assembles the
+// substrates into the Figure 2 architecture. Every device attaches to
+// the network through its own dynamically launched µmbox (the tunnel
+// of Figure 2); device events, IDS alerts, anomaly detections and
+// environment readings feed the controller's global view; the policy
+// FSM maps the resulting system state to per-device postures; and the
+// orchestrator translates posture deltas into live µmbox pipeline
+// reconfigurations.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"iotsec/internal/controller"
+	"iotsec/internal/device"
+	"iotsec/internal/envsim"
+	"iotsec/internal/ids"
+	"iotsec/internal/mbox"
+	"iotsec/internal/netsim"
+	"iotsec/internal/packet"
+	"iotsec/internal/policy"
+)
+
+// Options configure a Platform.
+type Options struct {
+	// Policy is the FSM; nil installs an empty (allow-all) policy
+	// over an empty domain.
+	Policy *policy.FSM
+	// Discretizer maps continuous environment variables into the
+	// levels the policy conditions on; nil uses the standard bands.
+	Discretizer *envsim.Discretizer
+	// Environment is the physical world; nil builds StandardHome.
+	Environment *envsim.Environment
+	// Platform selects the µmbox boot model (default micro-VM).
+	Platform mbox.PlatformKind
+	// BootTimeScale compresses modeled boot latency in tests
+	// (default 0.01).
+	BootTimeScale float64
+	// AdminIP is the management host allowed through DNS guards etc.
+	AdminIP packet.IPv4Address
+	// ChallengeSolution is the robot-check answer a human supplies.
+	ChallengeSolution string
+	// Capture attaches a fabric-wide recorder (needed by
+	// DistillSignature).
+	Capture bool
+}
+
+// Platform is a running IoTSec deployment.
+type Platform struct {
+	Network *netsim.Network
+	Env     *envsim.Environment
+	Switch  *netsim.Switch
+	Manager *mbox.Manager
+	Global  *controller.Global
+
+	opts Options
+	disc *envsim.Discretizer
+	fsm  *policy.FSM
+
+	mu      sync.Mutex
+	devices map[string]*Managed
+	// skuRules accumulates per-SKU signature rules (from the
+	// crowdsourced repository or local additions).
+	skuRules map[string][]*ids.Rule
+	// profiles holds per-device anomaly profiles.
+	profiles map[string]*ids.Profile
+
+	// enforcement bookkeeping
+	reconfigures uint64
+	lastVersion  uint64
+
+	nextSwitchPort uint16
+	started        bool
+
+	recorder *netsim.Recorder
+}
+
+// Managed is one device under IoTSec protection.
+type Managed struct {
+	Device   *device.Device
+	Instance *mbox.Instance
+	// CurrentPosture is the last applied posture.
+	CurrentPosture policy.Posture
+}
+
+// New assembles a platform.
+func New(opts Options) (*Platform, error) {
+	if opts.Policy == nil {
+		opts.Policy = policy.NewFSM(policy.NewDomain())
+	}
+	if opts.Discretizer == nil {
+		opts.Discretizer = envsim.StandardDiscretizer()
+	}
+	if opts.Environment == nil {
+		opts.Environment = envsim.StandardHome()
+	}
+	if opts.Platform == "" {
+		opts.Platform = mbox.PlatformMicroVM
+	}
+	if opts.BootTimeScale == 0 {
+		opts.BootTimeScale = 0.01
+	}
+	if opts.ChallengeSolution == "" {
+		opts.ChallengeSolution = "7hills"
+	}
+
+	p := &Platform{
+		Network:        netsim.NewNetwork(),
+		Env:            opts.Environment,
+		Switch:         netsim.NewSwitch("iotsec-uplink", 1),
+		Manager:        mbox.NewManager(mbox.Server{Name: "onprem0", Slots: 256}, mbox.Server{Name: "onprem1", Slots: 256}),
+		opts:           opts,
+		disc:           opts.Discretizer,
+		fsm:            opts.Policy,
+		devices:        make(map[string]*Managed),
+		skuRules:       make(map[string][]*ids.Rule),
+		profiles:       make(map[string]*ids.Profile),
+		nextSwitchPort: 1,
+	}
+	p.Manager.TimeScale = opts.BootTimeScale
+	p.Switch.SetMissBehavior(netsim.MissFlood)
+	if opts.Capture {
+		p.recorder = netsim.NewRecorder()
+		p.Network.AddTap(p.recorder.Tap())
+	}
+	if err := p.Network.AddNode(p.Switch); err != nil {
+		return nil, err
+	}
+	p.Global = controller.NewGlobal(opts.Policy, p.applyPosture)
+
+	// Environment → view: discretized levels feed the global state.
+	p.Env.AddObserver(func(s envsim.Snapshot, _ map[string]float64) {
+		for _, v := range p.disc.Variables() {
+			p.Global.View.SetEnv(v, p.disc.Value(v, s.Get(v)), "environment")
+		}
+	})
+	return p, nil
+}
+
+// attachToSwitch wires a host-side port to a fresh uplink switch port.
+func (p *Platform) attachToSwitch(hostPort *netsim.Port) {
+	p.mu.Lock()
+	id := p.nextSwitchPort
+	p.nextSwitchPort++
+	p.mu.Unlock()
+	sp := p.Switch.AttachPort(p.Network, id)
+	p.Network.Connect(hostPort, sp, netsim.LinkOptions{})
+}
+
+// AttachHost connects an unmanaged host (app, hub, attacker) directly
+// to the uplink switch.
+func (p *Platform) AttachHost(st *netsim.Stack) {
+	p.attachToSwitch(st.Attach(p.Network))
+}
+
+// AddDevice brings a device under management: it attaches through a
+// freshly launched µmbox, binds to the environment, wires event
+// emission into the view, and declares the device in the policy
+// domain if absent.
+func (p *Platform) AddDevice(d *device.Device) (*Managed, error) {
+	devPort, err := d.Attach(p.Network)
+	if err != nil {
+		return nil, err
+	}
+	d.BindEnvironment(p.Env)
+	d.SetEventSink(func(e device.Event) { p.Global.View.HandleDeviceEvent(e) })
+
+	inst, err := p.Manager.Launch("mb-"+d.Name, p.opts.Platform, mbox.NewPipeline(&mbox.Logger{}))
+	if err != nil {
+		return nil, fmt.Errorf("core: launching µmbox for %s: %w", d.Name, err)
+	}
+	inst.Mbox.SetProtectedIP(d.IP())
+	south, north := inst.Mbox.AttachInline(p.Network)
+	p.Network.Connect(devPort, south, netsim.LinkOptions{})
+	p.attachToSwitch(north)
+
+	m := &Managed{Device: d, Instance: inst}
+	p.mu.Lock()
+	p.devices[d.Name] = m
+	p.profiles[d.Name] = ids.NewProfile(d.Name)
+	started := p.started
+	p.mu.Unlock()
+
+	// Hot-plugged devices get their posture immediately; devices
+	// added before Start are postured there.
+	if started {
+		state := p.Global.View.State()
+		if posture, ok := p.fsm.Lookup(state)[d.Name]; ok {
+			p.applyPosture(d.Name, posture, p.Global.View.Version())
+		}
+	}
+	return m, nil
+}
+
+// Device looks up a managed device.
+func (p *Platform) Device(name string) (*Managed, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.devices[name]
+	return m, ok
+}
+
+// Start begins packet delivery and applies the initial postures.
+func (p *Platform) Start() {
+	p.Network.Start()
+	p.mu.Lock()
+	started := p.started
+	p.started = true
+	p.mu.Unlock()
+	if started {
+		return
+	}
+	// Apply the policy's posture for the initial (all-normal) state.
+	state := p.Global.View.State()
+	for dev, posture := range p.fsm.Lookup(state) {
+		p.applyPosture(dev, posture, 0)
+	}
+}
+
+// Stop halts the deployment.
+func (p *Platform) Stop() {
+	p.mu.Lock()
+	devices := make([]*Managed, 0, len(p.devices))
+	for _, m := range p.devices {
+		devices = append(devices, m)
+	}
+	p.mu.Unlock()
+	for _, m := range devices {
+		m.Device.Stop()
+	}
+	p.Network.Stop()
+}
+
+// AddSignatureRule installs a detection rule for a SKU (what a
+// sigrepo subscription delivers) and re-applies postures of affected
+// devices so running IDS elements pick it up.
+func (p *Platform) AddSignatureRule(sku, ruleText string) error {
+	r, err := ids.ParseRule(ruleText)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		return fmt.Errorf("core: empty rule for %s", sku)
+	}
+	p.mu.Lock()
+	p.skuRules[sku] = append(p.skuRules[sku], r)
+	affected := make([]*Managed, 0)
+	for _, m := range p.devices {
+		if m.Device.Profile.SKU == sku {
+			affected = append(affected, m)
+		}
+	}
+	p.mu.Unlock()
+	for _, m := range affected {
+		p.applyPosture(m.Device.Name, m.CurrentPosture, p.Global.View.Version())
+	}
+	return nil
+}
+
+// applyPosture is the PostureSink: translate the posture into an
+// element chain and live-reconfigure the device's µmbox.
+func (p *Platform) applyPosture(deviceName string, posture policy.Posture, version uint64) {
+	p.mu.Lock()
+	m, ok := p.devices[deviceName]
+	if !ok {
+		p.mu.Unlock()
+		return // policy mentions a device not (yet) deployed
+	}
+	m.CurrentPosture = posture
+	p.reconfigures++
+	p.lastVersion = version
+	p.mu.Unlock()
+
+	elements := p.buildPipeline(m, posture)
+	_ = p.Manager.Reconfigure("mb-"+deviceName, elements...)
+}
+
+// buildPipeline translates a posture into concrete µmbox elements.
+func (p *Platform) buildPipeline(m *Managed, posture policy.Posture) []mbox.Element {
+	dev := m.Device
+	var out []mbox.Element
+
+	if posture.Isolate {
+		return []mbox.Element{mbox.NewHeaderFilter(mbox.Deny)}
+	}
+	if len(posture.BlockCommands) > 0 {
+		blocker := mbox.NewContextGate(func(string) bool { return false }, posture.BlockCommands...)
+		out = append(out, blocker)
+	}
+	if posture.RateLimit > 0 {
+		out = append(out, mbox.NewRateLimiter(posture.RateLimit, int(posture.RateLimit)))
+	}
+	for _, spec := range posture.Modules {
+		if e := p.buildElement(dev, spec); e != nil {
+			out = append(out, e)
+		}
+	}
+	// Always keep observability.
+	out = append(out, &mbox.Logger{})
+	return out
+}
+
+// buildElement instantiates one ModuleSpec.
+func (p *Platform) buildElement(dev *device.Device, spec policy.ModuleSpec) mbox.Element {
+	switch spec.Kind {
+	case "logger":
+		return &mbox.Logger{}
+	case "password-proxy":
+		factoryUser, factoryPass := splitCreds(dev.Profile.VulnDetail(device.VulnDefaultCredentials))
+		user := spec.Config["user"]
+		pass := spec.Config["pass"]
+		return mbox.NewPasswordProxy(user, pass, factoryUser, factoryPass)
+	case "ids":
+		p.mu.Lock()
+		rules := append([]*ids.Rule(nil), p.skuRules[dev.Profile.SKU]...)
+		p.mu.Unlock()
+		name := dev.Name
+		return &mbox.IDSElement{
+			Engine:  ids.NewEngine(rules),
+			OnAlert: func(a ids.Alert) { p.Global.View.HandleAlert(name, a) },
+		}
+	case "anomaly":
+		p.mu.Lock()
+		profile := p.profiles[dev.Name]
+		p.mu.Unlock()
+		return &mbox.AnomalyElement{
+			Profile:   profile,
+			OnAnomaly: func(a ids.Anomaly) { p.Global.View.HandleAnomaly(a) },
+		}
+	case "rate-limiter":
+		rate, _ := strconv.ParseFloat(spec.Config["rate"], 64)
+		if rate <= 0 {
+			rate = 50
+		}
+		return mbox.NewRateLimiter(rate, int(rate))
+	case "dns-guard":
+		maxResp, _ := strconv.Atoi(spec.Config["max_response"])
+		if maxResp == 0 {
+			maxResp = 512
+		}
+		allowed := map[packet.IPv4Address]bool{}
+		if !p.opts.AdminIP.IsZero() {
+			allowed[p.opts.AdminIP] = true
+		}
+		return &mbox.DNSGuard{AllowedClients: allowed, MaxResponseBytes: maxResp}
+	case "stateful-fw":
+		return mbox.NewStatefulFirewall(device.MgmtPort)
+	case "robot-check":
+		return mbox.NewChallenge(p.opts.ChallengeSolution)
+	case "context-gate":
+		guarded := spec.Config["guard"]
+		requireVar := spec.Config["require_env"]
+		requireVal := spec.Config["require_value"]
+		view := p.Global.View
+		gate := mbox.NewContextGate(func(string) bool {
+			return view.Env(requireVar) == requireVal
+		}, guarded)
+		return gate
+	default:
+		return &mbox.Logger{}
+	}
+}
+
+// splitCreds parses "user:pass".
+func splitCreds(s string) (user, pass string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+// Recorder exposes the capture (nil unless Options.Capture).
+func (p *Platform) Recorder() *netsim.Recorder { return p.recorder }
+
+// Metrics reports enforcement activity.
+func (p *Platform) Metrics() (reconfigures uint64, lastVersion uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reconfigures, p.lastVersion
+}
+
+// RunEnvironment advances the physical world n ticks (convenience for
+// scenarios and experiments).
+func (p *Platform) RunEnvironment(n int) { p.Env.Run(n) }
+
+// WaitForContext polls until the view reports the device in the given
+// context or the timeout expires.
+func (p *Platform) WaitForContext(deviceName string, ctx policy.SecurityContext, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p.Global.View.DeviceContext(deviceName) == ctx {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,298 @@
+package device
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iotsec/internal/envsim"
+	"iotsec/internal/packet"
+)
+
+// Appliance describes what a smart plug powers: the environment
+// variables its operation drives.
+type Appliance struct {
+	// Name labels the appliance ("oven", "ac", ...).
+	Name string
+	// PowerVar receives Watts while on ("oven_power").
+	PowerVar string
+	// Watts is the draw while on.
+	Watts float64
+	// HeatVar receives HeatRate while on ("oven_heat_rate"); empty
+	// for appliances without thermal effect.
+	HeatVar string
+	// HeatRate is °C/s added while on.
+	HeatRate float64
+}
+
+// SmartPlug emulates a Belkin-Wemo-class plug (Table 1 rows 6–7): a
+// remote ON/OFF switch with two flaws — a command backdoor that
+// bypasses the companion app's authentication, and an open DNS
+// resolver abusable for amplification DDoS.
+type SmartPlug struct {
+	*Device
+	appliance Appliance
+}
+
+// PlugBackdoorToken is the undocumented token the Wemo-style backdoor
+// accepts; in reality this was reverse-engineered from the firmware.
+const PlugBackdoorToken = "wemo-dbg-7f3a"
+
+// SmartPlugProfile is the Wemo-style SKU.
+func SmartPlugProfile() Profile {
+	return Profile{
+		SKU:    "belkin-wemo-insight-fw2.0",
+		Class:  "smart-plug",
+		Vendor: "Belkin",
+		Vulns: []Vulnerability{
+			{Class: VulnBackdoor, Detail: PlugBackdoorToken},
+			{Class: VulnOpenDNSResolver, Detail: "udp/53 recursion open"},
+			{Class: VulnDefaultCredentials, Detail: "owner:wemo123"},
+		},
+	}
+}
+
+// NewSmartPlug builds a plug powering the given appliance.
+func NewSmartPlug(name string, ip packet.IPv4Address, appliance Appliance) *SmartPlug {
+	p := &SmartPlug{
+		Device:    New(name, SmartPlugProfile(), MACFor(ip), ip),
+		appliance: appliance,
+	}
+	p.Set("power", "off")
+	p.Set("appliance", appliance.Name)
+	p.Handle("ON", func(d *Device, _ Request) Response {
+		p.switchPower(true)
+		return Response{OK: true, Data: "power=on"}
+	})
+	p.Handle("OFF", func(d *Device, _ Request) Response {
+		p.switchPower(false)
+		return Response{OK: true, Data: "power=off"}
+	})
+	p.Handle("USAGE", func(d *Device, _ Request) Response {
+		// The Insight's selling point — energy monitoring — is also
+		// the privacy leak when exposed.
+		draw := 0.0
+		if d.Get("power") == "on" {
+			draw = appliance.Watts
+		}
+		return Response{OK: true, Data: fmt.Sprintf("watts=%.0f", draw)}
+	})
+	return p
+}
+
+// switchPower flips the relay and drives the appliance's environment
+// variables.
+func (p *SmartPlug) switchPower(on bool) {
+	state := "off"
+	if on {
+		state = "on"
+	}
+	p.Set("power", state)
+	env := p.Env()
+	if env == nil {
+		return
+	}
+	if p.appliance.PowerVar != "" {
+		watts := 0.0
+		if on {
+			watts = p.appliance.Watts
+		}
+		env.Set(p.appliance.PowerVar, watts)
+	}
+	if p.appliance.HeatVar != "" {
+		rate := 0.0
+		if on {
+			rate = p.appliance.HeatRate
+		}
+		env.Set(p.appliance.HeatVar, rate)
+	}
+}
+
+// StartDNSResolver opens the vulnerable resolver (call after Attach).
+// It answers ANY/TXT queries from anyone with a heavily padded
+// response — roughly amplifying the query size by the given factor.
+func (p *SmartPlug) StartDNSResolver(amplification int) error {
+	if amplification <= 0 {
+		amplification = 20
+	}
+	return p.Stack().HandleUDP(53, func(srcIP packet.IPv4Address, srcPort uint16, payload []byte) {
+		dnsPkt := packet.Decode(payload, packet.LayerTypeDNS)
+		q := dnsPkt.DNS()
+		if q == nil || q.Response || len(q.Questions) == 0 {
+			return
+		}
+		answer := &packet.DNS{
+			ID:        q.ID,
+			Response:  true,
+			Questions: q.Questions,
+		}
+		padding := strings.Repeat("x", len(payload)*amplification)
+		answer.Answers = []packet.DNSResourceRecord{{
+			Name: q.Questions[0].Name, Type: packet.DNSTypeTXT,
+			Class: packet.DNSClassIN, TTL: 300, Data: []byte(padding),
+		}}
+		b := packet.NewSerializeBuffer()
+		if err := answer.SerializeTo(b); err != nil {
+			return
+		}
+		// Reflect to whatever source the packet claims — the classic
+		// amplification flaw: no ingress validation.
+		_ = p.Stack().SendUDP(srcIP, srcPort, 53, b.Bytes())
+		p.Emit(EventCommand, fmt.Sprintf("dns-query from %s (%dB -> %dB)", srcIP, len(payload), b.Len()))
+	})
+}
+
+// WindowActuator opens and closes a motorized window; its password is
+// four digits and brute-forceable online (Figure 3's second attack
+// arrow).
+type WindowActuator struct {
+	*Device
+}
+
+// WindowPassword is the weak factory password.
+const WindowPassword = "0000"
+
+// WindowActuatorProfile is the SKU.
+func WindowActuatorProfile() Profile {
+	return Profile{
+		SKU:    "winact-m1",
+		Class:  "window-actuator",
+		Vendor: "HomeMotion",
+		Vulns: []Vulnerability{
+			{Class: VulnWeakPassword, Detail: "admin:" + WindowPassword},
+		},
+	}
+}
+
+// NewWindowActuator builds the actuator.
+func NewWindowActuator(name string, ip packet.IPv4Address) *WindowActuator {
+	w := &WindowActuator{Device: New(name, WindowActuatorProfile(), MACFor(ip), ip)}
+	w.Set("window", "closed")
+	w.Handle("OPEN", func(d *Device, _ Request) Response {
+		d.Set("window", "open")
+		if env := d.Env(); env != nil {
+			env.Set(envsim.VarWindowOpen, 1)
+		}
+		return Response{OK: true, Data: "window=open"}
+	})
+	w.Handle("CLOSE", func(d *Device, _ Request) Response {
+		d.Set("window", "closed")
+		if env := d.Env(); env != nil {
+			env.Set(envsim.VarWindowOpen, 0)
+		}
+		return Response{OK: true, Data: "window=closed"}
+	})
+	return w
+}
+
+// SmartLock guards the door; included as an attack-graph goal state.
+type SmartLock struct {
+	*Device
+}
+
+// SmartLockProfile is the SKU (reasonably secured: strong credentials,
+// but still only as strong as the devices that can trigger it).
+func SmartLockProfile() Profile {
+	return Profile{
+		SKU:    "lockly-s3",
+		Class:  "smart-lock",
+		Vendor: "Lockly",
+		Vulns:  nil,
+	}
+}
+
+// NewSmartLock builds a lock with the given owner credentials.
+func NewSmartLock(name string, ip packet.IPv4Address, user, pass string) *SmartLock {
+	l := &SmartLock{Device: New(name, SmartLockProfile(), MACFor(ip), ip)}
+	l.creds[user] = pass
+	l.Set("lock", "locked")
+	l.Handle("UNLOCK", func(d *Device, _ Request) Response {
+		d.Set("lock", "unlocked")
+		return Response{OK: true, Data: "lock=unlocked"}
+	})
+	l.Handle("LOCK", func(d *Device, _ Request) Response {
+		d.Set("lock", "locked")
+		return Response{OK: true, Data: "lock=locked"}
+	})
+	return l
+}
+
+// SmartBulb is a connected light (the paper's implicit-coupling
+// example: a bulb triggers a light sensor through the room, not
+// through any network path).
+type SmartBulb struct {
+	*Device
+}
+
+// SmartBulbProfile is the SKU.
+func SmartBulbProfile() Profile {
+	return Profile{
+		SKU:    "hue-a19-fw5",
+		Class:  "smart-bulb",
+		Vendor: "Philips",
+		Vulns: []Vulnerability{
+			{Class: VulnDefaultCredentials, Detail: "hue:hue"},
+		},
+	}
+}
+
+// NewSmartBulb builds a bulb.
+func NewSmartBulb(name string, ip packet.IPv4Address) *SmartBulb {
+	b := &SmartBulb{Device: New(name, SmartBulbProfile(), MACFor(ip), ip)}
+	b.Set("light", "off")
+	b.Handle("ON", func(d *Device, _ Request) Response {
+		d.Set("light", "on")
+		if env := d.Env(); env != nil {
+			env.Set("lamp_output", 400)
+			env.Set("lamp_power", 60)
+		}
+		return Response{OK: true, Data: "light=on"}
+	})
+	b.Handle("OFF", func(d *Device, _ Request) Response {
+		d.Set("light", "off")
+		if env := d.Env(); env != nil {
+			env.Set("lamp_output", 0)
+			env.Set("lamp_power", 0)
+		}
+		return Response{OK: true, Data: "light=off"}
+	})
+	return b
+}
+
+// TrafficLight emulates the Table 1 row 5 controllers: 219 lights
+// with no credentials at all.
+type TrafficLight struct {
+	*Device
+}
+
+// TrafficLightProfile is the SKU.
+func TrafficLightProfile() Profile {
+	return Profile{
+		SKU:    "siglight-ctl4",
+		Class:  "traffic-light",
+		Vendor: "SigLight",
+		Vulns: []Vulnerability{
+			{Class: VulnOpenAccess, Detail: "no credentials"},
+		},
+	}
+}
+
+// NewTrafficLight builds a controller starting at red.
+func NewTrafficLight(name string, ip packet.IPv4Address) *TrafficLight {
+	tl := &TrafficLight{Device: New(name, TrafficLightProfile(), MACFor(ip), ip)}
+	tl.Set("phase", "red")
+	tl.Handle("SET", func(d *Device, req Request) Response {
+		if len(req.Args) != 1 {
+			return Response{OK: false, Data: "usage: SET <red|yellow|green>"}
+		}
+		phase := strings.ToLower(req.Args[0])
+		switch phase {
+		case "red", "yellow", "green":
+			d.Set("phase", phase)
+			return Response{OK: true, Data: "phase=" + phase}
+		default:
+			return Response{OK: false, Data: "bad phase " + strconv.Quote(phase)}
+		}
+	})
+	return tl
+}

@@ -1,0 +1,68 @@
+package device
+
+// VulnerabilityClass names the flaw categories of the paper's Table 1.
+type VulnerabilityClass string
+
+// Vulnerability classes.
+const (
+	// VulnDefaultCredentials: hardcoded factory username/password the
+	// user cannot change (Table 1 row 1: Avtech cameras,
+	// "admin/admin"; also the Fig 4 D-Link camera).
+	VulnDefaultCredentials VulnerabilityClass = "default-credentials"
+	// VulnOpenAccess: management interface reachable with no
+	// credentials at all (rows 2, 3, 5: set-top boxes, refrigerators,
+	// traffic lights).
+	VulnOpenAccess VulnerabilityClass = "open-access"
+	// VulnExposedKey: private key material extractable from firmware
+	// (row 4: CCTV RSA key pairs) — one extraction compromises every
+	// device of the SKU.
+	VulnExposedKey VulnerabilityClass = "exposed-key"
+	// VulnOpenDNSResolver: device answers recursive DNS for anyone,
+	// usable as a DDoS amplifier (row 6: Belkin Wemo).
+	VulnOpenDNSResolver VulnerabilityClass = "open-dns-resolver"
+	// VulnBackdoor: undocumented remote command path that bypasses
+	// authentication entirely (row 7: Wemo exposed access bypassing
+	// the app; Fig 3's fire-alarm backdoor).
+	VulnBackdoor VulnerabilityClass = "backdoor"
+	// VulnWeakPassword: short/guessable password susceptible to
+	// online brute force (Fig 3's window actuator).
+	VulnWeakPassword VulnerabilityClass = "weak-password"
+)
+
+// Vulnerability describes one flaw instance on a device SKU.
+type Vulnerability struct {
+	Class VulnerabilityClass
+	// Detail carries class-specific data: the default user:pass, the
+	// backdoor token, the exposed key, ...
+	Detail string
+}
+
+// Profile describes a device SKU: what the crowdsourced repository and
+// the model library key on. The paper stresses that signatures are
+// per-SKU ("Google Nest version XYZ rather than 'thermostat'").
+type Profile struct {
+	SKU    string // e.g. "avtech-cam-fw1.2"
+	Class  string // e.g. "camera"
+	Vendor string
+	Vulns  []Vulnerability
+}
+
+// HasVuln reports whether the profile carries a flaw of the class.
+func (p Profile) HasVuln(c VulnerabilityClass) bool {
+	for _, v := range p.Vulns {
+		if v.Class == c {
+			return true
+		}
+	}
+	return false
+}
+
+// VulnDetail returns the detail string of the first flaw of the class.
+func (p Profile) VulnDetail(c VulnerabilityClass) string {
+	for _, v := range p.Vulns {
+		if v.Class == c {
+			return v.Detail
+		}
+	}
+	return ""
+}

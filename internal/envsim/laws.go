@@ -1,0 +1,165 @@
+package envsim
+
+import "math"
+
+// ThermalLaw models room temperature: it relaxes toward the outside
+// temperature with a time constant that shrinks drastically when the
+// window is open, and rises while heat sources run. Heat sources are
+// reported through the named input variables (watts of heating,
+// negative for cooling).
+type ThermalLaw struct {
+	// TimeConstantClosed is the relaxation time constant (seconds)
+	// with windows closed.
+	TimeConstantClosed float64
+	// TimeConstantOpen applies when window_open >= 0.5.
+	TimeConstantOpen float64
+	// HeatSources lists variable names contributing °C/s while
+	// positive (e.g. "hvac_heat_rate", "oven_heat_rate").
+	HeatSources []string
+}
+
+// DefaultThermalLaw returns thermal behavior tuned so scenario effects
+// show within tens of simulated seconds.
+func DefaultThermalLaw() ThermalLaw {
+	return ThermalLaw{
+		TimeConstantClosed: 1800,
+		TimeConstantOpen:   120,
+		HeatSources:        []string{"hvac_heat_rate", "oven_heat_rate"},
+	}
+}
+
+// Law converts the configuration into a registrable Law.
+func (t ThermalLaw) Law() Law {
+	return Law{
+		Name: "thermal",
+		Apply: func(s Snapshot, dt float64) map[string]float64 {
+			temp := s.Get(VarTemperature)
+			outside := s.Get(VarOutsideTemp)
+			tau := t.TimeConstantClosed
+			if s.Get(VarWindowOpen) >= 0.5 {
+				tau = t.TimeConstantOpen
+			}
+			// Exponential relaxation toward outside temperature.
+			alpha := 1 - math.Exp(-dt/tau)
+			temp += (outside - temp) * alpha
+			for _, src := range t.HeatSources {
+				temp += s.Get(src) * dt
+			}
+			return map[string]float64{VarTemperature: temp}
+		},
+	}
+}
+
+// SmokeLaw models smoke concentration: sources add, ventilation and
+// natural decay remove.
+type SmokeLaw struct {
+	// DecayRate is the fraction removed per second with windows
+	// closed.
+	DecayRate float64
+	// VentilatedDecayRate applies when window_open >= 0.5.
+	VentilatedDecayRate float64
+	// Sources lists variable names contributing concentration/s.
+	Sources []string
+}
+
+// DefaultSmokeLaw returns standard smoke behavior.
+func DefaultSmokeLaw() SmokeLaw {
+	return SmokeLaw{DecayRate: 0.005, VentilatedDecayRate: 0.05, Sources: []string{"smoke_source_rate"}}
+}
+
+// Law converts the configuration into a registrable Law.
+func (l SmokeLaw) Law() Law {
+	return Law{
+		Name: "smoke",
+		Apply: func(s Snapshot, dt float64) map[string]float64 {
+			smoke := s.Get(VarSmoke)
+			rate := l.DecayRate
+			if s.Get(VarWindowOpen) >= 0.5 {
+				rate = l.VentilatedDecayRate
+			}
+			smoke *= math.Exp(-rate * dt)
+			for _, src := range l.Sources {
+				smoke += s.Get(src) * dt
+			}
+			if smoke < 0 {
+				smoke = 0
+			}
+			if smoke > 1 {
+				smoke = 1
+			}
+			return map[string]float64{VarSmoke: smoke}
+		},
+	}
+}
+
+// LightLaw models indoor light as ambient daylight plus lamp output.
+type LightLaw struct {
+	// AmbientVar usually tracks time of day (scripted externally).
+	AmbientVar string
+	// LampVars contribute lux while on.
+	LampVars []string
+}
+
+// DefaultLightLaw returns standard lighting behavior.
+func DefaultLightLaw() LightLaw {
+	return LightLaw{AmbientVar: "daylight", LampVars: []string{"lamp_output"}}
+}
+
+// Law converts the configuration into a registrable Law.
+func (l LightLaw) Law() Law {
+	return Law{
+		Name: "light",
+		Apply: func(s Snapshot, dt float64) map[string]float64 {
+			light := s.Get(l.AmbientVar)
+			for _, lamp := range l.LampVars {
+				light += s.Get(lamp)
+			}
+			return map[string]float64{VarLight: light}
+		},
+	}
+}
+
+// PowerLaw sums per-device power-draw variables into the aggregate the
+// smart meter reports.
+type PowerLaw struct {
+	// DeviceVars lists per-device draw variables (watts).
+	DeviceVars []string
+	// Baseline is the always-on household draw.
+	Baseline float64
+}
+
+// Law converts the configuration into a registrable Law.
+func (p PowerLaw) Law() Law {
+	return Law{
+		Name: "power",
+		Apply: func(s Snapshot, dt float64) map[string]float64 {
+			total := p.Baseline
+			for _, v := range p.DeviceVars {
+				total += s.Get(v)
+			}
+			return map[string]float64{VarPower: total}
+		},
+	}
+}
+
+// StandardHome builds an environment with the default physics laws and
+// sensible initial conditions for the smart-home scenarios.
+func StandardHome() *Environment {
+	env := New(map[string]float64{
+		VarTemperature: 22,
+		VarOutsideTemp: 30,
+		VarSmoke:       0,
+		VarLight:       300,
+		VarOccupancy:   1,
+		VarWindowOpen:  0,
+		"daylight":     300,
+	})
+	env.AddLaw(DefaultThermalLaw().Law())
+	env.AddLaw(DefaultSmokeLaw().Law())
+	env.AddLaw(DefaultLightLaw().Law())
+	env.AddLaw(PowerLaw{
+		Baseline:   120,
+		DeviceVars: []string{"hvac_power", "oven_power", "lamp_power"},
+	}.Law())
+	return env
+}

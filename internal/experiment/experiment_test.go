@@ -1,0 +1,248 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTablePrinting(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tbl.AddRow(1, "hello")
+	tbl.Note("n=%d", 7)
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "| a | bb", "| 1 | hello", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	tbl, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		bare, protected := row[4], row[5]
+		if bare != "yes" {
+			t.Errorf("row %s: exploit failed on the unprotected device (%s)", row[0], bare)
+		}
+		if protected != "no" {
+			t.Errorf("row %s: exploit succeeded THROUGH IoTSec (%s)", row[0], protected)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	tbl := RunTable2(1)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Published counts preserved.
+	wants := map[string]string{"NEST Protect": "188", "Wemo Plugin": "227", "Scout Alarm": "63"}
+	for _, row := range tbl.Rows {
+		if want, ok := wants[row[0]]; ok && row[1] != want {
+			t.Errorf("%s count = %s, want %s", row[0], row[1], want)
+		}
+	}
+	joined := strings.Join(tbl.Notes, "\n")
+	if !strings.Contains(joined, "478 recipes") {
+		t.Errorf("notes = %q", joined)
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	tbl, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	// Row 1: external+signature — perimeter AND IoTSec block.
+	if tbl.Rows[0][1] != "BLOCKED" || tbl.Rows[0][3] != "BLOCKED" {
+		t.Errorf("row1 = %v", tbl.Rows[0])
+	}
+	// Row 2: internal — perimeter blind, IoTSec blocks.
+	if tbl.Rows[1][1] != "allowed" || tbl.Rows[1][3] != "BLOCKED" {
+		t.Errorf("row2 = %v", tbl.Rows[1])
+	}
+	// Row 3: context abuse — only IoTSec blocks.
+	if tbl.Rows[2][1] != "allowed" || tbl.Rows[2][3] != "BLOCKED" {
+		t.Errorf("row3 = %v", tbl.Rows[2])
+	}
+	// Host defenses cover none of these for the camera class.
+	for i, row := range tbl.Rows {
+		if row[2] != "allowed" {
+			t.Errorf("row %d host column = %s", i, row[2])
+		}
+	}
+}
+
+func TestRunFigure2(t *testing.T) {
+	tbl, err := RunFigure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 6 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestRunFigure3(t *testing.T) {
+	tbl, err := RunFigure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	if !strings.Contains(tbl.Rows[0][2], "allowed") {
+		t.Errorf("baseline row = %v", tbl.Rows[0])
+	}
+	if !strings.Contains(tbl.Rows[1][2], "BLOCKED") {
+		t.Errorf("backdoor row = %v", tbl.Rows[1])
+	}
+	if !strings.Contains(tbl.Rows[2][2], "scripted OPEN: BLOCKED") ||
+		!strings.Contains(tbl.Rows[2][2], "challenged OPEN: allowed") {
+		t.Errorf("brute-force row = %v", tbl.Rows[2])
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	tbl, err := RunFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][1] != "yes" {
+		t.Errorf("bare exploit = %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][1] != "no" {
+		t.Errorf("protected exploit = %v", tbl.Rows[1])
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	tbl, err := RunFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	// Bare: succeeds while away. IoTSec away: blocked. IoTSec home:
+	// allowed.
+	if tbl.Rows[0][2] != "yes" || tbl.Rows[1][2] != "no" || tbl.Rows[2][2] != "yes" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+	if tbl.Rows[1][3] == "on" {
+		t.Error("oven powered while away under IoTSec")
+	}
+}
+
+func TestAblationStatePruning(t *testing.T) {
+	tbl := RunAblationStatePruning()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	// Independence-pruned size must be constant across deployment
+	// sizes (the policy's support does not grow).
+	first := tbl.Rows[0][2]
+	for _, row := range tbl.Rows[1:] {
+		if row[2] != first {
+			t.Errorf("independence-pruned size varies: %v", tbl.Rows)
+		}
+	}
+}
+
+func TestAblationHierarchy(t *testing.T) {
+	tbl := RunAblationHierarchy(2 * time.Millisecond)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	// Escalations must be a small fraction of events.
+	for _, row := range tbl.Rows {
+		parts := strings.Split(row[3], "/")
+		if len(parts) != 2 {
+			t.Fatalf("escalation cell = %q", row[3])
+		}
+	}
+}
+
+func TestAblationMicroMbox(t *testing.T) {
+	tbl, err := RunAblationMicroMbox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestAblationFuzzCoverage(t *testing.T) {
+	tbl := RunAblationFuzzCoverage()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	// At the largest trial count fuzzing must beat passive.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[1] == "0%" {
+		t.Errorf("fuzz coverage zero: %v", last)
+	}
+}
+
+func TestAblationConsistency(t *testing.T) {
+	tbl := RunAblationConsistency(7)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	for _, row := range tbl.Rows {
+		// The strong column is always zero.
+		if row[3] != "0/2000" {
+			t.Errorf("strong store admitted unsafe allows: %v", row)
+		}
+		// The weak column is never zero in these regimes.
+		if strings.HasPrefix(row[2], "0/") {
+			t.Errorf("weak replica reported no exposure: %v", row)
+		}
+	}
+	// More lag at the same interval must not reduce exposure
+	// (rows 0→1 and 2→3 share the interval).
+	parse := func(cell string) int {
+		var n, d int
+		fmt.Sscanf(cell, "%d/%d", &n, &d)
+		return n
+	}
+	if parse(tbl.Rows[1][2]) < parse(tbl.Rows[0][2]) {
+		t.Errorf("exposure shrank with more lag: %v", tbl.Rows)
+	}
+	if parse(tbl.Rows[3][2]) < parse(tbl.Rows[2][2]) {
+		t.Errorf("exposure shrank with more lag: %v", tbl.Rows)
+	}
+}
+
+func TestAblationReputation(t *testing.T) {
+	tbl := RunAblationReputation(3)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	// Accept-all lets poison through; voting must block all of it
+	// while keeping most good signatures.
+	if tbl.Rows[0][2] == "0/10" {
+		t.Errorf("accept-all blocked poison?! %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][2] != "0/10" {
+		t.Errorf("voting let poison through: %v", tbl.Rows[1])
+	}
+	if tbl.Rows[1][1] == "0/10" {
+		t.Errorf("voting killed all good signatures: %v", tbl.Rows[1])
+	}
+}

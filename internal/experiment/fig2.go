@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"iotsec/internal/controller"
+	"iotsec/internal/device"
+	"iotsec/internal/mbox"
+	"iotsec/internal/netsim"
+	"iotsec/internal/packet"
+	"iotsec/internal/policy"
+)
+
+// RunFigure2 exercises the whole Figure 2 architecture end to end and
+// reports its operational metrics: tunnel overhead (request latency
+// through the µmbox vs bare), dynamic µmbox launch cost per platform
+// kind, and event→enforcement latency (device event to µmbox
+// reconfiguration applied).
+func RunFigure2() (*Table, error) {
+	t := &Table{
+		ID:      "F2",
+		Title:   "IoTSec architecture: tunnel, dynamic µmbox launch, event-driven enforcement",
+		Columns: []string{"Metric", "Value"},
+	}
+
+	// --- Request latency bare vs through the µmbox tunnel ---
+	bare, err := measureRequestLatency(false)
+	if err != nil {
+		return nil, err
+	}
+	tunneled, err := measureRequestLatency(true)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("mgmt request latency (bare)", fmt.Sprintf("%.2fms", ms(bare)))
+	t.AddRow("mgmt request latency (via µmbox)", fmt.Sprintf("%.2fms", ms(tunneled)))
+	t.AddRow("tunnel overhead", fmt.Sprintf("%.2fms", ms(tunneled-bare)))
+
+	// --- The same tunnel programmed by real FLOW_MODs over the
+	// southbound wire (SDN steering) ---
+	steered, err := measureSteeredLatency()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("mgmt request latency (SDN-steered tunnel)", fmt.Sprintf("%.2fms", ms(steered)))
+
+	// --- Dynamic µmbox launch (modeled boot latencies) ---
+	for _, k := range []mbox.PlatformKind{mbox.PlatformProcess, mbox.PlatformMicroVM, mbox.PlatformFullVM} {
+		t.AddRow("µmbox boot ("+string(k)+", modeled)", mboxBootMillis(k))
+	}
+
+	// --- Event → enforcement latency ---
+	lat, err := measureEnforcementLatency()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("device event -> posture enforced", fmt.Sprintf("%.2fms", ms(lat)))
+	t.Note("tunnel path: client -> uplink switch -> µmbox -> device and back")
+	return t, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// measureRequestLatency times authorized SNAPSHOT round trips.
+func measureRequestLatency(viaIoTSec bool) (time.Duration, error) {
+	const samples = 20
+	if !viaIoTSec {
+		raw := newRawLab()
+		defer raw.stop()
+		cam := device.NewCamera("cam", packet.MustParseIPv4("10.0.0.10"))
+		if err := raw.add(cam.Device); err != nil {
+			return 0, err
+		}
+		raw.start()
+		client := &device.Client{Stack: raw.attacker.Stack, Timeout: time.Second}
+		return timeCalls(client, cam.IP(), "admin", "admin", samples)
+	}
+	prot, err := newProtectedLab(policyFor("cam", device.CameraProfile()))
+	if err != nil {
+		return 0, err
+	}
+	defer prot.stop()
+	cam := device.NewCamera("cam", packet.MustParseIPv4("10.0.0.10"))
+	if _, err := prot.platform.AddDevice(cam.Device); err != nil {
+		return 0, err
+	}
+	prot.platform.Start()
+	client := &device.Client{Stack: prot.attacker.Stack, Timeout: time.Second}
+	// Through the proxy the administrator credentials are required.
+	return timeCalls(client, cam.IP(), "homeadmin", "Str0ng!pass", samples)
+}
+
+// timeCalls measures the mean latency of authorized SNAPSHOT calls.
+func timeCalls(client *device.Client, ip packet.IPv4Address, user, pass string, samples int) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		resp, err := client.Call(ip, device.Request{Cmd: "SNAPSHOT", User: user, Pass: pass})
+		if err != nil {
+			return 0, fmt.Errorf("latency sample %d: %w", i, err)
+		}
+		if !resp.OK {
+			return 0, fmt.Errorf("latency sample %d refused: %s", i, resp.Data)
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(samples), nil
+}
+
+// measureSteeredLatency builds the SDN-steered variant of the tunnel:
+// the switch starts empty (drop-on-miss) and the steering controller
+// programs the detour with FLOW_MODs over a real TCP southbound
+// session.
+func measureSteeredLatency() (time.Duration, error) {
+	steering := controller.NewSteering(nil)
+	addr, err := steering.Listen("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer steering.Close()
+
+	n := netsim.NewNetwork()
+	sw := netsim.NewSwitch("edge", 7)
+	sw.SetMissBehavior(netsim.MissDrop)
+	cam := device.NewCamera("cam", packet.MustParseIPv4("10.0.0.10"))
+	camPort, err := cam.Device.Attach(n)
+	if err != nil {
+		return 0, err
+	}
+	n.Connect(camPort, sw.AttachPort(n, 1), netsim.LinkOptions{})
+	proxy := mbox.NewPasswordProxy("homeadmin", "Str0ng!pass", "admin", "admin")
+	mb := mbox.NewMbox("mb-cam", mbox.NewPipeline(proxy))
+	south, north := mb.AttachInline(n)
+	n.Connect(north, sw.AttachPort(n, 2), netsim.LinkOptions{})
+	n.Connect(south, sw.AttachPort(n, 3), netsim.LinkOptions{})
+	clientIP := packet.MustParseIPv4("10.0.0.100")
+	clientStack := netsimStack("client", clientIP)
+	n.Connect(clientStack.Attach(n), sw.AttachPort(n, 4), netsim.LinkOptions{})
+	n.Start()
+	defer n.Stop()
+	defer cam.Stop()
+	defer clientStack.Stop()
+
+	agent, err := netsim.ConnectAgent(sw, addr)
+	if err != nil {
+		return 0, err
+	}
+	defer agent.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(steering.Endpoint().Switches()) == 0 {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("fig2: switch never connected to steering controller")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	steering.AddDevice(controller.SteeredDevice{
+		Name: "cam", MAC: cam.MAC(), DevicePort: 1, MboxNorthPort: 2, MboxSouthPort: 3,
+	})
+
+	client := &device.Client{Stack: clientStack, Timeout: time.Second}
+	return timeCalls(client, cam.IP(), "homeadmin", "Str0ng!pass", 20)
+}
+
+// measureEnforcementLatency times backdoor event → window OPEN
+// blocked.
+func measureEnforcementLatency() (time.Duration, error) {
+	d := policy.NewDomain()
+	d.AddDevice("alarm", policy.ContextNormal, policy.ContextSuspicious)
+	d.AddDevice("window", policy.ContextNormal, policy.ContextSuspicious)
+	f := policy.NewFSM(d)
+	f.AddRule(policy.Rule{
+		Name:       "fig3",
+		Conditions: []policy.Condition{policy.DeviceIs("alarm", policy.ContextSuspicious)},
+		Device:     "window",
+		Posture:    policy.Posture{BlockCommands: []string{"OPEN"}},
+		Priority:   10,
+	})
+	prot, err := newProtectedLab(f)
+	if err != nil {
+		return 0, err
+	}
+	defer prot.stop()
+	alarm := device.NewFireAlarm("alarm", packet.MustParseIPv4("10.0.0.20"))
+	win := device.NewWindowActuator("window", packet.MustParseIPv4("10.0.0.21"))
+	if _, err := prot.platform.AddDevice(alarm.Device); err != nil {
+		return 0, err
+	}
+	if _, err := prot.platform.AddDevice(win.Device); err != nil {
+		return 0, err
+	}
+	prot.platform.Start()
+
+	before, _ := prot.platform.Metrics()
+	start := time.Now()
+	if r := prot.attacker.TryBackdoor(alarm.IP(), "TEST", device.AlarmBackdoorToken); !r.Success {
+		return 0, fmt.Errorf("backdoor probe failed: %+v", r)
+	}
+	// Wait for the posture change to land.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if now, _ := prot.platform.Metrics(); now > before {
+			return time.Since(start), nil
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return 0, fmt.Errorf("enforcement never landed")
+}

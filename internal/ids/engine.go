@@ -1,0 +1,224 @@
+package ids
+
+import (
+	"bytes"
+	"sync/atomic"
+	"time"
+
+	"iotsec/internal/packet"
+)
+
+// Alert is one rule match against a packet.
+type Alert struct {
+	Rule   *Rule
+	Msg    string
+	SID    int
+	Action Action
+	SrcIP  packet.IPv4Address
+	DstIP  packet.IPv4Address
+	When   time.Time
+}
+
+// Engine evaluates a ruleset against decoded packets. Immutable after
+// NewEngine, so one engine may serve many goroutines.
+type Engine struct {
+	rules []*Rule
+	// ac indexes every content pattern across all rules; patIndex
+	// maps automaton pattern index → (rule, content) pair.
+	ac       *ahoCorasick
+	patIndex []patRef
+	// contentless rules must be evaluated on every packet.
+	contentless []*Rule
+	// noCase is true when any compiled content is case-insensitive,
+	// requiring a second scan over the lowercased payload.
+	noCase bool
+
+	scanned atomic.Uint64
+	matched atomic.Uint64
+}
+
+type patRef struct {
+	rule    *Rule
+	content int
+}
+
+// NewEngine compiles the rules. Positive contents feed the
+// Aho-Corasick prefilter (a content matching within a region
+// necessarily matches somewhere, so "hit anywhere" is a sound
+// prefilter); negated contents and region/dsize constraints are
+// verified per candidate rule.
+func NewEngine(rules []*Rule) *Engine {
+	e := &Engine{rules: rules}
+	var patterns [][]byte
+	for _, r := range rules {
+		positives := 0
+		for ci, c := range r.Contents {
+			if c.Negated {
+				continue
+			}
+			positives++
+			patterns = append(patterns, c.Pattern)
+			e.patIndex = append(e.patIndex, patRef{rule: r, content: ci})
+			if c.NoCase {
+				e.noCase = true
+			}
+		}
+		if positives == 0 {
+			// Only negated contents (or none): must be evaluated on
+			// every packet.
+			e.contentless = append(e.contentless, r)
+		}
+	}
+	e.ac = newAhoCorasick(patterns)
+	return e
+}
+
+// contentMatches verifies one content predicate precisely against the
+// payload (region, case and negation).
+func contentMatches(c Content, payload []byte) bool {
+	region := payload
+	if c.Offset > 0 {
+		if c.Offset >= len(region) {
+			region = nil
+		} else {
+			region = region[c.Offset:]
+		}
+	}
+	if c.Depth > 0 && c.Depth < len(region) {
+		region = region[:c.Depth]
+	}
+	var found bool
+	if c.NoCase {
+		found = containsNaive(bytes.ToLower(region), c.Pattern)
+	} else {
+		found = containsNaive(region, c.Pattern)
+	}
+	return found != c.Negated
+}
+
+// ruleContentsMatch verifies every content predicate of a rule.
+func ruleContentsMatch(r *Rule, payload []byte) bool {
+	for _, c := range r.Contents {
+		if !contentMatches(c, payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// RuleCount reports the compiled ruleset size.
+func (e *Engine) RuleCount() int { return len(e.rules) }
+
+// Stats reports packets scanned and alerts raised.
+func (e *Engine) Stats() (scanned, matched uint64) {
+	return e.scanned.Load(), e.matched.Load()
+}
+
+// Match evaluates the packet, returning all alerts (block rules first
+// is NOT guaranteed; callers wanting a verdict use Verdict).
+func (e *Engine) Match(p *packet.Packet) []Alert {
+	e.scanned.Add(1)
+	ip := p.IPv4()
+	if ip == nil {
+		return nil
+	}
+	payload := p.ApplicationPayload()
+
+	// One pass over the payload finds every candidate content hit.
+	var hits map[int]bool
+	if len(payload) > 0 && len(e.patIndex) > 0 {
+		hits = make(map[int]bool)
+		e.ac.scan(payload, hits)
+		// nocase contents are stored lowercased; scan a lowered copy
+		// too. (Only if any pattern is nocase.)
+		if e.noCase {
+			e.ac.scan(bytes.ToLower(payload), hits)
+		}
+	}
+
+	// Candidate rules: every positive content was seen somewhere in
+	// the payload (the prefilter); precise verification follows.
+	ruleHits := make(map[*Rule]int)
+	rulePositives := make(map[*Rule]int)
+	for idx := range hits {
+		ref := e.patIndex[idx]
+		ruleHits[ref.rule]++
+	}
+	for _, ref := range e.patIndex {
+		rulePositives[ref.rule]++
+	}
+
+	var alerts []Alert
+	consider := func(r *Rule) {
+		if !r.Dsize.Matches(len(payload)) {
+			return
+		}
+		if !ruleContentsMatch(r, payload) {
+			return
+		}
+		if !e.headerMatch(r, p, ip) {
+			return
+		}
+		e.matched.Add(1)
+		alerts = append(alerts, Alert{
+			Rule: r, Msg: r.Msg, SID: r.SID, Action: r.Action,
+			SrcIP: ip.SrcIP, DstIP: ip.DstIP, When: time.Now(),
+		})
+	}
+	for r, n := range ruleHits {
+		if n >= rulePositives[r] {
+			consider(r)
+		}
+	}
+	for _, r := range e.contentless {
+		consider(r)
+	}
+	return alerts
+}
+
+// headerMatch applies the non-content predicates.
+func (e *Engine) headerMatch(r *Rule, p *packet.Packet, ip *packet.IPv4) bool {
+	var srcPort, dstPort uint16
+	switch r.Proto {
+	case ProtoTCP:
+		t := p.TCP()
+		if t == nil {
+			return false
+		}
+		srcPort, dstPort = t.SrcPort, t.DstPort
+	case ProtoUDP:
+		u := p.UDP()
+		if u == nil {
+			return false
+		}
+		srcPort, dstPort = u.SrcPort, u.DstPort
+	case ProtoIP:
+		if t := p.TCP(); t != nil {
+			srcPort, dstPort = t.SrcPort, t.DstPort
+		} else if u := p.UDP(); u != nil {
+			srcPort, dstPort = u.SrcPort, u.DstPort
+		}
+	}
+	forward := r.SrcIP.Matches(ip.SrcIP) && r.SrcPort.Matches(srcPort) &&
+		r.DstIP.Matches(ip.DstIP) && r.DstPort.Matches(dstPort)
+	if forward {
+		return true
+	}
+	if r.Bidir {
+		return r.SrcIP.Matches(ip.DstIP) && r.SrcPort.Matches(dstPort) &&
+			r.DstIP.Matches(ip.SrcIP) && r.DstPort.Matches(srcPort)
+	}
+	return false
+}
+
+// Verdict reduces the alerts for a packet to a forwarding decision:
+// any block rule blocks; pass rules are advisory here.
+func (e *Engine) Verdict(p *packet.Packet) (blocked bool, alerts []Alert) {
+	alerts = e.Match(p)
+	for _, a := range alerts {
+		if a.Action == ActionBlock {
+			return true, alerts
+		}
+	}
+	return false, alerts
+}

@@ -1,0 +1,97 @@
+package ids
+
+// ahoCorasick is a multi-pattern string matcher: all patterns are
+// compiled into one automaton and every payload byte is examined once
+// regardless of ruleset size — the property that keeps per-µmbox IDS
+// cheap enough to run per device (§5.2).
+type ahoCorasick struct {
+	// next[state][b] is the goto function (dense: byte-indexed).
+	next [][256]int32
+	// fail[state] is the failure link.
+	fail []int32
+	// output[state] lists pattern indices ending at this state.
+	output [][]int
+}
+
+// newAhoCorasick compiles the automaton from the given patterns.
+func newAhoCorasick(patterns [][]byte) *ahoCorasick {
+	ac := &ahoCorasick{
+		next:   make([][256]int32, 1),
+		fail:   make([]int32, 1),
+		output: make([][]int, 1),
+	}
+	for i := range ac.next[0] {
+		ac.next[0][i] = -1
+	}
+	// Build the trie.
+	for idx, pat := range patterns {
+		state := int32(0)
+		for _, b := range pat {
+			if ac.next[state][b] == -1 {
+				ac.next = append(ac.next, [256]int32{})
+				for i := range ac.next[len(ac.next)-1] {
+					ac.next[len(ac.next)-1][i] = -1
+				}
+				ac.fail = append(ac.fail, 0)
+				ac.output = append(ac.output, nil)
+				ac.next[state][b] = int32(len(ac.next) - 1)
+			}
+			state = ac.next[state][b]
+		}
+		ac.output[state] = append(ac.output[state], idx)
+	}
+	// BFS to compute failure links and convert to a full goto
+	// function.
+	queue := make([]int32, 0, len(ac.next))
+	for b := 0; b < 256; b++ {
+		if s := ac.next[0][b]; s == -1 {
+			ac.next[0][b] = 0
+		} else {
+			ac.fail[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		state := queue[0]
+		queue = queue[1:]
+		for b := 0; b < 256; b++ {
+			s := ac.next[state][b]
+			if s == -1 {
+				ac.next[state][b] = ac.next[ac.fail[state]][b]
+				continue
+			}
+			ac.fail[s] = ac.next[ac.fail[state]][b]
+			ac.output[s] = append(ac.output[s], ac.output[ac.fail[s]]...)
+			queue = append(queue, s)
+		}
+	}
+	return ac
+}
+
+// scan reports the set of pattern indices found in data.
+func (ac *ahoCorasick) scan(data []byte, hits map[int]bool) {
+	state := int32(0)
+	for _, b := range data {
+		state = ac.next[state][b]
+		for _, idx := range ac.output[state] {
+			hits[idx] = true
+		}
+	}
+}
+
+// containsNaive is the reference matcher used by property tests.
+func containsNaive(haystack, needle []byte) bool {
+	if len(needle) == 0 {
+		return true
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package ids
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iotsec/internal/packet"
+)
+
+func TestParseContentModifiers(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> any 80 (msg:"m"; content:"GET"; offset:0; depth:4; content:!"Referer"; dsize:>10; sid:5;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Contents) != 2 {
+		t.Fatalf("contents = %+v", r.Contents)
+	}
+	if r.Contents[0].Depth != 4 || r.Contents[0].Negated {
+		t.Errorf("first content = %+v", r.Contents[0])
+	}
+	if !r.Contents[1].Negated || string(r.Contents[1].Pattern) != "Referer" {
+		t.Errorf("second content = %+v", r.Contents[1])
+	}
+	if r.Dsize.Op != DsizeGT || r.Dsize.N != 10 {
+		t.Errorf("dsize = %+v", r.Dsize)
+	}
+	// Canonical round trip with the new options.
+	again, err := ParseRule(r.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", r.String(), err)
+	}
+	if again.String() != r.String() {
+		t.Errorf("unstable form:\n%q\n%q", r.String(), again.String())
+	}
+}
+
+func TestParseContentModifierErrors(t *testing.T) {
+	bad := []string{
+		`alert tcp any any -> any 80 (offset:3; sid:1;)`,             // offset before content
+		`alert tcp any any -> any 80 (content:"x"; depth:0; sid:1;)`, // zero depth
+		`alert tcp any any -> any 80 (content:""; sid:1;)`,           // empty content
+		`alert tcp any any -> any 80 (dsize:abc; sid:1;)`,            // bad dsize
+		`alert tcp any any -> any 80 (content:"x"; offset:-1; sid:1;)`,
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestDsizeMatching(t *testing.T) {
+	rules, err := ParseRules(`
+alert tcp any any -> any 80 (msg:"big"; dsize:>20; sid:1;)
+alert tcp any any -> any 80 (msg:"tiny"; dsize:<5; sid:2;)
+alert tcp any any -> any 80 (msg:"exact"; dsize:7; sid:3;)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	check := func(payload string, wantSIDs ...int) {
+		t.Helper()
+		p := buildPacket(t, packet.IPProtocolTCP, "10.0.0.1", "10.0.0.2", 1, 80, payload)
+		var got []int
+		for _, a := range e.Match(p) {
+			got = append(got, a.SID)
+		}
+		if !equalIntSets(got, wantSIDs) {
+			t.Errorf("payload %q: sids = %v, want %v", payload, got, wantSIDs)
+		}
+	}
+	check(strings.Repeat("x", 30), 1)
+	check("abc", 2)
+	check("1234567", 3)
+	check("123456789012", []int{}...)
+}
+
+func TestNegatedContent(t *testing.T) {
+	rules, err := ParseRules(`alert tcp any any -> any 80 (msg:"unauth'd GET"; content:"GET"; content:!"auth:"; sid:4;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	hit := buildPacket(t, packet.IPProtocolTCP, "10.0.0.1", "10.0.0.2", 1, 80, "GET /x")
+	miss := buildPacket(t, packet.IPProtocolTCP, "10.0.0.1", "10.0.0.2", 1, 80, "GET /x\nauth: a:b")
+	if len(e.Match(hit)) != 1 {
+		t.Error("credential-less GET not flagged")
+	}
+	if len(e.Match(miss)) != 0 {
+		t.Error("authenticated GET flagged despite negation")
+	}
+}
+
+func TestOnlyNegatedContentsRule(t *testing.T) {
+	// A rule with only negated contents must be evaluated on every
+	// packet (nothing for the prefilter to key on).
+	rules, err := ParseRules(`alert tcp any any -> any 80 (msg:"no proto tag"; content:!"IOT/1"; sid:6;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	raw := buildPacket(t, packet.IPProtocolTCP, "10.0.0.1", "10.0.0.2", 1, 80, "mystery bytes")
+	tagged := buildPacket(t, packet.IPProtocolTCP, "10.0.0.1", "10.0.0.2", 1, 80, "IOT/1 STATUS")
+	if len(e.Match(raw)) != 1 {
+		t.Error("untagged payload not flagged")
+	}
+	if len(e.Match(tagged)) != 0 {
+		t.Error("tagged payload flagged")
+	}
+}
+
+func TestOffsetDepthRegions(t *testing.T) {
+	rules, err := ParseRules(`alert tcp any any -> any 80 (msg:"method field"; content:"POST"; offset:0; depth:4; sid:7;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	atStart := buildPacket(t, packet.IPProtocolTCP, "10.0.0.1", "10.0.0.2", 1, 80, "POST /upload")
+	later := buildPacket(t, packet.IPProtocolTCP, "10.0.0.1", "10.0.0.2", 1, 80, "x POST /upload")
+	if len(e.Match(atStart)) != 1 {
+		t.Error("POST at offset 0 missed")
+	}
+	if len(e.Match(later)) != 0 {
+		t.Error("POST outside depth window matched")
+	}
+}
+
+func TestContentMatchesProperty(t *testing.T) {
+	// contentMatches must agree with a straightforward reference
+	// implementation for random inputs.
+	ref := func(c Content, payload []byte) bool {
+		start := c.Offset
+		if start > len(payload) {
+			start = len(payload)
+		}
+		end := len(payload)
+		if c.Depth > 0 && start+c.Depth < end {
+			end = start + c.Depth
+		}
+		region := payload[start:end]
+		pat := c.Pattern
+		if c.NoCase {
+			region = []byte(strings.ToLower(string(region)))
+		}
+		found := strings.Contains(string(region), string(pat))
+		return found != c.Negated
+	}
+	f := func(payload []byte, pattern []byte, offset, depth uint8, negated, nocase bool) bool {
+		if len(pattern) == 0 {
+			pattern = []byte{'x'}
+		}
+		if len(pattern) > 8 {
+			pattern = pattern[:8]
+		}
+		if nocase {
+			pattern = []byte(strings.ToLower(string(pattern)))
+		}
+		c := Content{
+			Pattern: pattern, NoCase: nocase, Negated: negated,
+			Offset: int(offset % 32), Depth: int(depth % 32),
+		}
+		return contentMatches(c, payload) == ref(c, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package learn
+
+import (
+	"fmt"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/envsim"
+)
+
+// Testbed is the deeply instrumented setup §4.2 proposes for building
+// empirical device models: one live emulated device, the environment
+// it acts on, and credentials good enough to actuate it.
+type Testbed struct {
+	// Client reaches the device over the fabric.
+	Client *device.Client
+	// Device is the unit under instrumentation.
+	Device *device.Device
+	// Env is the physical world; the extractor steps it to observe
+	// effects.
+	Env *envsim.Environment
+	// Disc maps environment variables to the discrete levels the
+	// abstract model uses.
+	Disc *envsim.Discretizer
+	// StateKey is the device state field that defines the FSM state
+	// (e.g. "power" for a plug, "window" for an actuator).
+	StateKey string
+	// User/Pass authenticate actuation commands.
+	User, Pass string
+	// SettleTicks is how many environment steps to run after each
+	// actuation before observing (default 3).
+	SettleTicks int
+}
+
+// ExtractModel actuates the device through the candidate commands,
+// observing state transitions and environment effects, and
+// synthesizes an abstract Model — automating the model-library
+// population the paper leaves as future work.
+//
+// The extractor sweeps the command list repeatedly until a sweep
+// discovers nothing new, so toggle-style devices get both directions
+// of every transition.
+func ExtractModel(tb *Testbed, class string, commands []string) (*Model, error) {
+	if tb.SettleTicks <= 0 {
+		tb.SettleTicks = 3
+	}
+	settle := func() {
+		for i := 0; i < tb.SettleTicks; i++ {
+			tb.Env.Step()
+		}
+	}
+	// Baseline: the environment with the device in its initial
+	// state. Effects are observed as deviations from this baseline.
+	settle()
+	baseline := tb.Disc.Discretize(tb.Env.Snapshot())
+	initial := tb.Device.Get(tb.StateKey)
+
+	m := &Model{
+		Class:       class,
+		Initial:     initial,
+		Transitions: make(map[string]map[string]string),
+		Effects:     make(map[string][]Effect),
+	}
+	states := map[string]bool{initial: true}
+	effectSeen := map[string]map[string]string{} // state → var → level
+
+	recordEffects := func(state string) {
+		now := tb.Disc.Discretize(tb.Env.Snapshot())
+		for varName, level := range now {
+			if baseline[varName] != level {
+				if effectSeen[state] == nil {
+					effectSeen[state] = map[string]string{}
+				}
+				effectSeen[state][varName] = level
+			}
+		}
+	}
+
+	const maxSweeps = 8
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		discovered := false
+		for _, cmd := range commands {
+			from := tb.Device.Get(tb.StateKey)
+			resp, err := tb.Client.Call(tb.Device.IP(), device.Request{
+				Cmd: cmd, User: tb.User, Pass: tb.Pass,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("learn: extracting %s/%s: %w", class, cmd, err)
+			}
+			if !resp.OK {
+				continue // command not applicable; skip
+			}
+			settle()
+			to := tb.Device.Get(tb.StateKey)
+			if !states[to] {
+				states[to] = true
+				discovered = true
+			}
+			if m.Transitions[cmd] == nil {
+				m.Transitions[cmd] = make(map[string]string)
+			}
+			if prev, ok := m.Transitions[cmd][from]; !ok || prev != to {
+				if !ok {
+					discovered = true
+				}
+				m.Transitions[cmd][from] = to
+			}
+			recordEffects(to)
+		}
+		if !discovered {
+			break
+		}
+	}
+
+	for s := range states {
+		m.States = append(m.States, s)
+	}
+	for state, vars := range effectSeen {
+		for varName, level := range vars {
+			m.Effects[state] = append(m.Effects[state], Effect{Var: varName, Level: level})
+		}
+	}
+	// Wait a beat for in-flight device events to quiesce before the
+	// caller reuses the fabric.
+	time.Sleep(5 * time.Millisecond)
+	return m, m.Validate()
+}

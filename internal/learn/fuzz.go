@@ -1,0 +1,223 @@
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Interaction is one discovered cross-device dependency: issuing Cmd
+// on Actor eventually moved Affected into NewState — possibly through
+// the environment, with no network path between them.
+type Interaction struct {
+	Actor    string
+	Cmd      string
+	Affected string
+	NewState string
+}
+
+// Key renders a stable identity.
+func (i Interaction) Key() string {
+	return fmt.Sprintf("%s.%s->%s=%s", i.Actor, i.Cmd, i.Affected, i.NewState)
+}
+
+// String implements fmt.Stringer.
+func (i Interaction) String() string { return i.Key() }
+
+// FuzzResult accumulates a fuzzing campaign's findings.
+type FuzzResult struct {
+	// Discovered maps interaction key → interaction.
+	Discovered map[string]Interaction
+	// Trials is the number of fuzz episodes run.
+	Trials int
+	// CoverageCurve[i] is the discovery count after trial i+1.
+	CoverageCurve []int
+}
+
+// Interactions lists discoveries sorted by key.
+func (r *FuzzResult) Interactions() []Interaction {
+	out := make([]Interaction, 0, len(r.Discovered))
+	for _, i := range r.Discovered {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key() < out[b].Key() })
+	return out
+}
+
+// Fuzzer drives a World through randomized command sequences and
+// observes which other devices move — the §4.2 claim that fuzzing
+// abstract models gives good coverage of the sparse interaction space.
+type Fuzzer struct {
+	// Build constructs a fresh world per episode (worlds are
+	// stateful).
+	Build func() *World
+	// EpisodeLen is commands per episode (default 6).
+	EpisodeLen int
+	// SettleSteps is world steps after each command so multi-hop
+	// chains propagate (default 3).
+	SettleSteps int
+	rng         *rand.Rand
+}
+
+// NewFuzzer builds a fuzzer with a deterministic seed.
+func NewFuzzer(build func() *World, seed int64) *Fuzzer {
+	return &Fuzzer{Build: build, EpisodeLen: 6, SettleSteps: 3, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Run executes trials episodes.
+func (f *Fuzzer) Run(trials int) *FuzzResult {
+	result := &FuzzResult{Discovered: make(map[string]Interaction)}
+	for t := 0; t < trials; t++ {
+		f.episode(result)
+		result.Trials++
+		result.CoverageCurve = append(result.CoverageCurve, len(result.Discovered))
+	}
+	return result
+}
+
+// episode runs one randomized command sequence against a fresh world.
+func (f *Fuzzer) episode(result *FuzzResult) {
+	w := f.Build()
+	// Settle initial observations.
+	for i := 0; i < f.SettleSteps; i++ {
+		w.Step()
+	}
+	names := w.Instances()
+	if len(names) == 0 {
+		return
+	}
+	for c := 0; c < f.EpisodeLen; c++ {
+		actor := names[f.rng.Intn(len(names))]
+		inst, _ := w.Instance(actor)
+		cmds := inst.Model.Commands()
+		if len(cmds) == 0 {
+			continue
+		}
+		cmd := cmds[f.rng.Intn(len(cmds))]
+
+		before := w.Snapshot()
+		if !w.Command(actor, cmd) {
+			continue
+		}
+		for i := 0; i < f.SettleSteps; i++ {
+			w.Step()
+		}
+		after := w.Snapshot()
+		for _, other := range names {
+			if other == actor {
+				continue
+			}
+			key := "dev:" + other
+			if before[key] != after[key] {
+				in := Interaction{Actor: actor, Cmd: cmd, Affected: other, NewState: after[key]}
+				result.Discovered[in.Key()] = in
+			}
+		}
+	}
+}
+
+// PassiveObserve is the baseline the paper argues fails: just watch
+// the deployment behave normally (no active actuation) and record
+// cross-device movements. Under a static world, nothing moves and
+// nothing is learned; under scripted ambient behavior, only exercised
+// paths appear.
+func PassiveObserve(build func() *World, steps int) *FuzzResult {
+	result := &FuzzResult{Discovered: make(map[string]Interaction)}
+	w := build()
+	prev := w.Snapshot()
+	for i := 0; i < steps; i++ {
+		w.Step()
+		cur := w.Snapshot()
+		for _, name := range w.Instances() {
+			key := "dev:" + name
+			if prev[key] != cur[key] {
+				in := Interaction{Actor: "(ambient)", Cmd: "-", Affected: name, NewState: cur[key]}
+				result.Discovered[in.Key()] = in
+			}
+		}
+		prev = cur
+		result.Trials++
+		result.CoverageCurve = append(result.CoverageCurve, len(result.Discovered))
+	}
+	return result
+}
+
+// ExhaustiveInteractions enumerates the ground truth by issuing every
+// command on every device from every reachable single-command
+// configuration (bounded BFS over command prefixes of the given
+// depth). Used to score fuzzing coverage.
+func ExhaustiveInteractions(build func() *World, depth, settleSteps int) map[string]Interaction {
+	truth := make(map[string]Interaction)
+	type prefix []struct {
+		dev, cmd string
+	}
+	var explore func(p prefix)
+	explore = func(p prefix) {
+		if len(p) > depth {
+			return
+		}
+		w := build()
+		for i := 0; i < settleSteps; i++ {
+			w.Step()
+		}
+		for _, step := range p {
+			w.Command(step.dev, step.cmd)
+			for i := 0; i < settleSteps; i++ {
+				w.Step()
+			}
+		}
+		names := w.Instances()
+		for _, actor := range names {
+			inst, _ := w.Instance(actor)
+			for _, cmd := range inst.Model.Commands() {
+				w2 := build()
+				for i := 0; i < settleSteps; i++ {
+					w2.Step()
+				}
+				for _, step := range p {
+					w2.Command(step.dev, step.cmd)
+					for i := 0; i < settleSteps; i++ {
+						w2.Step()
+					}
+				}
+				before := w2.Snapshot()
+				if !w2.Command(actor, cmd) {
+					continue
+				}
+				for i := 0; i < settleSteps; i++ {
+					w2.Step()
+				}
+				after := w2.Snapshot()
+				for _, other := range names {
+					if other == actor {
+						continue
+					}
+					key := "dev:" + other
+					if before[key] != after[key] {
+						in := Interaction{Actor: actor, Cmd: cmd, Affected: other, NewState: after[key]}
+						truth[in.Key()] = in
+					}
+				}
+				if len(p) < depth {
+					explore(append(append(prefix{}, p...), struct{ dev, cmd string }{actor, cmd}))
+				}
+			}
+		}
+	}
+	explore(prefix{})
+	return truth
+}
+
+// Coverage scores a result against ground truth in [0,1].
+func Coverage(result *FuzzResult, truth map[string]Interaction) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	hit := 0
+	for k := range truth {
+		if _, ok := result.Discovered[k]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}

@@ -1,0 +1,76 @@
+package learn
+
+import (
+	"sort"
+
+	"iotsec/internal/policy"
+)
+
+// SafetyReport is the outcome of checking one invariant under
+// enforcement.
+type SafetyReport struct {
+	// Holds is true when no attack within the search bound reaches
+	// the bad state.
+	Holds bool
+	// Witness is a concrete violating attack path when Holds is
+	// false.
+	Witness []AttackStep
+	// Exhausted is true when the bounded search covered the whole
+	// reachable space (false = bound hit; treat Holds with care).
+	Exhausted bool
+}
+
+// MitigationsFromPostures converts the policy's per-device postures
+// into the abstract world's enforcement: blocked commands become
+// unavailable transitions; isolation blocks every command on the
+// device.
+func MitigationsFromPostures(w *World, postures map[string]policy.Posture) []Mitigation {
+	var out []Mitigation
+	devices := w.Instances()
+	sort.Strings(devices)
+	for _, dev := range devices {
+		p, ok := postures[dev]
+		if !ok {
+			continue
+		}
+		inst, _ := w.Instance(dev)
+		if p.Isolate {
+			for _, cmd := range inst.Model.Commands() {
+				out = append(out, Mitigation{Device: dev, Cmd: cmd})
+			}
+			continue
+		}
+		for _, cmd := range p.BlockCommands {
+			out = append(out, Mitigation{Device: dev, Cmd: cmd})
+		}
+	}
+	return out
+}
+
+// CheckSafety verifies that the bad state is unreachable under the
+// given policy postures — the model-based policy correctness check
+// §3.2 calls for: instead of eyeballing the exponential state space,
+// ask the attack-graph search for a counterexample.
+func CheckSafety(search *AttackSearch, postures map[string]policy.Posture, bad func(*World) bool) SafetyReport {
+	blocked := MitigationsFromPostures(search.Build(), postures)
+	witness, exhausted := search.FindAttackWithMitigations(bad, blocked)
+	return SafetyReport{
+		Holds:     witness == nil && exhausted,
+		Witness:   witness,
+		Exhausted: exhausted,
+	}
+}
+
+// VerifyPolicyStates runs CheckSafety for the postures the FSM
+// assigns in each of the given states, returning the states whose
+// enforcement still admits the bad outcome. This is how an operator
+// audits a policy before deploying it: "in which world states can the
+// attacker still open the window?"
+func VerifyPolicyStates(search *AttackSearch, fsm *policy.FSM, states []policy.State, bad func(*World) bool) map[string]SafetyReport {
+	out := make(map[string]SafetyReport, len(states))
+	for _, s := range states {
+		postures := fsm.Lookup(s)
+		out[s.Key()] = CheckSafety(search, postures, bad)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package learn
+
+import (
+	"testing"
+
+	"iotsec/internal/policy"
+)
+
+// fig3Policy builds the Figure 3 FSM over the abstract world's device
+// names.
+func fig3Policy() *policy.FSM {
+	d := policy.NewDomain()
+	d.AddDevice("firealarm", policy.ContextNormal, policy.ContextSuspicious)
+	d.AddDevice("window", policy.ContextNormal, policy.ContextSuspicious)
+	d.AddDevice("plug", policy.ContextNormal, policy.ContextSuspicious)
+	f := policy.NewFSM(d)
+	f.AddRule(policy.Rule{
+		Name:       "alarm-suspicious-blocks-window-open",
+		Conditions: []policy.Condition{policy.DeviceIs("firealarm", policy.ContextSuspicious)},
+		Device:     "window",
+		Posture:    policy.Posture{BlockCommands: []string{"OPEN"}},
+		Priority:   10,
+	})
+	f.AddRule(policy.Rule{
+		Name:       "plug-suspicious-blocks-on",
+		Conditions: []policy.Condition{policy.DeviceIs("plug", policy.ContextSuspicious)},
+		Device:     "plug",
+		Posture:    policy.Posture{BlockCommands: []string{"ON"}},
+		Priority:   10,
+	})
+	return f
+}
+
+func TestMitigationsFromPostures(t *testing.T) {
+	w := smartHomeWorld()
+	ms := MitigationsFromPostures(w, map[string]policy.Posture{
+		"plug":   {BlockCommands: []string{"ON"}},
+		"window": {Isolate: true},
+		"ghost":  {Isolate: true}, // undeclared device: ignored
+	})
+	got := map[string]bool{}
+	for _, m := range ms {
+		got[m.Device+"."+m.Cmd] = true
+	}
+	if !got["plug.ON"] {
+		t.Errorf("mitigations = %v", ms)
+	}
+	// Isolation blocks the window's whole command set.
+	if !got["window.OPEN"] || !got["window.CLOSE"] {
+		t.Errorf("isolation incomplete: %v", ms)
+	}
+	if got["ghost.ON"] {
+		t.Error("undeclared device produced mitigations")
+	}
+}
+
+func TestCheckSafetyFindsAndClosesHole(t *testing.T) {
+	search := &AttackSearch{
+		Build:      smartHomeWorld,
+		Vulnerable: map[string]bool{"plug": true, "window": true},
+		MaxDepth:   8,
+	}
+	bad := GoalEnv("window", "open")
+
+	// No enforcement: unsafe, with a concrete witness.
+	report := CheckSafety(search, nil, bad)
+	if report.Holds {
+		t.Fatal("unenforced world reported safe")
+	}
+	if report.Witness == nil {
+		t.Fatal("no witness for the violation")
+	}
+
+	// Blocking window.OPEN alone is NOT enough: the implicit route
+	// through the plug's heat remains.
+	report = CheckSafety(search, map[string]policy.Posture{
+		"window": {BlockCommands: []string{"OPEN"}},
+	}, bad)
+	if report.Holds {
+		t.Fatal("verifier missed the implicit route through the environment")
+	}
+	var usesPlug bool
+	for _, s := range report.Witness {
+		if s.Device == "plug" {
+			usesPlug = true
+		}
+	}
+	if !usesPlug {
+		t.Errorf("witness should route through the plug: %s", PathString(report.Witness))
+	}
+
+	// Blocking both the explicit and the implicit route closes it.
+	report = CheckSafety(search, map[string]policy.Posture{
+		"window": {BlockCommands: []string{"OPEN"}},
+		"plug":   {BlockCommands: []string{"ON"}},
+	}, bad)
+	if !report.Holds || !report.Exhausted {
+		t.Errorf("full mitigation reported unsafe: %+v", report)
+	}
+}
+
+func TestVerifyPolicyStates(t *testing.T) {
+	fsm := fig3Policy()
+	search := &AttackSearch{
+		Build:      smartHomeWorld,
+		Vulnerable: map[string]bool{"window": true, "plug": true},
+		MaxDepth:   8,
+	}
+	bad := GoalEnv("window", "open")
+
+	normal := fsm.Domain.DefaultState()
+	alarmSuspicious := normal.Clone()
+	alarmSuspicious.Contexts["firealarm"] = policy.ContextSuspicious
+	bothSuspicious := alarmSuspicious.Clone()
+	bothSuspicious.Contexts["plug"] = policy.ContextSuspicious
+
+	reports := VerifyPolicyStates(search, fsm, []policy.State{normal, alarmSuspicious, bothSuspicious}, bad)
+
+	// Normal state: no blocks at all → window trivially openable.
+	if reports[normal.Key()].Holds {
+		t.Error("normal state reported safe (nothing is blocked there)")
+	}
+	// Alarm suspicious: OPEN blocked, but the plug heat route is
+	// still there — the audit must expose this residual hole.
+	if reports[alarmSuspicious.Key()].Holds {
+		t.Error("audit missed the residual implicit route")
+	}
+	// Both suspicious: OPEN and plug.ON blocked → safe.
+	if !reports[bothSuspicious.Key()].Holds {
+		t.Errorf("fully mitigated state reported unsafe: %s",
+			PathString(reports[bothSuspicious.Key()].Witness))
+	}
+}

@@ -1,0 +1,251 @@
+package mbox
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/ids"
+	"iotsec/internal/netsim"
+	"iotsec/internal/packet"
+)
+
+func TestChallengeElementDirect(t *testing.T) {
+	c := NewChallenge("rose")
+	if c.Name() != "robot-check" {
+		t.Errorf("name = %q", c.Name())
+	}
+	mkMgmt := func(args ...string) *Context {
+		req := device.Request{Cmd: "OPEN", User: "admin", Pass: "0000", Args: args}
+		src, dst := packet.MustParseIPv4("10.0.0.1"), packet.MustParseIPv4("10.0.0.2")
+		tcp := &packet.TCP{SrcPort: 40000, DstPort: device.MgmtPort, Flags: packet.TCPPsh | packet.TCPAck}
+		tcp.SetNetworkForChecksum(src, dst)
+		b := packet.NewSerializeBuffer()
+		_ = packet.SerializeLayers(b,
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{SrcIP: src, DstIP: dst, Protocol: packet.IPProtocolTCP},
+			tcp, packet.NewPayload(req.Encode()),
+		)
+		frame := make([]byte, b.Len())
+		copy(frame, b.Bytes())
+		var injected [][]byte
+		return &Context{
+			Frame:  frame,
+			Packet: packet.Decode(frame, packet.LayerTypeEthernet),
+			Dir:    ToDevice,
+			Inject: func(f []byte) { injected = append(injected, f) },
+		}
+	}
+
+	// No captcha: dropped.
+	if v := c.Process(mkMgmt()); v != Drop {
+		t.Error("uncaptcha'd request passed")
+	}
+	// Wrong solution: dropped.
+	if v := c.Process(mkMgmt("captcha:daisy")); v != Drop {
+		t.Error("wrong solution passed")
+	}
+	// Correct solution: forwarded with the captcha stripped.
+	ctx := mkMgmt("captcha:rose")
+	if v := c.Process(ctx); v != Forward {
+		t.Fatal("correct solution dropped")
+	}
+	p := packet.Decode(ctx.Frame, packet.LayerTypeEthernet)
+	req, err := device.ParseRequest(p.TCP().LayerPayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range req.Args {
+		if strings.HasPrefix(a, "captcha:") {
+			t.Errorf("captcha not stripped: %v", req.Args)
+		}
+	}
+	passed, rejected := c.Counters()
+	if passed != 1 || rejected != 2 {
+		t.Errorf("counters = %d/%d", passed, rejected)
+	}
+	// FromDevice and non-mgmt traffic pass untouched.
+	rev := mkMgmt()
+	rev.Dir = FromDevice
+	if v := c.Process(rev); v != Forward {
+		t.Error("from-device frame not forwarded")
+	}
+}
+
+func TestLoggerTotalsAndReport(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	l := &Logger{Report: func(s string) {
+		mu.Lock()
+		lines = append(lines, s)
+		mu.Unlock()
+	}}
+	if l.Name() != "logger" {
+		t.Errorf("name = %q", l.Name())
+	}
+	ctx := testCtx(t, ToDevice, "x", 80)
+	if v := l.Process(ctx); v != Forward {
+		t.Error("logger must forward")
+	}
+	frames, bytes := l.Totals()
+	if frames != 1 || bytes == 0 {
+		t.Errorf("totals = %d/%d", frames, bytes)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 || !strings.Contains(lines[0], "TCP") {
+		t.Errorf("report lines = %v", lines)
+	}
+}
+
+func TestACLDirAndProtoPredicates(t *testing.T) {
+	f := NewHeaderFilter(Allow,
+		ACLRule{Action: Deny, Dir: DirPtr(ToDevice), Proto: ProtoPtr(packet.IPProtocolTCP)},
+	)
+	if v := f.Process(testCtx(t, ToDevice, "x", 80)); v != Drop {
+		t.Error("to-device TCP should drop")
+	}
+	if v := f.Process(testCtx(t, FromDevice, "x", 80)); v != Forward {
+		t.Error("from-device TCP should pass (direction predicate)")
+	}
+}
+
+func TestContextGateSetPredicate(t *testing.T) {
+	g := NewContextGate(func(string) bool { return false }, "ON")
+	ctx := func() *Context {
+		req := device.Request{Cmd: "ON"}
+		src, dst := packet.MustParseIPv4("10.0.0.1"), packet.MustParseIPv4("10.0.0.2")
+		tcp := &packet.TCP{SrcPort: 40000, DstPort: device.MgmtPort, Flags: packet.TCPPsh | packet.TCPAck}
+		tcp.SetNetworkForChecksum(src, dst)
+		b := packet.NewSerializeBuffer()
+		_ = packet.SerializeLayers(b,
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{SrcIP: src, DstIP: dst, Protocol: packet.IPProtocolTCP},
+			tcp, packet.NewPayload(req.Encode()),
+		)
+		frame := make([]byte, b.Len())
+		copy(frame, b.Bytes())
+		return &Context{Frame: frame, Packet: packet.Decode(frame, packet.LayerTypeEthernet), Dir: ToDevice}
+	}
+	if v := g.Process(ctx()); v != Drop {
+		t.Error("closed gate passed")
+	}
+	g.SetPredicate(func(string) bool { return true })
+	if v := g.Process(ctx()); v != Forward {
+		t.Error("opened gate dropped")
+	}
+	if g.Blocked() != 1 {
+		t.Errorf("blocked = %d", g.Blocked())
+	}
+}
+
+func TestInsertInlineHelper(t *testing.T) {
+	n := netsim.NewNetwork()
+	aIP, bIP := packet.MustParseIPv4("10.0.0.1"), packet.MustParseIPv4("10.0.0.2")
+	a := netsim.NewStack("a", device.MACFor(aIP), aIP)
+	b := netsim.NewStack("b", device.MACFor(bIP), bIP)
+	m := NewMbox("wire", NewPipeline(&Logger{}))
+	if m.NodeName() != "wire" {
+		t.Errorf("node name = %q", m.NodeName())
+	}
+	InsertInline(n, m, a.Attach(n), b.Attach(n), netsim.LinkOptions{})
+	n.Start()
+	defer n.Stop()
+	defer a.Stop()
+	defer b.Stop()
+
+	got := make(chan string, 1)
+	if err := b.HandleUDP(9, func(_ packet.IPv4Address, _ uint16, payload []byte) {
+		got <- string(payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendUDP(bIP, 9, 9, []byte("through the bump")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "through the bump" {
+			t.Errorf("payload = %q", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("nothing crossed the inline µmbox")
+	}
+	if fwd, _ := m.Counters(); fwd == 0 {
+		t.Error("µmbox counters empty")
+	}
+}
+
+func TestManagerInstanceLookupAndDefaults(t *testing.T) {
+	mgr := NewManager() // default single server
+	mgr.TimeScale = 0
+	if _, ok := mgr.Instance("ghost"); ok {
+		t.Error("ghost instance found")
+	}
+	inst, err := mgr.Launch("x", PlatformKind("weird"), NewPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.BootTook != 100*time.Millisecond {
+		t.Errorf("unknown platform boot = %v", inst.BootTook)
+	}
+	got, ok := mgr.Instance("x")
+	if !ok || got != inst {
+		t.Error("instance lookup broken")
+	}
+	if err := mgr.Terminate("ghost"); !errors.Is(err, ErrUnknownMbox) {
+		t.Errorf("terminate ghost: %v", err)
+	}
+}
+
+func TestAnomalyElementInline(t *testing.T) {
+	profile := ids.NewProfile("dev")
+	var anomalies []ids.Anomaly
+	var mu sync.Mutex
+	e := &AnomalyElement{
+		Profile: profile,
+		OnAnomaly: func(a ids.Anomaly) {
+			mu.Lock()
+			anomalies = append(anomalies, a)
+			mu.Unlock()
+		},
+	}
+	if e.Name() != "anomaly" {
+		t.Errorf("name = %q", e.Name())
+	}
+	mk := func(srcIP, payload string) *Context {
+		src, dst := packet.MustParseIPv4(srcIP), packet.MustParseIPv4("10.0.0.2")
+		tcp := &packet.TCP{SrcPort: 40000, DstPort: 80, Flags: packet.TCPPsh | packet.TCPAck}
+		tcp.SetNetworkForChecksum(src, dst)
+		b := packet.NewSerializeBuffer()
+		_ = packet.SerializeLayers(b,
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{SrcIP: src, DstIP: dst, Protocol: packet.IPProtocolTCP},
+			tcp, packet.NewPayload([]byte(payload)),
+		)
+		frame := make([]byte, b.Len())
+		copy(frame, b.Bytes())
+		return &Context{Frame: frame, Packet: packet.Decode(frame, packet.LayerTypeEthernet), Dir: ToDevice}
+	}
+	// Train on the hub's traffic.
+	for i := 0; i < 5; i++ {
+		e.Process(mk("10.0.0.3", "IOT/1 STATUS\n"))
+	}
+	profile.EndTraining()
+	// A new peer trips the detector.
+	e.Process(mk("10.0.9.9", "IOT/1 STATUS\n"))
+	mu.Lock()
+	defer mu.Unlock()
+	var sawNewPeer bool
+	for _, a := range anomalies {
+		if a.Kind == ids.AnomalyNewPeer {
+			sawNewPeer = true
+		}
+	}
+	if !sawNewPeer {
+		t.Errorf("anomalies = %v", anomalies)
+	}
+}

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"iotsec/internal/openflow"
+)
+
+// SwitchAgent connects a Switch to a controller over the southbound
+// wire protocol: it punts table misses as PACKET_IN, applies FLOW_MOD
+// and PACKET_OUT, answers FEATURES/ECHO/BARRIER/STATS, and reports
+// expired entries as FLOW_REMOVED.
+type SwitchAgent struct {
+	sw   *Switch
+	conn *openflow.Conn
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ConnectAgent dials the controller at addr, runs the handshake
+// passively (the controller drives it) and starts the agent loops.
+func ConnectAgent(sw *Switch, addr string) (*SwitchAgent, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: agent dial controller: %w", err)
+	}
+	a := &SwitchAgent{
+		sw:      sw,
+		conn:    openflow.NewConn(raw),
+		stopped: make(chan struct{}),
+	}
+	sw.SetPacketInHandler(a.onPacketIn)
+	a.wg.Add(2)
+	go a.readLoop()
+	go a.expiryLoop()
+	return a, nil
+}
+
+// onPacketIn relays a punted frame to the controller.
+func (a *SwitchAgent) onPacketIn(inPort uint16, reason uint8, frame Frame) {
+	_, _ = a.conn.Send(&openflow.PacketIn{
+		DatapathID: a.sw.DatapathID(),
+		InPort:     inPort,
+		Reason:     reason,
+		Data:       frame,
+	})
+}
+
+// readLoop serves controller requests until the connection drops.
+func (a *SwitchAgent) readLoop() {
+	defer a.wg.Done()
+	for {
+		m, xid, err := a.conn.Receive()
+		if err != nil {
+			a.Stop()
+			return
+		}
+		switch msg := m.(type) {
+		case *openflow.Hello:
+			_ = a.conn.SendWithXID(&openflow.Hello{}, xid)
+		case *openflow.FeaturesRequest:
+			_ = a.conn.SendWithXID(&openflow.FeaturesReply{
+				DatapathID: a.sw.DatapathID(),
+				Ports:      a.sw.PortIDs(),
+			}, xid)
+		case *openflow.Echo:
+			if !msg.Reply {
+				_ = a.conn.SendWithXID(&openflow.Echo{Reply: true, Payload: msg.Payload}, xid)
+			}
+		case *openflow.FlowMod:
+			a.applyFlowMod(msg, xid)
+		case *openflow.PacketOut:
+			a.sw.ApplyActions(msg.Actions, msg.InPort, Frame(msg.Data))
+		case *openflow.BarrierRequest:
+			// Messages are processed in order on this single loop, so
+			// everything before the barrier has already been applied.
+			_ = a.conn.SendWithXID(&openflow.BarrierReply{}, xid)
+		case *openflow.StatsRequest:
+			in, out, miss, flows := a.sw.Stats()
+			_ = a.conn.SendWithXID(&openflow.StatsReply{
+				DatapathID: a.sw.DatapathID(),
+				FlowCount:  uint32(flows),
+				PacketsIn:  in,
+				PacketsOut: out,
+				TableMiss:  miss,
+			}, xid)
+		default:
+			_ = a.conn.SendWithXID(&openflow.ErrorMsg{Code: 1, Text: "unsupported " + m.Type().String()}, xid)
+		}
+	}
+}
+
+func (a *SwitchAgent) applyFlowMod(fm *openflow.FlowMod, xid uint32) {
+	switch fm.Command {
+	case openflow.FlowAdd:
+		a.sw.Table().Insert(openflow.FlowEntry{
+			Match:       fm.Match,
+			Priority:    fm.Priority,
+			Actions:     fm.Actions,
+			IdleTimeout: fm.IdleTimeout,
+			HardTimeout: fm.HardTimeout,
+			Cookie:      fm.Cookie,
+		})
+	case openflow.FlowDelete:
+		a.sw.Table().Delete(fm.Match)
+	case openflow.FlowDeleteByCookie:
+		a.sw.Table().DeleteByCookie(fm.Cookie)
+	default:
+		_ = a.conn.SendWithXID(&openflow.ErrorMsg{Code: 2, Text: "unknown flow-mod command"}, xid)
+	}
+}
+
+// expiryLoop periodically evicts timed-out flows and notifies the
+// controller.
+func (a *SwitchAgent) expiryLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stopped:
+			return
+		case now := <-ticker.C:
+			for _, e := range a.sw.ExpireFlows(now) {
+				pkts, bytes := e.Stats()
+				_, _ = a.conn.Send(&openflow.FlowRemoved{
+					DatapathID: a.sw.DatapathID(),
+					Match:      e.Match,
+					Priority:   e.Priority,
+					Cookie:     e.Cookie,
+					Packets:    pkts,
+					Bytes:      bytes,
+				})
+			}
+		}
+	}
+}
+
+// Stop tears the agent down and closes the southbound connection.
+func (a *SwitchAgent) Stop() {
+	a.stopOnce.Do(func() {
+		close(a.stopped)
+		_ = a.conn.Close()
+	})
+}
+
+// Wait blocks until the agent's goroutines have exited.
+func (a *SwitchAgent) Wait() { a.wg.Wait() }

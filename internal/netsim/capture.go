@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// CapturedFrame is one observed frame with its wire context.
+type CapturedFrame struct {
+	When    time.Time
+	SrcNode string
+	DstNode string
+	Data    Frame
+}
+
+// Recorder is a Tap that stores frames for later analysis — the
+// simulator's pcap. Bounded: once Limit frames are stored, older
+// frames are discarded.
+type Recorder struct {
+	mu     sync.Mutex
+	frames []CapturedFrame
+	// Limit bounds retained frames (default 65536).
+	Limit int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{Limit: 65536} }
+
+// Tap returns the function to register with Network.AddTap.
+func (r *Recorder) Tap() Tap {
+	return func(src, dst *Port, frame Frame) {
+		cp := make(Frame, len(frame))
+		copy(cp, frame)
+		cf := CapturedFrame{
+			When:    time.Now(),
+			SrcNode: src.Owner().NodeName(),
+			DstNode: dst.Owner().NodeName(),
+			Data:    cp,
+		}
+		r.mu.Lock()
+		r.frames = append(r.frames, cf)
+		if r.Limit > 0 && len(r.frames) > r.Limit {
+			r.frames = r.frames[len(r.frames)-r.Limit:]
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Frames snapshots the captured frames.
+func (r *Recorder) Frames() []CapturedFrame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CapturedFrame, len(r.frames))
+	copy(out, r.frames)
+	return out
+}
+
+// Count reports how many frames are retained.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.frames)
+}
+
+// Reset discards all captured frames.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frames = nil
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LinkOptions configure a virtual wire.
+type LinkOptions struct {
+	// Latency delays each frame's delivery (store-and-forward).
+	Latency time.Duration
+	// BandwidthBps caps throughput (bytes/second): each frame takes
+	// len/bandwidth to serialize and frames queue behind one another
+	// per direction. Zero = infinite.
+	BandwidthBps float64
+	// LossRate drops frames with this probability in [0,1).
+	LossRate float64
+	// QueueLen bounds each endpoint's receive queue (default 256).
+	QueueLen int
+	// Seed makes loss deterministic; 0 derives a fixed default.
+	Seed int64
+}
+
+// Link is a bidirectional wire between two ports.
+type Link struct {
+	a, b *Port
+	opts LinkOptions
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// per-direction serialization state: when the "wire" frees up.
+	bwMu       sync.Mutex
+	nextFreeAB time.Time // a → b
+	nextFreeBA time.Time // b → a
+
+	taps *tapSet
+}
+
+// newLink wires two ports together.
+func newLink(a, b *Port, opts LinkOptions, taps *tapSet) *Link {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x10c5ec
+	}
+	l := &Link{a: a, b: b, opts: opts, rng: rand.New(rand.NewSource(seed)), taps: taps}
+	a.link.Store(l)
+	b.link.Store(l)
+	return l
+}
+
+// lose samples the loss process.
+func (l *Link) lose() bool {
+	if l.opts.LossRate <= 0 {
+		return false
+	}
+	l.rngMu.Lock()
+	defer l.rngMu.Unlock()
+	return l.rng.Float64() < l.opts.LossRate
+}
+
+// deliver moves a frame from src's side to dst's inbox, applying
+// loss, serialization (bandwidth) and propagation latency. Frames are
+// copied so senders may reuse buffers.
+func (l *Link) deliver(src, dst *Port, frame Frame) {
+	if l.taps != nil {
+		l.taps.observe(src, dst, frame)
+	}
+	if l.lose() {
+		src.stats.dropsLoss.Add(1)
+		return
+	}
+	cp := make(Frame, len(frame))
+	copy(cp, frame)
+
+	delay := l.opts.Latency
+	if l.opts.BandwidthBps > 0 {
+		tx := time.Duration(float64(len(frame)) / l.opts.BandwidthBps * float64(time.Second))
+		l.bwMu.Lock()
+		now := time.Now()
+		nextFree := &l.nextFreeAB
+		if src == l.b {
+			nextFree = &l.nextFreeBA
+		}
+		start := now
+		if nextFree.After(now) {
+			start = *nextFree
+		}
+		done := start.Add(tx)
+		*nextFree = done
+		l.bwMu.Unlock()
+		delay += done.Sub(now)
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, func() { dst.enqueue(cp) })
+		return
+	}
+	dst.enqueue(cp)
+}

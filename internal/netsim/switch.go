@@ -1,0 +1,179 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotsec/internal/openflow"
+	"iotsec/internal/packet"
+)
+
+// MissBehavior selects what an SDN switch does with a frame that
+// matches no flow entry.
+type MissBehavior int
+
+// Miss behaviors.
+const (
+	// MissPunt sends the frame to the controller (normal SDN mode).
+	MissPunt MissBehavior = iota
+	// MissFlood floods the frame (learning-switch bootstrap mode).
+	MissFlood
+	// MissDrop silently discards the frame (fail-closed).
+	MissDrop
+)
+
+// PacketInFunc receives punted frames from a Switch; the agent wires
+// this to the southbound connection.
+type PacketInFunc func(inPort uint16, reason uint8, frame Frame)
+
+// Switch is an OpenFlow-programmable virtual switch node.
+type Switch struct {
+	name string
+	dpid uint64
+
+	table *openflow.FlowTable
+	miss  atomic.Int32
+
+	mu       sync.RWMutex
+	ports    map[uint16]*Port
+	packetIn PacketInFunc
+
+	packetsIn  atomic.Uint64 // frames received
+	packetsOut atomic.Uint64 // frames forwarded
+}
+
+// NewSwitch creates a switch with the given datapath ID. Ports are
+// attached afterwards with AttachPort.
+func NewSwitch(name string, dpid uint64) *Switch {
+	return &Switch{
+		name:  name,
+		dpid:  dpid,
+		table: openflow.NewFlowTable(),
+		ports: make(map[uint16]*Port),
+	}
+}
+
+// NodeName implements Node.
+func (s *Switch) NodeName() string { return s.name }
+
+// DatapathID returns the switch's datapath identifier.
+func (s *Switch) DatapathID() uint64 { return s.dpid }
+
+// Table exposes the flow table (the agent programs it via FLOW_MOD).
+func (s *Switch) Table() *openflow.FlowTable { return s.table }
+
+// SetMissBehavior configures table-miss handling.
+func (s *Switch) SetMissBehavior(m MissBehavior) { s.miss.Store(int32(m)) }
+
+// SetPacketInHandler wires punted frames to the southbound agent.
+func (s *Switch) SetPacketInHandler(fn PacketInFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.packetIn = fn
+}
+
+// AttachPort creates and registers a new port with the given ID on the
+// network fabric.
+func (s *Switch) AttachPort(n *Network, id uint16) *Port {
+	p := n.NewPort(s, id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ports[id] = p
+	return p
+}
+
+// PortIDs lists the attached port numbers.
+func (s *Switch) PortIDs() []uint16 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uint16, 0, len(s.ports))
+	for id := range s.ports {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// HandleFrame implements Node: classify against the flow table and
+// apply the winning entry's actions.
+func (s *Switch) HandleFrame(ingress *Port, frame Frame) {
+	s.packetsIn.Add(1)
+	decoded := packet.Decode(frame, packet.LayerTypeEthernet)
+	entry, ok := s.table.Lookup(decoded, ingress.ID, len(frame))
+	if !ok {
+		switch MissBehavior(s.miss.Load()) {
+		case MissFlood:
+			s.flood(ingress.ID, frame)
+		case MissPunt:
+			s.punt(ingress.ID, 0, frame)
+		case MissDrop:
+		}
+		return
+	}
+	s.ApplyActions(entry.Actions, ingress.ID, frame)
+}
+
+// ApplyActions executes an action list on a frame (used for both flow
+// entries and PACKET_OUT).
+func (s *Switch) ApplyActions(actions []openflow.Action, inPort uint16, frame Frame) {
+	for _, a := range actions {
+		switch a.Type {
+		case openflow.ActionTypeOutput:
+			s.output(a.Port, frame)
+		case openflow.ActionTypeFlood:
+			s.flood(inPort, frame)
+		case openflow.ActionTypeController:
+			s.punt(inPort, 1, frame)
+		case openflow.ActionTypeSetEthDst:
+			if len(frame) >= 6 {
+				copy(frame[0:6], a.MAC[:])
+			}
+		case openflow.ActionTypeSetEthSrc:
+			if len(frame) >= 12 {
+				copy(frame[6:12], a.MAC[:])
+			}
+		}
+	}
+}
+
+func (s *Switch) output(portID uint16, frame Frame) {
+	s.mu.RLock()
+	p := s.ports[portID]
+	s.mu.RUnlock()
+	if p != nil {
+		s.packetsOut.Add(1)
+		p.Send(frame)
+	}
+}
+
+func (s *Switch) flood(except uint16, frame Frame) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, p := range s.ports {
+		if id == except {
+			continue
+		}
+		s.packetsOut.Add(1)
+		p.Send(frame)
+	}
+}
+
+func (s *Switch) punt(inPort uint16, reason uint8, frame Frame) {
+	s.mu.RLock()
+	fn := s.packetIn
+	s.mu.RUnlock()
+	if fn != nil {
+		fn(inPort, reason, frame)
+	}
+}
+
+// ExpireFlows evicts timed-out entries as of now, returning them so
+// the agent can emit FLOW_REMOVED.
+func (s *Switch) ExpireFlows(now time.Time) []openflow.FlowEntry {
+	return s.table.Expire(now)
+}
+
+// Stats reports aggregate counters.
+func (s *Switch) Stats() (packetsIn, packetsOut, tableMiss uint64, flows int) {
+	return s.packetsIn.Load(), s.packetsOut.Load(), s.table.Misses(), s.table.Len()
+}

@@ -1,0 +1,66 @@
+package openflow
+
+import (
+	"fmt"
+
+	"iotsec/internal/packet"
+)
+
+// ActionType discriminates the forwarding actions a flow entry can
+// apply. An empty action list means drop.
+type ActionType uint8
+
+// Action types.
+const (
+	ActionTypeOutput ActionType = iota + 1
+	ActionTypeFlood
+	ActionTypeController
+	ActionTypeSetEthDst
+	ActionTypeSetEthSrc
+)
+
+// Action is a single forwarding/rewrite step. Only the fields relevant
+// to Type are meaningful; keeping one flat struct makes the wire codec
+// and table copies trivial.
+type Action struct {
+	Type ActionType
+	Port uint16            // Output: egress port
+	MAC  packet.MACAddress // SetEthDst / SetEthSrc: new address
+}
+
+// Output forwards the packet out of the given switch port.
+func Output(port uint16) Action { return Action{Type: ActionTypeOutput, Port: port} }
+
+// Flood forwards out of every port except the ingress.
+func Flood() Action { return Action{Type: ActionTypeFlood} }
+
+// ToController punts the packet to the controller as a PACKET_IN.
+func ToController() Action { return Action{Type: ActionTypeController} }
+
+// SetEthDst rewrites the destination MAC before subsequent outputs.
+func SetEthDst(mac packet.MACAddress) Action {
+	return Action{Type: ActionTypeSetEthDst, MAC: mac}
+}
+
+// SetEthSrc rewrites the source MAC before subsequent outputs.
+func SetEthSrc(mac packet.MACAddress) Action {
+	return Action{Type: ActionTypeSetEthSrc, MAC: mac}
+}
+
+// String names the action.
+func (a Action) String() string {
+	switch a.Type {
+	case ActionTypeOutput:
+		return fmt.Sprintf("output:%d", a.Port)
+	case ActionTypeFlood:
+		return "flood"
+	case ActionTypeController:
+		return "controller"
+	case ActionTypeSetEthDst:
+		return "set_eth_dst:" + a.MAC.String()
+	case ActionTypeSetEthSrc:
+		return "set_eth_src:" + a.MAC.String()
+	default:
+		return fmt.Sprintf("action(%d)", a.Type)
+	}
+}

@@ -1,0 +1,93 @@
+package openflow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn is a framed, thread-safe message connection over any stream
+// transport (normally TCP). Writes from multiple goroutines are
+// serialized; Receive must be called from a single reader goroutine.
+type Conn struct {
+	raw     net.Conn
+	r       *bufio.Reader
+	writeMu sync.Mutex
+	nextXID atomic.Uint32
+	closed  atomic.Bool
+}
+
+// NewConn wraps a stream connection.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, r: bufio.NewReaderSize(raw, 64*1024)}
+}
+
+// Send frames and writes the message with a fresh transaction ID,
+// returning the ID used.
+func (c *Conn) Send(m Message) (uint32, error) {
+	xid := c.nextXID.Add(1)
+	return xid, c.SendWithXID(m, xid)
+}
+
+// NextXID reserves a transaction ID without sending, so a caller can
+// register reply state before the request is on the wire.
+func (c *Conn) NextXID() uint32 { return c.nextXID.Add(1) }
+
+// SendWithXID frames and writes the message using the caller's
+// transaction ID (for replies that must echo a request's ID).
+func (c *Conn) SendWithXID(m Message, xid uint32) error {
+	buf, err := Encode(m, xid)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.raw.Write(buf); err != nil {
+		return fmt.Errorf("openflow: write %s: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// Receive blocks for the next message, returning it with its
+// transaction ID.
+func (c *Conn) Receive() (Message, uint32, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if hdr[0] != Version {
+		return nil, 0, fmt.Errorf("%w: got %d", ErrBadVersion, hdr[0])
+	}
+	total := binary.BigEndian.Uint32(hdr[4:8])
+	xid := binary.BigEndian.Uint32(hdr[8:12])
+	if total < headerLen || total > maxMessageLen {
+		return nil, 0, fmt.Errorf("%w: framed length %d", ErrBadMessage, total)
+	}
+	body := make([]byte, total-headerLen)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return nil, 0, fmt.Errorf("openflow: read body: %w", err)
+	}
+	m, err := newMessage(MessageType(hdr[1]))
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := m.decodeBody(body); err != nil {
+		return nil, 0, err
+	}
+	return m, xid, nil
+}
+
+// Close shuts the underlying transport. Safe to call more than once.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.raw.Close()
+}
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }

@@ -1,0 +1,529 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"iotsec/internal/packet"
+)
+
+// Protocol constants.
+const (
+	// Version is the wire protocol version this library speaks.
+	Version uint8 = 1
+	// headerLen is the fixed message header size: version(1) type(1)
+	// reserved(2) length(4) xid(4).
+	headerLen = 12
+	// maxMessageLen bounds a single framed message.
+	maxMessageLen = 1 << 20
+)
+
+// Errors returned by the codec.
+var (
+	ErrBadVersion  = errors.New("openflow: unsupported protocol version")
+	ErrBadMessage  = errors.New("openflow: malformed message")
+	ErrMessageSize = errors.New("openflow: message exceeds maximum size")
+)
+
+// MessageType discriminates wire messages.
+type MessageType uint8
+
+// Message types.
+const (
+	TypeHello MessageType = iota + 1
+	TypeEchoRequest
+	TypeEchoReply
+	TypeFeaturesRequest
+	TypeFeaturesReply
+	TypePacketIn
+	TypePacketOut
+	TypeFlowMod
+	TypeFlowRemoved
+	TypeStatsRequest
+	TypeStatsReply
+	TypeBarrierRequest
+	TypeBarrierReply
+	TypeError
+)
+
+var messageTypeNames = map[MessageType]string{
+	TypeHello:           "HELLO",
+	TypeEchoRequest:     "ECHO_REQUEST",
+	TypeEchoReply:       "ECHO_REPLY",
+	TypeFeaturesRequest: "FEATURES_REQUEST",
+	TypeFeaturesReply:   "FEATURES_REPLY",
+	TypePacketIn:        "PACKET_IN",
+	TypePacketOut:       "PACKET_OUT",
+	TypeFlowMod:         "FLOW_MOD",
+	TypeFlowRemoved:     "FLOW_REMOVED",
+	TypeStatsRequest:    "STATS_REQUEST",
+	TypeStatsReply:      "STATS_REPLY",
+	TypeBarrierRequest:  "BARRIER_REQUEST",
+	TypeBarrierReply:    "BARRIER_REPLY",
+	TypeError:           "ERROR",
+}
+
+// String names the message type.
+func (t MessageType) String() string {
+	if s, ok := messageTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MessageType(%d)", uint8(t))
+}
+
+// Message is a decoded southbound message.
+type Message interface {
+	// Type reports the wire discriminator.
+	Type() MessageType
+	// encodeBody appends the body bytes (everything after the header).
+	encodeBody(dst []byte) []byte
+	// decodeBody parses the body bytes.
+	decodeBody(src []byte) error
+}
+
+// Hello opens a session.
+type Hello struct{}
+
+// Type implements Message.
+func (*Hello) Type() MessageType            { return TypeHello }
+func (*Hello) encodeBody(dst []byte) []byte { return dst }
+func (*Hello) decodeBody([]byte) error      { return nil }
+
+// Echo carries an opaque payload for liveness checks; the reply mirrors
+// the request payload.
+type Echo struct {
+	Reply   bool
+	Payload []byte
+}
+
+// Type implements Message.
+func (e *Echo) Type() MessageType {
+	if e.Reply {
+		return TypeEchoReply
+	}
+	return TypeEchoRequest
+}
+
+func (e *Echo) encodeBody(dst []byte) []byte { return append(dst, e.Payload...) }
+func (e *Echo) decodeBody(src []byte) error {
+	e.Payload = append([]byte(nil), src...)
+	return nil
+}
+
+// FeaturesRequest asks the switch to describe itself.
+type FeaturesRequest struct{}
+
+// Type implements Message.
+func (*FeaturesRequest) Type() MessageType            { return TypeFeaturesRequest }
+func (*FeaturesRequest) encodeBody(dst []byte) []byte { return dst }
+func (*FeaturesRequest) decodeBody([]byte) error      { return nil }
+
+// FeaturesReply describes a switch: its datapath ID and port numbers.
+type FeaturesReply struct {
+	DatapathID uint64
+	Ports      []uint16
+}
+
+// Type implements Message.
+func (*FeaturesReply) Type() MessageType { return TypeFeaturesReply }
+
+func (f *FeaturesReply) encodeBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, f.DatapathID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Ports)))
+	for _, p := range f.Ports {
+		dst = binary.BigEndian.AppendUint16(dst, p)
+	}
+	return dst
+}
+
+func (f *FeaturesReply) decodeBody(src []byte) error {
+	if len(src) < 10 {
+		return fmt.Errorf("%w: short features reply", ErrBadMessage)
+	}
+	f.DatapathID = binary.BigEndian.Uint64(src[0:8])
+	n := int(binary.BigEndian.Uint16(src[8:10]))
+	if len(src) < 10+2*n {
+		return fmt.Errorf("%w: features reply ports truncated", ErrBadMessage)
+	}
+	f.Ports = make([]uint16, n)
+	for i := 0; i < n; i++ {
+		f.Ports[i] = binary.BigEndian.Uint16(src[10+2*i : 12+2*i])
+	}
+	return nil
+}
+
+// PacketIn punts a packet that missed the flow table (or hit a
+// ToController action) up to the controller.
+type PacketIn struct {
+	DatapathID uint64
+	InPort     uint16
+	// Reason distinguishes table-miss (0) from explicit action (1).
+	Reason uint8
+	Data   []byte
+}
+
+// Type implements Message.
+func (*PacketIn) Type() MessageType { return TypePacketIn }
+
+func (p *PacketIn) encodeBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, p.DatapathID)
+	dst = binary.BigEndian.AppendUint16(dst, p.InPort)
+	dst = append(dst, p.Reason)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(p.Data)))
+	return append(dst, p.Data...)
+}
+
+func (p *PacketIn) decodeBody(src []byte) error {
+	if len(src) < 15 {
+		return fmt.Errorf("%w: short packet-in", ErrBadMessage)
+	}
+	p.DatapathID = binary.BigEndian.Uint64(src[0:8])
+	p.InPort = binary.BigEndian.Uint16(src[8:10])
+	p.Reason = src[10]
+	n := int(binary.BigEndian.Uint32(src[11:15]))
+	if len(src) < 15+n {
+		return fmt.Errorf("%w: packet-in data truncated", ErrBadMessage)
+	}
+	p.Data = append([]byte(nil), src[15:15+n]...)
+	return nil
+}
+
+// PacketOut injects a packet into the switch's pipeline with an
+// explicit action list.
+type PacketOut struct {
+	InPort  uint16
+	Actions []Action
+	Data    []byte
+}
+
+// Type implements Message.
+func (*PacketOut) Type() MessageType { return TypePacketOut }
+
+func (p *PacketOut) encodeBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.InPort)
+	dst = encodeActions(dst, p.Actions)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(p.Data)))
+	return append(dst, p.Data...)
+}
+
+func (p *PacketOut) decodeBody(src []byte) error {
+	if len(src) < 2 {
+		return fmt.Errorf("%w: short packet-out", ErrBadMessage)
+	}
+	p.InPort = binary.BigEndian.Uint16(src[0:2])
+	actions, rest, err := decodeActions(src[2:])
+	if err != nil {
+		return err
+	}
+	p.Actions = actions
+	if len(rest) < 4 {
+		return fmt.Errorf("%w: packet-out length truncated", ErrBadMessage)
+	}
+	n := int(binary.BigEndian.Uint32(rest[0:4]))
+	if len(rest) < 4+n {
+		return fmt.Errorf("%w: packet-out data truncated", ErrBadMessage)
+	}
+	p.Data = append([]byte(nil), rest[4:4+n]...)
+	return nil
+}
+
+// FlowModCommand discriminates FLOW_MOD operations.
+type FlowModCommand uint8
+
+// Flow-mod commands.
+const (
+	FlowAdd FlowModCommand = iota + 1
+	FlowDelete
+	FlowDeleteByCookie
+)
+
+// FlowMod installs or removes flow entries on a switch.
+type FlowMod struct {
+	Command     FlowModCommand
+	Match       Match
+	Priority    uint16
+	Actions     []Action
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+	Cookie      uint64
+}
+
+// Type implements Message.
+func (*FlowMod) Type() MessageType { return TypeFlowMod }
+
+func (f *FlowMod) encodeBody(dst []byte) []byte {
+	dst = append(dst, uint8(f.Command))
+	dst = encodeMatch(dst, f.Match)
+	dst = binary.BigEndian.AppendUint16(dst, f.Priority)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.IdleTimeout/time.Millisecond))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.HardTimeout/time.Millisecond))
+	dst = binary.BigEndian.AppendUint64(dst, f.Cookie)
+	return encodeActions(dst, f.Actions)
+}
+
+func (f *FlowMod) decodeBody(src []byte) error {
+	if len(src) < 1 {
+		return fmt.Errorf("%w: short flow-mod", ErrBadMessage)
+	}
+	f.Command = FlowModCommand(src[0])
+	m, rest, err := decodeMatch(src[1:])
+	if err != nil {
+		return err
+	}
+	f.Match = m
+	if len(rest) < 18 {
+		return fmt.Errorf("%w: flow-mod fields truncated", ErrBadMessage)
+	}
+	f.Priority = binary.BigEndian.Uint16(rest[0:2])
+	f.IdleTimeout = time.Duration(binary.BigEndian.Uint32(rest[2:6])) * time.Millisecond
+	f.HardTimeout = time.Duration(binary.BigEndian.Uint32(rest[6:10])) * time.Millisecond
+	f.Cookie = binary.BigEndian.Uint64(rest[10:18])
+	actions, _, err := decodeActions(rest[18:])
+	if err != nil {
+		return err
+	}
+	f.Actions = actions
+	return nil
+}
+
+// FlowRemoved notifies the controller that an entry expired.
+type FlowRemoved struct {
+	DatapathID uint64
+	Match      Match
+	Priority   uint16
+	Cookie     uint64
+	Packets    uint64
+	Bytes      uint64
+}
+
+// Type implements Message.
+func (*FlowRemoved) Type() MessageType { return TypeFlowRemoved }
+
+func (f *FlowRemoved) encodeBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, f.DatapathID)
+	dst = encodeMatch(dst, f.Match)
+	dst = binary.BigEndian.AppendUint16(dst, f.Priority)
+	dst = binary.BigEndian.AppendUint64(dst, f.Cookie)
+	dst = binary.BigEndian.AppendUint64(dst, f.Packets)
+	return binary.BigEndian.AppendUint64(dst, f.Bytes)
+}
+
+func (f *FlowRemoved) decodeBody(src []byte) error {
+	if len(src) < 8 {
+		return fmt.Errorf("%w: short flow-removed", ErrBadMessage)
+	}
+	f.DatapathID = binary.BigEndian.Uint64(src[0:8])
+	m, rest, err := decodeMatch(src[8:])
+	if err != nil {
+		return err
+	}
+	f.Match = m
+	if len(rest) < 26 {
+		return fmt.Errorf("%w: flow-removed fields truncated", ErrBadMessage)
+	}
+	f.Priority = binary.BigEndian.Uint16(rest[0:2])
+	f.Cookie = binary.BigEndian.Uint64(rest[2:10])
+	f.Packets = binary.BigEndian.Uint64(rest[10:18])
+	f.Bytes = binary.BigEndian.Uint64(rest[18:26])
+	return nil
+}
+
+// StatsRequest asks for the switch's aggregate counters.
+type StatsRequest struct{}
+
+// Type implements Message.
+func (*StatsRequest) Type() MessageType            { return TypeStatsRequest }
+func (*StatsRequest) encodeBody(dst []byte) []byte { return dst }
+func (*StatsRequest) decodeBody([]byte) error      { return nil }
+
+// StatsReply carries aggregate switch counters.
+type StatsReply struct {
+	DatapathID uint64
+	FlowCount  uint32
+	PacketsIn  uint64
+	PacketsOut uint64
+	TableMiss  uint64
+}
+
+// Type implements Message.
+func (*StatsReply) Type() MessageType { return TypeStatsReply }
+
+func (s *StatsReply) encodeBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, s.DatapathID)
+	dst = binary.BigEndian.AppendUint32(dst, s.FlowCount)
+	dst = binary.BigEndian.AppendUint64(dst, s.PacketsIn)
+	dst = binary.BigEndian.AppendUint64(dst, s.PacketsOut)
+	return binary.BigEndian.AppendUint64(dst, s.TableMiss)
+}
+
+func (s *StatsReply) decodeBody(src []byte) error {
+	if len(src) < 36 {
+		return fmt.Errorf("%w: short stats reply", ErrBadMessage)
+	}
+	s.DatapathID = binary.BigEndian.Uint64(src[0:8])
+	s.FlowCount = binary.BigEndian.Uint32(src[8:12])
+	s.PacketsIn = binary.BigEndian.Uint64(src[12:20])
+	s.PacketsOut = binary.BigEndian.Uint64(src[20:28])
+	s.TableMiss = binary.BigEndian.Uint64(src[28:36])
+	return nil
+}
+
+// BarrierRequest asks the switch to finish processing all preceding
+// messages before replying; the controller uses it to order updates.
+type BarrierRequest struct{}
+
+// Type implements Message.
+func (*BarrierRequest) Type() MessageType            { return TypeBarrierRequest }
+func (*BarrierRequest) encodeBody(dst []byte) []byte { return dst }
+func (*BarrierRequest) decodeBody([]byte) error      { return nil }
+
+// BarrierReply acknowledges a BarrierRequest.
+type BarrierReply struct{}
+
+// Type implements Message.
+func (*BarrierReply) Type() MessageType            { return TypeBarrierReply }
+func (*BarrierReply) encodeBody(dst []byte) []byte { return dst }
+func (*BarrierReply) decodeBody([]byte) error      { return nil }
+
+// ErrorMsg reports a protocol or processing failure to the peer.
+type ErrorMsg struct {
+	Code uint16
+	Text string
+}
+
+// Type implements Message.
+func (*ErrorMsg) Type() MessageType { return TypeError }
+
+func (e *ErrorMsg) encodeBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, e.Code)
+	return append(dst, e.Text...)
+}
+
+func (e *ErrorMsg) decodeBody(src []byte) error {
+	if len(src) < 2 {
+		return fmt.Errorf("%w: short error message", ErrBadMessage)
+	}
+	e.Code = binary.BigEndian.Uint16(src[0:2])
+	e.Text = string(src[2:])
+	return nil
+}
+
+// --- field codecs ---
+
+const matchEncodedLen = 4 + 2 + 6 + 6 + 2 + 4 + 4 + 1 + 1 + 1 + 2 + 2
+
+func encodeMatch(dst []byte, m Match) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Wildcards)
+	dst = binary.BigEndian.AppendUint16(dst, m.InPort)
+	dst = append(dst, m.EthSrc[:]...)
+	dst = append(dst, m.EthDst[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.EtherType))
+	dst = append(dst, m.SrcIP[:]...)
+	dst = append(dst, m.DstIP[:]...)
+	dst = append(dst, m.SrcMask, m.DstMask, uint8(m.Proto))
+	dst = binary.BigEndian.AppendUint16(dst, m.TpSrc)
+	return binary.BigEndian.AppendUint16(dst, m.TpDst)
+}
+
+func decodeMatch(src []byte) (Match, []byte, error) {
+	var m Match
+	if len(src) < matchEncodedLen {
+		return m, nil, fmt.Errorf("%w: match truncated", ErrBadMessage)
+	}
+	m.Wildcards = binary.BigEndian.Uint32(src[0:4])
+	m.InPort = binary.BigEndian.Uint16(src[4:6])
+	copy(m.EthSrc[:], src[6:12])
+	copy(m.EthDst[:], src[12:18])
+	m.EtherType = packet.EtherType(binary.BigEndian.Uint16(src[18:20]))
+	copy(m.SrcIP[:], src[20:24])
+	copy(m.DstIP[:], src[24:28])
+	m.SrcMask = src[28]
+	m.DstMask = src[29]
+	m.Proto = packet.IPProtocol(src[30])
+	m.TpSrc = binary.BigEndian.Uint16(src[31:33])
+	m.TpDst = binary.BigEndian.Uint16(src[33:35])
+	return m, src[matchEncodedLen:], nil
+}
+
+func encodeActions(dst []byte, actions []Action) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(actions)))
+	for _, a := range actions {
+		dst = append(dst, uint8(a.Type))
+		dst = binary.BigEndian.AppendUint16(dst, a.Port)
+		dst = append(dst, a.MAC[:]...)
+	}
+	return dst
+}
+
+func decodeActions(src []byte) ([]Action, []byte, error) {
+	if len(src) < 2 {
+		return nil, nil, fmt.Errorf("%w: actions truncated", ErrBadMessage)
+	}
+	n := int(binary.BigEndian.Uint16(src[0:2]))
+	src = src[2:]
+	const actionLen = 1 + 2 + 6
+	if len(src) < n*actionLen {
+		return nil, nil, fmt.Errorf("%w: action list truncated", ErrBadMessage)
+	}
+	actions := make([]Action, n)
+	for i := 0; i < n; i++ {
+		off := i * actionLen
+		actions[i].Type = ActionType(src[off])
+		actions[i].Port = binary.BigEndian.Uint16(src[off+1 : off+3])
+		copy(actions[i].MAC[:], src[off+3:off+9])
+	}
+	return actions, src[n*actionLen:], nil
+}
+
+// newMessage allocates an empty message of the given type.
+func newMessage(t MessageType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeEchoRequest:
+		return &Echo{}, nil
+	case TypeEchoReply:
+		return &Echo{Reply: true}, nil
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{}, nil
+	case TypeFeaturesReply:
+		return &FeaturesReply{}, nil
+	case TypePacketIn:
+		return &PacketIn{}, nil
+	case TypePacketOut:
+		return &PacketOut{}, nil
+	case TypeFlowMod:
+		return &FlowMod{}, nil
+	case TypeFlowRemoved:
+		return &FlowRemoved{}, nil
+	case TypeStatsRequest:
+		return &StatsRequest{}, nil
+	case TypeStatsReply:
+		return &StatsReply{}, nil
+	case TypeBarrierRequest:
+		return &BarrierRequest{}, nil
+	case TypeBarrierReply:
+		return &BarrierReply{}, nil
+	case TypeError:
+		return &ErrorMsg{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, t)
+	}
+}
+
+// Encode frames the message with the given transaction ID.
+func Encode(m Message, xid uint32) ([]byte, error) {
+	body := m.encodeBody(make([]byte, 0, 64))
+	total := headerLen + len(body)
+	if total > maxMessageLen {
+		return nil, ErrMessageSize
+	}
+	out := make([]byte, headerLen, total)
+	out[0] = Version
+	out[1] = uint8(m.Type())
+	binary.BigEndian.PutUint32(out[4:8], uint32(total))
+	binary.BigEndian.PutUint32(out[8:12], xid)
+	return append(out, body...), nil
+}

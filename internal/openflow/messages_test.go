@@ -1,0 +1,267 @@
+package openflow
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iotsec/internal/packet"
+)
+
+// roundTrip encodes then decodes a message, failing on any mismatch.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	buf, err := Encode(m, 77)
+	if err != nil {
+		t.Fatalf("encode %s: %v", m.Type(), err)
+	}
+	got, err := newMessage(m.Type())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.decodeBody(buf[headerLen:]); err != nil {
+		t.Fatalf("decode %s: %v", m.Type(), err)
+	}
+	return got
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	msgs := []Message{
+		&Hello{},
+		&Echo{Payload: []byte("ping")},
+		&Echo{Reply: true, Payload: []byte("pong")},
+		&FeaturesRequest{},
+		&FeaturesReply{DatapathID: 0xdeadbeef, Ports: []uint16{1, 2, 3}},
+		&PacketIn{DatapathID: 9, InPort: 4, Reason: 1, Data: []byte{1, 2, 3}},
+		&PacketOut{InPort: 2, Actions: []Action{Output(7), Flood()}, Data: []byte("pkt")},
+		&FlowMod{
+			Command:     FlowAdd,
+			Match:       MatchIPv4().WithDstIP(ipB, 24).WithProto(packet.IPProtocolTCP).WithTpDst(80),
+			Priority:    1000,
+			Actions:     []Action{SetEthDst(macB), Output(3)},
+			IdleTimeout: 5 * time.Second,
+			HardTimeout: time.Minute,
+			Cookie:      0xabc,
+		},
+		&FlowRemoved{DatapathID: 3, Match: MatchAll().WithTpSrc(53), Priority: 9, Cookie: 11, Packets: 100, Bytes: 9999},
+		&StatsRequest{},
+		&StatsReply{DatapathID: 5, FlowCount: 10, PacketsIn: 1, PacketsOut: 2, TableMiss: 3},
+		&BarrierRequest{},
+		&BarrierReply{},
+		&ErrorMsg{Code: 2, Text: "bad flow"},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s round trip:\n got  %#v\n want %#v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestMatchCodecProperty(t *testing.T) {
+	f := func(wild uint32, inPort uint16, ethSrc, ethDst [6]byte, et uint16, src, dst [4]byte, sm, dm, proto uint8, tps, tpd uint16) bool {
+		m := Match{
+			Wildcards: wild & WAll, InPort: inPort,
+			EthSrc: ethSrc, EthDst: ethDst,
+			EtherType: packet.EtherType(et),
+			SrcIP:     src, DstIP: dst,
+			SrcMask: sm % 33, DstMask: dm % 33,
+			Proto: packet.IPProtocol(proto),
+			TpSrc: tps, TpDst: tpd,
+		}
+		enc := encodeMatch(nil, m)
+		got, rest, err := decodeMatch(enc)
+		return err == nil && len(rest) == 0 && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsTruncatedBodies(t *testing.T) {
+	fm := &FlowMod{Command: FlowAdd, Match: MatchAll(), Priority: 1}
+	buf, err := Encode(fm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := headerLen; cut < len(buf)-1; cut += 3 {
+		var got FlowMod
+		if err := got.decodeBody(buf[headerLen:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestConnFraming(t *testing.T) {
+	client, server := net.Pipe()
+	c1, c2 := NewConn(client), NewConn(server)
+	defer c1.Close()
+	defer c2.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		m, xid, err := c2.Receive()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- c2.SendWithXID(&Echo{Reply: true, Payload: m.(*Echo).Payload}, xid)
+	}()
+
+	xid, err := c1.Send(&Echo{Payload: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, gotXID, err := c1.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if gotXID != xid {
+		t.Errorf("xid = %d, want %d", gotXID, xid)
+	}
+	e, ok := reply.(*Echo)
+	if !ok || !e.Reply || !bytes.Equal(e.Payload, []byte("hello")) {
+		t.Errorf("reply = %#v", reply)
+	}
+}
+
+func TestConnRejectsBadVersion(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	c := NewConn(server)
+	defer c.Close()
+	go func() {
+		buf, _ := Encode(&Hello{}, 1)
+		buf[0] = 99 // corrupt version
+		client.Write(buf)
+	}()
+	if _, _, err := c.Receive(); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+// fakeHandler records controller events for endpoint tests.
+type fakeHandler struct {
+	connected    chan uint64
+	disconnected chan uint64
+	packetIns    chan *PacketIn
+	flowRemoved  chan *FlowRemoved
+}
+
+func newFakeHandler() *fakeHandler {
+	return &fakeHandler{
+		connected:    make(chan uint64, 4),
+		disconnected: make(chan uint64, 4),
+		packetIns:    make(chan *PacketIn, 16),
+		flowRemoved:  make(chan *FlowRemoved, 16),
+	}
+}
+
+func (h *fakeHandler) SwitchConnected(dpid uint64, ports []uint16) { h.connected <- dpid }
+func (h *fakeHandler) SwitchDisconnected(dpid uint64)              { h.disconnected <- dpid }
+func (h *fakeHandler) HandlePacketIn(pi *PacketIn)                 { h.packetIns <- pi }
+func (h *fakeHandler) HandleFlowRemoved(fr *FlowRemoved)           { h.flowRemoved <- fr }
+
+// dialFakeSwitch performs the switch side of the handshake.
+func dialFakeSwitch(t *testing.T, addr string, dpid uint64) *Conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(raw)
+	if m, _, err := conn.Receive(); err != nil || m.Type() != TypeHello {
+		t.Fatalf("expected HELLO: %v %v", m, err)
+	}
+	if _, err := conn.Send(&Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _, err := conn.Receive(); err != nil || m.Type() != TypeFeaturesRequest {
+		t.Fatalf("expected FEATURES_REQUEST: %v %v", m, err)
+	}
+	if _, err := conn.Send(&FeaturesReply{DatapathID: dpid, Ports: []uint16{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestControllerEndpointSession(t *testing.T) {
+	h := newFakeHandler()
+	ep := NewControllerEndpoint(h, nil)
+	addr, err := ep.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	sw := dialFakeSwitch(t, addr, 42)
+	defer sw.Close()
+
+	select {
+	case dpid := <-h.connected:
+		if dpid != 42 {
+			t.Fatalf("connected dpid = %d", dpid)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("switch never registered")
+	}
+
+	// Switch punts a packet; controller handler receives it.
+	if _, err := sw.Send(&PacketIn{DatapathID: 42, InPort: 1, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pi := <-h.packetIns:
+		if pi.DatapathID != 42 || pi.InPort != 1 {
+			t.Errorf("packet-in = %+v", pi)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("packet-in never dispatched")
+	}
+
+	// Controller programs the switch.
+	fm := &FlowMod{Command: FlowAdd, Match: MatchAll(), Priority: 7, Actions: []Action{Flood()}}
+	if err := ep.SendFlowMod(42, fm); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := sw.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFM, ok := m.(*FlowMod)
+	if !ok || gotFM.Priority != 7 {
+		t.Errorf("switch received %#v", m)
+	}
+
+	// Barrier round trip.
+	go func() {
+		m, xid, err := sw.Receive()
+		if err == nil && m.Type() == TypeBarrierRequest {
+			_ = sw.SendWithXID(&BarrierReply{}, xid)
+		}
+	}()
+	if err := ep.Barrier(42, 2*time.Second); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+
+	// Unknown datapath errors.
+	if err := ep.SendFlowMod(999, fm); err == nil {
+		t.Error("send to unknown dpid should fail")
+	}
+
+	sw.Close()
+	select {
+	case dpid := <-h.disconnected:
+		if dpid != 42 {
+			t.Errorf("disconnected dpid = %d", dpid)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("disconnect never reported")
+	}
+}

@@ -1,0 +1,217 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iotsec/internal/packet"
+)
+
+// FlowEntry is one installed rule: a classifier, a priority, the
+// actions to apply, and optional expiry.
+type FlowEntry struct {
+	Match    Match
+	Priority uint16
+	Actions  []Action
+	// IdleTimeout evicts the entry after this long without a hit
+	// (zero = never).
+	IdleTimeout time.Duration
+	// HardTimeout evicts the entry this long after installation
+	// (zero = never).
+	HardTimeout time.Duration
+	// Cookie is an opaque controller tag used for bulk deletion.
+	Cookie uint64
+
+	installed time.Time
+	lastHit   time.Time
+	packets   uint64
+	bytes     uint64
+}
+
+// Stats reports the entry's hit counters.
+func (e *FlowEntry) Stats() (packets, bytes uint64) { return e.packets, e.bytes }
+
+// String summarizes the rule.
+func (e *FlowEntry) String() string {
+	acts := make([]string, len(e.Actions))
+	for i, a := range e.Actions {
+		acts[i] = a.String()
+	}
+	actStr := "drop"
+	if len(acts) > 0 {
+		actStr = strings.Join(acts, ",")
+	}
+	return fmt.Sprintf("prio=%d %s -> %s", e.Priority, e.Match, actStr)
+}
+
+// FlowTable is a priority-ordered, thread-safe rule table. Lookup
+// returns the highest-priority matching entry; ties break toward the
+// earlier-installed entry.
+type FlowTable struct {
+	mu      sync.RWMutex
+	entries []*FlowEntry // sorted by descending priority, stable
+	seq     uint64
+	// MissCount counts lookups that matched no entry.
+	missCount uint64
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable { return &FlowTable{} }
+
+// Insert installs the entry, replacing any existing entry with an
+// identical match and priority.
+func (t *FlowTable) Insert(e FlowEntry) {
+	now := time.Now()
+	e.installed = now
+	e.lastHit = now
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match == e.Match {
+			t.entries[i] = &e
+			return
+		}
+	}
+	t.entries = append(t.entries, &e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		return t.entries[i].Priority > t.entries[j].Priority
+	})
+}
+
+// matchSubsumes reports whether every packet matching sub also matches
+// the filter fields of f (used for OpenFlow-style delete filters: a
+// filter with more wildcards deletes more entries).
+func matchSubsumes(filter, sub Match) bool {
+	if filter.Wildcards == WAll {
+		return true
+	}
+	if filter.Wildcards&WInPort == 0 && (sub.Wildcards&WInPort != 0 || sub.InPort != filter.InPort) {
+		return false
+	}
+	if filter.Wildcards&WEthSrc == 0 && (sub.Wildcards&WEthSrc != 0 || sub.EthSrc != filter.EthSrc) {
+		return false
+	}
+	if filter.Wildcards&WEthDst == 0 && (sub.Wildcards&WEthDst != 0 || sub.EthDst != filter.EthDst) {
+		return false
+	}
+	if filter.Wildcards&WEtherType == 0 && (sub.Wildcards&WEtherType != 0 || sub.EtherType != filter.EtherType) {
+		return false
+	}
+	if filter.Wildcards&WSrcIP == 0 && (sub.Wildcards&WSrcIP != 0 || sub.SrcMask < filter.SrcMask || !prefixMatches(filter.SrcIP, sub.SrcIP, filter.SrcMask)) {
+		return false
+	}
+	if filter.Wildcards&WDstIP == 0 && (sub.Wildcards&WDstIP != 0 || sub.DstMask < filter.DstMask || !prefixMatches(filter.DstIP, sub.DstIP, filter.DstMask)) {
+		return false
+	}
+	if filter.Wildcards&WProto == 0 && (sub.Wildcards&WProto != 0 || sub.Proto != filter.Proto) {
+		return false
+	}
+	if filter.Wildcards&WTpSrc == 0 && (sub.Wildcards&WTpSrc != 0 || sub.TpSrc != filter.TpSrc) {
+		return false
+	}
+	if filter.Wildcards&WTpDst == 0 && (sub.Wildcards&WTpDst != 0 || sub.TpDst != filter.TpDst) {
+		return false
+	}
+	return true
+}
+
+// Delete removes entries whose match is subsumed by the filter,
+// returning how many were removed.
+func (t *FlowTable) Delete(filter Match) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if matchSubsumes(filter, e.Match) {
+			removed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// DeleteByCookie removes entries tagged with the cookie.
+func (t *FlowTable) DeleteByCookie(cookie uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.Cookie == cookie && cookie != 0 {
+			removed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// Lookup returns a copy of the highest-priority entry matching the
+// packet, updating its counters. ok is false on a table miss.
+func (t *FlowTable) Lookup(p *packet.Packet, inPort uint16, size int) (FlowEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.Match.Matches(p, inPort) {
+			e.packets++
+			e.bytes += uint64(size)
+			e.lastHit = time.Now()
+			return *e, true
+		}
+	}
+	t.missCount++
+	return FlowEntry{}, false
+}
+
+// Expire removes entries whose idle or hard timeout has passed as of
+// now, returning the expired entries (copies) so the switch can emit
+// FLOW_REMOVED notifications.
+func (t *FlowTable) Expire(now time.Time) []FlowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var expired []FlowEntry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		idleDead := e.IdleTimeout > 0 && now.Sub(e.lastHit) >= e.IdleTimeout
+		hardDead := e.HardTimeout > 0 && now.Sub(e.installed) >= e.HardTimeout
+		if idleDead || hardDead {
+			expired = append(expired, *e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return expired
+}
+
+// Len reports the number of installed entries.
+func (t *FlowTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Misses reports how many lookups found no entry.
+func (t *FlowTable) Misses() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.missCount
+}
+
+// Entries returns copies of all entries in priority order.
+func (t *FlowTable) Entries() []FlowEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]FlowEntry, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = *e
+	}
+	return out
+}

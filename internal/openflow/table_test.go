@@ -1,0 +1,217 @@
+package openflow
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"iotsec/internal/packet"
+)
+
+func TestFlowTablePriorityOrder(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Insert(FlowEntry{Match: MatchAll(), Priority: 1, Actions: []Action{Output(1)}})
+	tbl.Insert(FlowEntry{Match: MatchAll().WithTpDst(80), Priority: 100, Actions: []Action{Output(2)}})
+	p := makeTCP(t, 5555, 80)
+	e, ok := tbl.Lookup(p, 0, len(p.Data()))
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if e.Actions[0].Port != 2 {
+		t.Errorf("matched port %d, want high-priority rule's port 2", e.Actions[0].Port)
+	}
+	// Non-port-80 traffic falls to the low-priority rule.
+	p2 := makeTCP(t, 5555, 443)
+	e, ok = tbl.Lookup(p2, 0, len(p2.Data()))
+	if !ok || e.Actions[0].Port != 1 {
+		t.Errorf("fallback rule not used: %v %v", e, ok)
+	}
+}
+
+func TestFlowTableReplaceSameMatchPriority(t *testing.T) {
+	tbl := NewFlowTable()
+	m := MatchAll().WithTpDst(80)
+	tbl.Insert(FlowEntry{Match: m, Priority: 10, Actions: []Action{Output(1)}})
+	tbl.Insert(FlowEntry{Match: m, Priority: 10, Actions: []Action{Output(9)}})
+	if tbl.Len() != 1 {
+		t.Fatalf("table len = %d, want 1 (replace)", tbl.Len())
+	}
+	p := makeTCP(t, 1, 80)
+	e, _ := tbl.Lookup(p, 0, 0)
+	if e.Actions[0].Port != 9 {
+		t.Errorf("entry not replaced: %v", e)
+	}
+}
+
+func TestFlowTableMissCount(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Insert(FlowEntry{Match: MatchAll().WithTpDst(80), Priority: 1})
+	p := makeTCP(t, 1, 443)
+	if _, ok := tbl.Lookup(p, 0, 0); ok {
+		t.Fatal("should miss")
+	}
+	if tbl.Misses() != 1 {
+		t.Errorf("misses = %d", tbl.Misses())
+	}
+}
+
+func TestFlowTableDeleteSubsumption(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Insert(FlowEntry{Match: MatchAll().WithSrcIP(ipA, 32), Priority: 5})
+	tbl.Insert(FlowEntry{Match: MatchAll().WithSrcIP(ipA, 32).WithTpDst(80), Priority: 6})
+	tbl.Insert(FlowEntry{Match: MatchAll().WithSrcIP(ipB, 32), Priority: 7})
+	// Deleting with the /16 covering ipA removes both ipA entries but
+	// not the ipB entry.
+	prefix := MatchAll().WithSrcIP(packet16(ipA), 16)
+	if n := tbl.Delete(prefix); n != 2 {
+		t.Errorf("deleted %d entries, want 2", n)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("table len = %d, want 1", tbl.Len())
+	}
+	// Delete-all clears the rest.
+	if n := tbl.Delete(MatchAll()); n != 1 {
+		t.Errorf("delete-all removed %d, want 1", n)
+	}
+}
+
+// packet16 zeroes the host bits of a /16 for prefix-delete tests.
+func packet16(ip [4]byte) [4]byte { return [4]byte{ip[0], ip[1], 0, 0} }
+
+func TestFlowTableDeleteByCookie(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Insert(FlowEntry{Match: MatchAll().WithTpDst(1), Priority: 1, Cookie: 42})
+	tbl.Insert(FlowEntry{Match: MatchAll().WithTpDst(2), Priority: 1, Cookie: 42})
+	tbl.Insert(FlowEntry{Match: MatchAll().WithTpDst(3), Priority: 1, Cookie: 7})
+	if n := tbl.DeleteByCookie(42); n != 2 {
+		t.Errorf("deleted %d, want 2", n)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestFlowTableExpiry(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Insert(FlowEntry{Match: MatchAll().WithTpDst(1), Priority: 1, HardTimeout: 10 * time.Millisecond})
+	tbl.Insert(FlowEntry{Match: MatchAll().WithTpDst(2), Priority: 1, IdleTimeout: 10 * time.Millisecond})
+	tbl.Insert(FlowEntry{Match: MatchAll().WithTpDst(3), Priority: 1}) // immortal
+	expired := tbl.Expire(time.Now().Add(time.Second))
+	if len(expired) != 2 {
+		t.Fatalf("expired %d entries, want 2", len(expired))
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("len = %d, want 1", tbl.Len())
+	}
+	// Idle timeout resets on hit.
+	tbl2 := NewFlowTable()
+	tbl2.Insert(FlowEntry{Match: MatchAll(), Priority: 1, IdleTimeout: time.Hour})
+	p := makeTCP(t, 1, 2)
+	tbl2.Lookup(p, 0, 10)
+	if got := tbl2.Expire(time.Now().Add(30 * time.Minute)); len(got) != 0 {
+		t.Errorf("entry expired despite recent hit: %v", got)
+	}
+}
+
+func TestFlowTableStatsAccumulate(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Insert(FlowEntry{Match: MatchAll(), Priority: 1})
+	p := makeTCP(t, 1, 2)
+	tbl.Lookup(p, 0, 100)
+	tbl.Lookup(p, 0, 50)
+	entries := tbl.Entries()
+	pkts, bytes := entries[0].Stats()
+	if pkts != 2 || bytes != 150 {
+		t.Errorf("stats = %d pkts %d bytes, want 2/150", pkts, bytes)
+	}
+}
+
+func TestFlowEntryString(t *testing.T) {
+	e := FlowEntry{Match: MatchAll(), Priority: 3}
+	if got := e.String(); got != "prio=3 any -> drop" {
+		t.Errorf("empty-action entry string = %q", got)
+	}
+	e.Actions = []Action{SetEthDst(macB), Output(4)}
+	if got := e.String(); !contains(got, "set_eth_dst") || !contains(got, "output:4") {
+		t.Errorf("entry string = %q", got)
+	}
+}
+
+// TestMatchSubsumptionSoundProperty checks the delete-filter
+// semantics: whenever matchSubsumes(filter, sub) holds, every packet
+// matched by sub must also be matched by filter. (The converse need
+// not hold — subsumption may be conservative — but unsoundness here
+// would make FLOW_DELETE remove rules it shouldn't.)
+func TestMatchSubsumptionSoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	randMatch := func() Match {
+		m := MatchAll()
+		if rng.Intn(2) == 0 {
+			m = m.WithInPort(uint16(rng.Intn(3)))
+		}
+		if rng.Intn(2) == 0 {
+			m = m.WithEthSrc(packet.MACAddress{2, 0, 0, 0, 0, byte(rng.Intn(3))})
+		}
+		if rng.Intn(2) == 0 {
+			bits := uint8([]int{8, 16, 24, 32}[rng.Intn(4)])
+			m = m.WithSrcIP(packet.IPv4Address{10, byte(rng.Intn(2)), byte(rng.Intn(2)), byte(rng.Intn(3))}, bits)
+		}
+		if rng.Intn(2) == 0 {
+			m = m.WithProto([]packet.IPProtocol{packet.IPProtocolTCP, packet.IPProtocolUDP}[rng.Intn(2)])
+		}
+		if rng.Intn(2) == 0 {
+			m = m.WithTpDst(uint16(80 + rng.Intn(3)))
+		}
+		return m
+	}
+	// A pool of random packets to test against.
+	type pktCase struct {
+		p      *packet.Packet
+		inPort uint16
+	}
+	var pool []pktCase
+	for i := 0; i < 40; i++ {
+		srcMAC := packet.MACAddress{2, 0, 0, 0, 0, byte(rng.Intn(3))}
+		src := packet.IPv4Address{10, byte(rng.Intn(2)), byte(rng.Intn(2)), byte(rng.Intn(3))}
+		dst := packet.IPv4Address{10, 9, 9, 9}
+		proto := []packet.IPProtocol{packet.IPProtocolTCP, packet.IPProtocolUDP}[rng.Intn(2)]
+		dstPort := uint16(80 + rng.Intn(3))
+		b := packet.NewSerializeBuffer()
+		var transport packet.SerializableLayer
+		if proto == packet.IPProtocolTCP {
+			tr := &packet.TCP{SrcPort: 1000, DstPort: dstPort}
+			tr.SetNetworkForChecksum(src, dst)
+			transport = tr
+		} else {
+			tr := &packet.UDP{SrcPort: 1000, DstPort: dstPort}
+			tr.SetNetworkForChecksum(src, dst)
+			transport = tr
+		}
+		err := packet.SerializeLayers(b,
+			&packet.Ethernet{SrcMAC: srcMAC, DstMAC: macB, EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{SrcIP: src, DstIP: dst, Protocol: proto},
+			transport,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := make([]byte, b.Len())
+		copy(raw, b.Bytes())
+		pool = append(pool, pktCase{
+			p:      packet.Decode(raw, packet.LayerTypeEthernet),
+			inPort: uint16(rng.Intn(3)),
+		})
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		filter, sub := randMatch(), randMatch()
+		if !matchSubsumes(filter, sub) {
+			continue
+		}
+		for _, pc := range pool {
+			if sub.Matches(pc.p, pc.inPort) && !filter.Matches(pc.p, pc.inPort) {
+				t.Fatalf("unsound subsumption:\n filter=%s\n sub=%s\n packet matches sub but not filter", filter, sub)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+const arpLen = 28 // Ethernet/IPv4 ARP body
+
+// ARP is an Ethernet/IPv4 ARP message.
+type ARP struct {
+	base
+	Operation uint16
+	SenderMAC MACAddress
+	SenderIP  IPv4Address
+	TargetMAC MACAddress
+	TargetIP  IPv4Address
+}
+
+// LayerType implements Layer.
+func (a *ARP) LayerType() LayerType { return LayerTypeARP }
+
+// DecodeFromBytes implements DecodingLayer.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < arpLen {
+		return fmt.Errorf("arp: %w (%d bytes)", ErrTruncated, len(data))
+	}
+	if htype := binary.BigEndian.Uint16(data[0:2]); htype != 1 {
+		return fmt.Errorf("arp: unsupported hardware type %d", htype)
+	}
+	if ptype := EtherType(binary.BigEndian.Uint16(data[2:4])); ptype != EtherTypeIPv4 {
+		return fmt.Errorf("arp: unsupported protocol type %s", ptype)
+	}
+	a.Operation = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetMAC[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	a.contents = data[:arpLen]
+	a.payload = data[arpLen:]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (a *ARP) NextLayerType() LayerType { return LayerTypePayload }
+
+// SerializeTo implements SerializableLayer.
+func (a *ARP) SerializeTo(b *SerializeBuffer) error {
+	hdr, err := b.Prepend(arpLen)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint16(hdr[0:2], 1) // Ethernet
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(EtherTypeIPv4))
+	hdr[4] = 6 // MAC length
+	hdr[5] = 4 // IPv4 length
+	binary.BigEndian.PutUint16(hdr[6:8], a.Operation)
+	copy(hdr[8:14], a.SenderMAC[:])
+	copy(hdr[14:18], a.SenderIP[:])
+	copy(hdr[18:24], a.TargetMAC[:])
+	copy(hdr[24:28], a.TargetIP[:])
+	return nil
+}
+
+// String summarizes the ARP message.
+func (a *ARP) String() string {
+	op := "request"
+	if a.Operation == ARPReply {
+		op = "reply"
+	}
+	return fmt.Sprintf("ARP %s %s(%s) > %s(%s)", op, a.SenderIP, a.SenderMAC, a.TargetIP, a.TargetMAC)
+}

@@ -1,0 +1,33 @@
+package packet
+
+import "encoding/binary"
+
+// internetChecksum computes the RFC 1071 ones-complement checksum over
+// data, folding with the given initial partial sum.
+func internetChecksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial sum of the IPv4 pseudo-header
+// used by TCP and UDP checksums.
+func pseudoHeaderSum(src, dst IPv4Address, protocol uint8, length uint16) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(protocol)
+	sum += uint32(length)
+	return sum
+}

@@ -1,0 +1,152 @@
+package packet
+
+import "fmt"
+
+// Packet is the result of decoding raw bytes: an ordered list of layers
+// from outermost to innermost. Decoding is eager, so a Packet is safe
+// for concurrent reads.
+type Packet struct {
+	data   []byte
+	layers []Layer
+}
+
+// Decode parses data starting at the given first layer type. Decoding
+// never fails outright: bytes that cannot be parsed become a trailing
+// DecodeFailure layer, mirroring how a real dataplane must tolerate
+// malformed traffic.
+func Decode(data []byte, first LayerType) *Packet {
+	p := &Packet{data: data}
+	rest := data
+	next := first
+	for len(rest) > 0 && next != LayerTypeInvalid {
+		layer := newLayer(next)
+		if layer == nil {
+			pl := &Payload{}
+			_ = pl.DecodeFromBytes(rest)
+			p.layers = append(p.layers, pl)
+			return p
+		}
+		if err := layer.DecodeFromBytes(rest); err != nil {
+			fail := &DecodeFailure{Err: fmt.Errorf("decoding %s: %w", next, err)}
+			fail.contents = rest
+			p.layers = append(p.layers, fail)
+			return p
+		}
+		p.layers = append(p.layers, layer)
+		rest = layer.LayerPayload()
+		next = layer.NextLayerType()
+	}
+	return p
+}
+
+// newLayer allocates a fresh decoder for the given type, or nil for
+// types without a decoder.
+func newLayer(t LayerType) DecodingLayer {
+	switch t {
+	case LayerTypeEthernet:
+		return &Ethernet{}
+	case LayerTypeARP:
+		return &ARP{}
+	case LayerTypeIPv4:
+		return &IPv4{}
+	case LayerTypeTCP:
+		return &TCP{}
+	case LayerTypeUDP:
+		return &UDP{}
+	case LayerTypeDNS:
+		return &DNS{}
+	case LayerTypePayload:
+		return &Payload{}
+	default:
+		return nil
+	}
+}
+
+// Data returns the raw bytes the packet was decoded from.
+func (p *Packet) Data() []byte { return p.data }
+
+// Layers returns all decoded layers, outermost first.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// Ethernet returns the Ethernet layer, or nil.
+func (p *Packet) Ethernet() *Ethernet {
+	if l := p.Layer(LayerTypeEthernet); l != nil {
+		return l.(*Ethernet)
+	}
+	return nil
+}
+
+// IPv4 returns the IPv4 layer, or nil.
+func (p *Packet) IPv4() *IPv4 {
+	if l := p.Layer(LayerTypeIPv4); l != nil {
+		return l.(*IPv4)
+	}
+	return nil
+}
+
+// TCP returns the TCP layer, or nil.
+func (p *Packet) TCP() *TCP {
+	if l := p.Layer(LayerTypeTCP); l != nil {
+		return l.(*TCP)
+	}
+	return nil
+}
+
+// UDP returns the UDP layer, or nil.
+func (p *Packet) UDP() *UDP {
+	if l := p.Layer(LayerTypeUDP); l != nil {
+		return l.(*UDP)
+	}
+	return nil
+}
+
+// DNS returns the DNS layer, or nil.
+func (p *Packet) DNS() *DNS {
+	if l := p.Layer(LayerTypeDNS); l != nil {
+		return l.(*DNS)
+	}
+	return nil
+}
+
+// ApplicationPayload returns the innermost opaque payload bytes, or nil
+// if the packet carries none.
+func (p *Packet) ApplicationPayload() []byte {
+	if l := p.Layer(LayerTypePayload); l != nil {
+		return l.(*Payload).Data
+	}
+	return nil
+}
+
+// ErrorLayer returns the DecodeFailure layer if decoding stopped early.
+func (p *Packet) ErrorLayer() *DecodeFailure {
+	if l := p.Layer(LayerTypeDecodeFailure); l != nil {
+		return l.(*DecodeFailure)
+	}
+	return nil
+}
+
+// String lists the layer summaries.
+func (p *Packet) String() string {
+	s := ""
+	for i, l := range p.layers {
+		if i > 0 {
+			s += " / "
+		}
+		if str, ok := l.(fmt.Stringer); ok {
+			s += str.String()
+		} else {
+			s += l.LayerType().String()
+		}
+	}
+	return s
+}

@@ -1,0 +1,100 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MACAddress is a 48-bit Ethernet hardware address.
+type MACAddress [6]byte
+
+// BroadcastMAC is the all-ones broadcast address.
+var BroadcastMAC = MACAddress{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the address in colon-hex form.
+func (m MACAddress) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (m MACAddress) IsBroadcast() bool { return m == BroadcastMAC }
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes the library understands.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+)
+
+// String names well-known EtherTypes.
+func (e EtherType) String() string {
+	switch e {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	default:
+		return fmt.Sprintf("EtherType(0x%04x)", uint16(e))
+	}
+}
+
+// ethernetHeaderLen is the fixed (untagged) Ethernet II header size.
+const ethernetHeaderLen = 14
+
+// ErrTruncated reports a layer whose bytes are shorter than its header.
+var ErrTruncated = errors.New("packet: truncated layer")
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	base
+	SrcMAC, DstMAC MACAddress
+	EtherType      EtherType
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// DecodeFromBytes implements DecodingLayer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < ethernetHeaderLen {
+		return fmt.Errorf("ethernet header: %w (%d bytes)", ErrTruncated, len(data))
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	e.contents = data[:ethernetHeaderLen]
+	e.payload = data[ethernetHeaderLen:]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (e *Ethernet) NextLayerType() LayerType {
+	switch e.EtherType {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeARP:
+		return LayerTypeARP
+	default:
+		return LayerTypePayload
+	}
+}
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer) error {
+	hdr, err := b.Prepend(ethernetHeaderLen)
+	if err != nil {
+		return err
+	}
+	copy(hdr[0:6], e.DstMAC[:])
+	copy(hdr[6:12], e.SrcMAC[:])
+	binary.BigEndian.PutUint16(hdr[12:14], uint16(e.EtherType))
+	return nil
+}
+
+// String summarizes the frame header.
+func (e *Ethernet) String() string {
+	return fmt.Sprintf("Ethernet %s > %s %s", e.SrcMAC, e.DstMAC, e.EtherType)
+}

@@ -1,0 +1,105 @@
+// Package packet implements a small, allocation-conscious packet layer
+// library in the spirit of gopacket: typed layers, layered decoding,
+// prepend-style serialization buffers, and hashable flow/endpoint
+// identifiers. It covers the protocols the IoTSec data path needs:
+// Ethernet, ARP, IPv4, TCP, UDP, DNS and opaque application payloads.
+package packet
+
+import "fmt"
+
+// LayerType identifies a protocol layer. Values are stable across a
+// process lifetime and usable as map keys.
+type LayerType int
+
+// Known layer types.
+const (
+	LayerTypeInvalid LayerType = iota
+	LayerTypeEthernet
+	LayerTypeARP
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeDNS
+	LayerTypePayload
+	LayerTypeDecodeFailure
+)
+
+var layerTypeNames = map[LayerType]string{
+	LayerTypeInvalid:       "Invalid",
+	LayerTypeEthernet:      "Ethernet",
+	LayerTypeARP:           "ARP",
+	LayerTypeIPv4:          "IPv4",
+	LayerTypeTCP:           "TCP",
+	LayerTypeUDP:           "UDP",
+	LayerTypeDNS:           "DNS",
+	LayerTypePayload:       "Payload",
+	LayerTypeDecodeFailure: "DecodeFailure",
+}
+
+// String returns the layer type's protocol name.
+func (t LayerType) String() string {
+	if s, ok := layerTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("LayerType(%d)", int(t))
+}
+
+// Layer is a decoded protocol layer within a packet.
+type Layer interface {
+	// LayerType reports which protocol this layer is.
+	LayerType() LayerType
+	// LayerContents returns the bytes of this layer's header.
+	LayerContents() []byte
+	// LayerPayload returns the bytes this layer carries (the next
+	// layer's contents plus everything after it).
+	LayerPayload() []byte
+}
+
+// DecodingLayer is a Layer that can populate itself from raw bytes.
+// DecodeFromBytes must not retain data beyond the call unless the
+// decode options promise the buffer is immutable.
+type DecodingLayer interface {
+	Layer
+	// DecodeFromBytes parses data into the receiver, returning an
+	// error if the bytes do not form a valid header.
+	DecodeFromBytes(data []byte) error
+	// NextLayerType reports the type of the layer carried in
+	// LayerPayload, or LayerTypePayload if unknown/opaque.
+	NextLayerType() LayerType
+}
+
+// SerializableLayer is a Layer that can write itself into a
+// SerializeBuffer. SerializeTo prepends the layer's header bytes, so a
+// full packet is built by serializing layers innermost-first (the
+// SerializeLayers helper does this for you).
+type SerializableLayer interface {
+	// SerializeTo prepends this layer's wire representation onto b.
+	// The buffer's current contents are treated as this layer's
+	// payload (e.g. for length and checksum computation).
+	SerializeTo(b *SerializeBuffer) error
+	// LayerType reports which protocol this layer is.
+	LayerType() LayerType
+}
+
+// base carries the contents/payload split shared by all concrete layers.
+type base struct {
+	contents []byte
+	payload  []byte
+}
+
+func (b *base) LayerContents() []byte { return b.contents }
+func (b *base) LayerPayload() []byte  { return b.payload }
+
+// DecodeFailure is the layer recorded when decoding a packet's bytes
+// fails partway: its contents are the undecodable remainder and Err
+// explains why.
+type DecodeFailure struct {
+	base
+	Err error
+}
+
+// LayerType implements Layer.
+func (d *DecodeFailure) LayerType() LayerType { return LayerTypeDecodeFailure }
+
+// Error returns the decode error that produced this layer.
+func (d *DecodeFailure) Error() error { return d.Err }

@@ -1,0 +1,580 @@
+package packet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	testSrcMAC = MACAddress{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	testDstMAC = MACAddress{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+	testSrcIP  = MustParseIPv4("10.0.0.1")
+	testDstIP  = MustParseIPv4("10.0.0.2")
+)
+
+// buildTCPPacket serializes a full eth/ip/tcp/payload stack.
+func buildTCPPacket(t *testing.T, payload []byte, srcPort, dstPort uint16) []byte {
+	t.Helper()
+	tcp := &TCP{SrcPort: srcPort, DstPort: dstPort, Seq: 100, Ack: 200, Flags: TCPPsh | TCPAck}
+	tcp.SetNetworkForChecksum(testSrcIP, testDstIP)
+	b := NewSerializeBuffer()
+	err := SerializeLayers(b,
+		&Ethernet{SrcMAC: testSrcMAC, DstMAC: testDstMAC, EtherType: EtherTypeIPv4},
+		&IPv4{SrcIP: testSrcIP, DstIP: testDstIP, Protocol: IPProtocolTCP},
+		tcp,
+		NewPayload(payload),
+	)
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	return b.Bytes()
+}
+
+func TestEthernetIPv4TCPRoundTrip(t *testing.T) {
+	payload := []byte("GET /admin HTTP/1.0\r\n\r\n")
+	raw := buildTCPPacket(t, payload, 31337, 80)
+	p := Decode(raw, LayerTypeEthernet)
+	if fail := p.ErrorLayer(); fail != nil {
+		t.Fatalf("decode failed: %v", fail.Error())
+	}
+	eth := p.Ethernet()
+	if eth == nil || eth.SrcMAC != testSrcMAC || eth.DstMAC != testDstMAC {
+		t.Fatalf("ethernet mismatch: %+v", eth)
+	}
+	ip := p.IPv4()
+	if ip == nil || ip.SrcIP != testSrcIP || ip.DstIP != testDstIP {
+		t.Fatalf("ipv4 mismatch: %+v", ip)
+	}
+	if !ip.VerifyChecksum() {
+		t.Error("ipv4 checksum did not verify")
+	}
+	tcp := p.TCP()
+	if tcp == nil || tcp.SrcPort != 31337 || tcp.DstPort != 80 {
+		t.Fatalf("tcp mismatch: %+v", tcp)
+	}
+	if !tcp.Flags.Has(TCPPsh | TCPAck) {
+		t.Errorf("tcp flags = %v, want PSH|ACK", tcp.Flags)
+	}
+	if !tcp.VerifyChecksum(ip.SrcIP, ip.DstIP) {
+		t.Error("tcp checksum did not verify")
+	}
+	if got := p.ApplicationPayload(); !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	udp := &UDP{SrcPort: 5353, DstPort: 9999}
+	udp.SetNetworkForChecksum(testSrcIP, testDstIP)
+	b := NewSerializeBuffer()
+	err := SerializeLayers(b,
+		&IPv4{SrcIP: testSrcIP, DstIP: testDstIP, Protocol: IPProtocolUDP},
+		udp,
+		NewPayload([]byte("hello")),
+	)
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	p := Decode(b.Bytes(), LayerTypeIPv4)
+	u := p.UDP()
+	if u == nil {
+		t.Fatalf("no UDP layer in %v", p)
+	}
+	if u.SrcPort != 5353 || u.DstPort != 9999 {
+		t.Errorf("ports = %d,%d", u.SrcPort, u.DstPort)
+	}
+	if int(u.Length) != 8+5 {
+		t.Errorf("udp length = %d, want 13", u.Length)
+	}
+	if got := p.ApplicationPayload(); string(got) != "hello" {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	arp := &ARP{
+		Operation: ARPRequest,
+		SenderMAC: testSrcMAC, SenderIP: testSrcIP,
+		TargetMAC: MACAddress{}, TargetIP: testDstIP,
+	}
+	b := NewSerializeBuffer()
+	err := SerializeLayers(b,
+		&Ethernet{SrcMAC: testSrcMAC, DstMAC: BroadcastMAC, EtherType: EtherTypeARP},
+		arp,
+	)
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	p := Decode(b.Bytes(), LayerTypeEthernet)
+	got, ok := p.Layer(LayerTypeARP).(*ARP)
+	if !ok {
+		t.Fatalf("no ARP layer in %v", p)
+	}
+	if got.Operation != ARPRequest || got.SenderIP != testSrcIP || got.TargetIP != testDstIP {
+		t.Errorf("arp mismatch: %+v", got)
+	}
+}
+
+func TestDNSRoundTrip(t *testing.T) {
+	dns := &DNS{
+		ID:         0xbeef,
+		Response:   true,
+		RecDesired: true,
+		Questions:  []DNSQuestion{{Name: "iot.example.com", Type: DNSTypeA, Class: DNSClassIN}},
+		Answers: []DNSResourceRecord{
+			{Name: "iot.example.com", Type: DNSTypeA, Class: DNSClassIN, TTL: 300, Data: []byte{10, 0, 0, 42}},
+			{Name: "iot.example.com", Type: DNSTypeTXT, Class: DNSClassIN, TTL: 60, Data: bytes.Repeat([]byte{'x'}, 200)},
+		},
+	}
+	udp := &UDP{SrcPort: 53, DstPort: 4444}
+	b := NewSerializeBuffer()
+	if err := SerializeLayers(b, udp, dns); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	p := Decode(b.Bytes(), LayerTypeUDP)
+	got := p.DNS()
+	if got == nil {
+		t.Fatalf("no DNS layer in %v", p)
+	}
+	if got.ID != 0xbeef || !got.Response || !got.RecDesired {
+		t.Errorf("dns header mismatch: %+v", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "iot.example.com" {
+		t.Errorf("questions = %+v", got.Questions)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers = %+v", got.Answers)
+	}
+	if !bytes.Equal(got.Answers[0].Data, []byte{10, 0, 0, 42}) {
+		t.Errorf("A record data = %v", got.Answers[0].Data)
+	}
+	if len(got.Answers[1].Data) != 200 {
+		t.Errorf("TXT record len = %d", len(got.Answers[1].Data))
+	}
+}
+
+func TestDNSNameCompression(t *testing.T) {
+	// Hand-build a response with a compression pointer: question
+	// "a.example" at offset 12, answer name is a pointer to it.
+	raw := []byte{
+		0x12, 0x34, // ID
+		0x80, 0x00, // response flags
+		0x00, 0x01, // 1 question
+		0x00, 0x01, // 1 answer
+		0x00, 0x00, 0x00, 0x00, // ns/ar
+		1, 'a', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 0, // name at offset 12
+		0x00, 0x01, 0x00, 0x01, // type A class IN
+		0xc0, 0x0c, // pointer to offset 12
+		0x00, 0x01, 0x00, 0x01, // type A class IN
+		0x00, 0x00, 0x00, 0x3c, // TTL 60
+		0x00, 0x04, 1, 2, 3, 4, // rdata
+	}
+	var d DNS
+	if err := d.DecodeFromBytes(raw); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if d.Questions[0].Name != "a.example" {
+		t.Errorf("question name = %q", d.Questions[0].Name)
+	}
+	if d.Answers[0].Name != "a.example" {
+		t.Errorf("answer name = %q (compression pointer not followed)", d.Answers[0].Name)
+	}
+}
+
+func TestDNSCompressionLoopRejected(t *testing.T) {
+	// A name that points at itself must not hang the decoder.
+	raw := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xc0, 0x0c, // pointer to itself at offset 12
+		0, 1, 0, 1,
+	}
+	var d DNS
+	if err := d.DecodeFromBytes(raw); err == nil {
+		t.Fatal("self-referential compression pointer should fail decoding")
+	}
+}
+
+func TestDecodeTruncatedProducesFailureLayer(t *testing.T) {
+	raw := buildTCPPacket(t, []byte("data"), 1, 2)
+	for _, cut := range []int{1, 10, 15, 20, 30} {
+		p := Decode(raw[:cut], LayerTypeEthernet)
+		// Either everything decoded (short cuts may still form valid
+		// prefixes) or a DecodeFailure terminates the layer list; the
+		// decoder must never panic or loop.
+		if len(p.Layers()) == 0 && cut > 0 {
+			t.Errorf("cut=%d produced no layers", cut)
+		}
+	}
+	p := Decode(raw[:5], LayerTypeEthernet)
+	if p.ErrorLayer() == nil {
+		t.Error("5-byte ethernet frame should yield a DecodeFailure layer")
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"0.0.0.0", true},
+		{"255.255.255.255", true},
+		{"10.0.0.1", true},
+		{"256.0.0.1", false},
+		{"1.2.3", false},
+		{"1.2.3.4.5", false},
+		{"a.b.c.d", false},
+		{"", false},
+		{"1..2.3", false},
+		{"1.2.3.", false},
+	}
+	for _, c := range cases {
+		if _, ok := ParseIPv4(c.in); ok != c.ok {
+			t.Errorf("ParseIPv4(%q) ok=%v, want %v", c.in, ok, c.ok)
+		}
+	}
+	if a := MustParseIPv4("192.168.1.99"); a != (IPv4Address{192, 168, 1, 99}) {
+		t.Errorf("MustParseIPv4 = %v", a)
+	}
+}
+
+func TestIPv4StringRoundTripProperty(t *testing.T) {
+	f := func(a, b, c, d byte) bool {
+		addr := IPv4Address{a, b, c, d}
+		got, ok := ParseIPv4(addr.String())
+		return ok && got == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPSerializeDecodeProperty(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, flagBits uint8, payload []byte) bool {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		tcp := &TCP{
+			SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack,
+			Flags: TCPFlags(flagBits & 0x3f),
+		}
+		tcp.SetNetworkForChecksum(testSrcIP, testDstIP)
+		b := NewSerializeBuffer()
+		if err := SerializeLayers(b, tcp, NewPayload(payload)); err != nil {
+			return false
+		}
+		var got TCP
+		if err := got.DecodeFromBytes(b.Bytes()); err != nil {
+			return false
+		}
+		return got.SrcPort == srcPort && got.DstPort == dstPort &&
+			got.Seq == seq && got.Ack == ack &&
+			got.Flags == TCPFlags(flagBits&0x3f) &&
+			bytes.Equal(got.LayerPayload(), payload) &&
+			got.VerifyChecksum(testSrcIP, testDstIP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternetChecksumProperties(t *testing.T) {
+	// Checksum of data with its own checksum folded in verifies to 0.
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		if len(data) < 2 {
+			return true
+		}
+		data[0], data[1] = 0, 0
+		cs := internetChecksum(data, 0)
+		data[0], data[1] = byte(cs>>8), byte(cs)
+		return internetChecksum(data, 0) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeBufferPrependAppend(t *testing.T) {
+	b := NewSerializeBuffer()
+	s, err := b.Append(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(s, "bcd")
+	s, err = b.Prepend(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s[0] = 'a'
+	if err := b.PushBytes([]byte("e")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b.Bytes()); got != "abcde" {
+		t.Errorf("buffer = %q, want abcde", got)
+	}
+	if b.Len() != 5 {
+		t.Errorf("len = %d", b.Len())
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Errorf("len after clear = %d", b.Len())
+	}
+}
+
+func TestSerializeBufferLargePrepend(t *testing.T) {
+	var b SerializeBuffer // zero value, no headroom
+	s, err := b.Prepend(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		s[i] = byte(i)
+	}
+	if b.Len() != 1000 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if b.Bytes()[999] != byte(999%256) {
+		t.Error("content lost across growth")
+	}
+}
+
+func TestSerializeBufferMaxSize(t *testing.T) {
+	b := NewSerializeBuffer()
+	if _, err := b.Append(MaxPacketSize + 1); err == nil {
+		t.Error("appending past MaxPacketSize should fail")
+	}
+}
+
+func TestFlowCanonicalSymmetry(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 byte, pa, pb uint16) bool {
+		src := IPv4PortEndpoint(IPv4Address{a1, a2, a3, a4}, pa)
+		dst := IPv4PortEndpoint(IPv4Address{b1, b2, b3, b4}, pb)
+		fwd := Flow{Src: src, Dst: dst}
+		rev := fwd.Reverse()
+		return fwd.Canonical() == rev.Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransportFlowExtraction(t *testing.T) {
+	raw := buildTCPPacket(t, nil, 1234, 80)
+	p := Decode(raw, LayerTypeEthernet)
+	fl, ok := p.TransportFlow()
+	if !ok {
+		t.Fatal("no transport flow")
+	}
+	a, _ := fl.Src.IPv4Addr()
+	port, _ := fl.Src.Port()
+	if a != testSrcIP || port != 1234 {
+		t.Errorf("src = %v", fl.Src)
+	}
+	if fl.String() != "10.0.0.1:1234 > 10.0.0.2:80" {
+		t.Errorf("flow string = %q", fl.String())
+	}
+	nf, ok := p.NetworkFlow()
+	if !ok {
+		t.Fatal("no network flow")
+	}
+	if nf.String() != "10.0.0.1 > 10.0.0.2" {
+		t.Errorf("network flow = %q", nf)
+	}
+}
+
+func TestEndpointAccessors(t *testing.T) {
+	m := MACEndpoint(testSrcMAC)
+	if m.String() != "02:00:00:00:00:01" {
+		t.Errorf("mac endpoint = %q", m)
+	}
+	if _, ok := m.IPv4Addr(); ok {
+		t.Error("MAC endpoint should not expose an IPv4 address")
+	}
+	pe := PortEndpoint(8080)
+	if p, ok := pe.Port(); !ok || p != 8080 {
+		t.Errorf("port endpoint = %v", pe)
+	}
+}
+
+func TestDecodeUnknownEtherTypeFallsBackToPayload(t *testing.T) {
+	b := NewSerializeBuffer()
+	err := SerializeLayers(b,
+		&Ethernet{SrcMAC: testSrcMAC, DstMAC: testDstMAC, EtherType: EtherType(0x88cc)},
+		NewPayload([]byte("lldp-ish")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(b.Bytes(), LayerTypeEthernet)
+	if got := p.ApplicationPayload(); string(got) != "lldp-ish" {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestIPv4TTLDefaultsOnSerialize(t *testing.T) {
+	b := NewSerializeBuffer()
+	ip := &IPv4{SrcIP: testSrcIP, DstIP: testDstIP, Protocol: IPProtocolUDP}
+	if err := SerializeLayers(b, ip, NewPayload([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	var got IPv4
+	if err := got.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got.TTL != 64 {
+		t.Errorf("ttl = %d, want default 64", got.TTL)
+	}
+}
+
+func TestLayerAndPacketStrings(t *testing.T) {
+	raw := buildTCPPacket(t, []byte("hi"), 1234, 80)
+	p := Decode(raw, LayerTypeEthernet)
+	s := p.String()
+	for _, want := range []string{"Ethernet", "IPv4", "TCP", "Payload"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("packet string %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains(p.Ethernet().String(), "02:00:00:00:00:01") {
+		t.Errorf("eth string = %q", p.Ethernet())
+	}
+	if !strings.Contains(p.IPv4().String(), "10.0.0.1 > 10.0.0.2") {
+		t.Errorf("ip string = %q", p.IPv4())
+	}
+	if !strings.Contains(p.TCP().String(), "[ACK|PSH]") {
+		t.Errorf("tcp string = %q", p.TCP())
+	}
+	if len(p.Data()) != len(raw) {
+		t.Error("Data() mismatch")
+	}
+
+	udp := &UDP{SrcPort: 1, DstPort: 2, Length: 10}
+	if got := udp.String(); got != "UDP 1 > 2 len=10" {
+		t.Errorf("udp string = %q", got)
+	}
+	arp := &ARP{Operation: ARPReply, SenderIP: testSrcIP, TargetIP: testDstIP}
+	if !strings.Contains(arp.String(), "reply") {
+		t.Errorf("arp string = %q", arp)
+	}
+	dns := &DNS{ID: 3, Response: true}
+	if !strings.Contains(dns.String(), "response") {
+		t.Errorf("dns string = %q", dns)
+	}
+	pl := NewPayload([]byte("abc"))
+	if pl.String() != "Payload 3 bytes" {
+		t.Errorf("payload string = %q", pl)
+	}
+	if LayerType(999).String() == "" {
+		t.Error("unknown layer type string empty")
+	}
+	if EtherType(0x1234).String() != "EtherType(0x1234)" {
+		t.Errorf("ethertype string = %q", EtherType(0x1234))
+	}
+	if IPProtocol(99).String() != "IPProtocol(99)" {
+		t.Errorf("proto string = %q", IPProtocol(99))
+	}
+	if TCPFlags(0).String() != "none" {
+		t.Errorf("flags string = %q", TCPFlags(0))
+	}
+}
+
+func TestBroadcastAndZeroHelpers(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() || testSrcMAC.IsBroadcast() {
+		t.Error("IsBroadcast wrong")
+	}
+	if !(IPv4Address{}).IsZero() || testSrcIP.IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestDecodeFailureLayerAccessors(t *testing.T) {
+	p := Decode([]byte{1, 2, 3}, LayerTypeEthernet)
+	fail := p.ErrorLayer()
+	if fail == nil {
+		t.Fatal("no failure layer")
+	}
+	if fail.Error() == nil {
+		t.Error("failure carries no error")
+	}
+	if len(fail.LayerContents()) != 3 {
+		t.Errorf("failure contents = %v", fail.LayerContents())
+	}
+	// A failed packet has no protocol layers.
+	if p.TCP() != nil || p.UDP() != nil || p.IPv4() != nil || p.DNS() != nil || p.ApplicationPayload() != nil {
+		t.Error("accessors returned layers on a failed decode")
+	}
+	if _, ok := p.TransportFlow(); ok {
+		t.Error("transport flow on failed decode")
+	}
+}
+
+func TestUDPTransportFlow(t *testing.T) {
+	udp := &UDP{SrcPort: 9, DstPort: 10}
+	udp.SetNetworkForChecksum(testSrcIP, testDstIP)
+	b := NewSerializeBuffer()
+	if err := SerializeLayers(b,
+		&IPv4{SrcIP: testSrcIP, DstIP: testDstIP, Protocol: IPProtocolUDP},
+		udp, NewPayload([]byte("u")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(b.Bytes(), LayerTypeIPv4)
+	fl, ok := p.TransportFlow()
+	if !ok {
+		t.Fatal("no UDP transport flow")
+	}
+	if port, _ := fl.Dst.Port(); port != 10 {
+		t.Errorf("dst port = %d", port)
+	}
+	// IP-only packet: network flow yes, transport flow no.
+	b2 := NewSerializeBuffer()
+	if err := SerializeLayers(b2,
+		&IPv4{SrcIP: testSrcIP, DstIP: testDstIP, Protocol: IPProtocolICMP},
+		NewPayload([]byte("ping")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	p2 := Decode(b2.Bytes(), LayerTypeIPv4)
+	if _, ok := p2.TransportFlow(); ok {
+		t.Error("transport flow on ICMP packet")
+	}
+	if _, ok := p2.NetworkFlow(); !ok {
+		t.Error("no network flow on ICMP packet")
+	}
+}
+
+func TestEndpointOrderingProperty(t *testing.T) {
+	// endpointLess is a strict weak order: irreflexive, asymmetric.
+	f := func(a1, a2, b1, b2 byte, pa, pb uint16) bool {
+		ea := IPv4PortEndpoint(IPv4Address{a1, a2, 0, 1}, pa)
+		eb := IPv4PortEndpoint(IPv4Address{b1, b2, 0, 2}, pb)
+		if endpointLess(ea, ea) {
+			return false
+		}
+		if endpointLess(ea, eb) && endpointLess(eb, ea) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4VerifyChecksumDetectsCorruption(t *testing.T) {
+	raw := buildTCPPacket(t, []byte("x"), 1, 2)
+	p := Decode(raw, LayerTypeEthernet)
+	if !p.IPv4().VerifyChecksum() {
+		t.Fatal("fresh checksum should verify")
+	}
+	// Corrupt a header byte (TTL) and re-decode.
+	raw[14+8] ^= 0xff
+	p2 := Decode(raw, LayerTypeEthernet)
+	if ip := p2.IPv4(); ip != nil && ip.VerifyChecksum() {
+		t.Error("corrupted header verified")
+	}
+}

@@ -1,0 +1,40 @@
+package packet
+
+import "fmt"
+
+// Payload is an opaque application payload — the innermost layer of
+// most packets.
+type Payload struct {
+	base
+	Data []byte
+}
+
+// NewPayload wraps raw application bytes for serialization.
+func NewPayload(data []byte) *Payload { return &Payload{Data: data} }
+
+// LayerType implements Layer.
+func (p *Payload) LayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements DecodingLayer.
+func (p *Payload) DecodeFromBytes(data []byte) error {
+	p.Data = data
+	p.contents = data
+	p.payload = nil
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (p *Payload) NextLayerType() LayerType { return LayerTypeInvalid }
+
+// SerializeTo implements SerializableLayer.
+func (p *Payload) SerializeTo(b *SerializeBuffer) error {
+	hdr, err := b.Prepend(len(p.Data))
+	if err != nil {
+		return err
+	}
+	copy(hdr, p.Data)
+	return nil
+}
+
+// String summarizes the payload.
+func (p *Payload) String() string { return fmt.Sprintf("Payload %d bytes", len(p.Data)) }

@@ -1,0 +1,85 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const udpHeaderLen = 8
+
+// UDP is a UDP datagram header.
+type UDP struct {
+	base
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	srcIP, dstIP IPv4Address
+	hasNetwork   bool
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// SetNetworkForChecksum supplies the enclosing IPv4 addresses so
+// SerializeTo can compute the pseudo-header checksum.
+func (u *UDP) SetNetworkForChecksum(src, dst IPv4Address) {
+	u.srcIP, u.dstIP = src, dst
+	u.hasNetwork = true
+}
+
+// DecodeFromBytes implements DecodingLayer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < udpHeaderLen {
+		return fmt.Errorf("udp header: %w (%d bytes)", ErrTruncated, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := int(u.Length)
+	if end < udpHeaderLen || end > len(data) {
+		end = len(data)
+	}
+	u.contents = data[:udpHeaderLen]
+	u.payload = data[udpHeaderLen:end]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer. DNS is recognized by the
+// well-known port on either side.
+func (u *UDP) NextLayerType() LayerType {
+	if u.SrcPort == 53 || u.DstPort == 53 {
+		return LayerTypeDNS
+	}
+	return LayerTypePayload
+}
+
+// SerializeTo implements SerializableLayer.
+func (u *UDP) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := b.Len()
+	hdr, err := b.Prepend(udpHeaderLen)
+	if err != nil {
+		return err
+	}
+	dgramLen := uint16(udpHeaderLen + payloadLen)
+	binary.BigEndian.PutUint16(hdr[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(hdr[4:6], dgramLen)
+	u.Length = dgramLen
+	if u.hasNetwork {
+		sum := pseudoHeaderSum(u.srcIP, u.dstIP, uint8(IPProtocolUDP), dgramLen)
+		cs := internetChecksum(b.Bytes()[:dgramLen], sum)
+		if cs == 0 {
+			cs = 0xffff // RFC 768: transmitted-as-zero means "no checksum"
+		}
+		binary.BigEndian.PutUint16(hdr[6:8], cs)
+		u.Checksum = cs
+	}
+	return nil
+}
+
+// String summarizes the datagram header.
+func (u *UDP) String() string {
+	return fmt.Sprintf("UDP %d > %d len=%d", u.SrcPort, u.DstPort, u.Length)
+}

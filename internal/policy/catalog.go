@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Table2Device is one row of the paper's Table 2: a device and how
+// many cross-device IFTTT recipes reference it.
+type Table2Device struct {
+	Device  string
+	Recipes int
+	Typical string
+}
+
+// Table2 reproduces the published counts and typical examples.
+func Table2() []Table2Device {
+	return []Table2Device{
+		{
+			Device:  "NEST Protect",
+			Recipes: 188,
+			Typical: "If Nest Protect detects smoke, then turn Philips hue lights on.",
+		},
+		{
+			Device:  "Wemo Plugin",
+			Recipes: 227,
+			Typical: "Turn off WeMo Insight if SmartThings shows no body is at home.",
+		},
+		{
+			Device:  "Scout Alarm",
+			Recipes: 63,
+			Typical: "Activate your Manythings Camera if Alarm is Triggered.",
+		},
+	}
+}
+
+// recipe vocabulary for corpus synthesis: realistic triggers and
+// actions in the smart-home ecosystem.
+var (
+	corpusTriggers = []struct {
+		device, state string
+	}{
+		{"nest_protect", "smoke=yes"},
+		{"nest_protect", "co=yes"},
+		{"smartthings", "presence=away"},
+		{"smartthings", "presence=home"},
+		{"scout_alarm", "alarm=triggered"},
+		{"scout_alarm", "alarm=armed"},
+		{"motion_sensor", "motion=detected"},
+		{"door_sensor", "door=open"},
+		{"env", "sunset=yes"},
+		{"env", "sunrise=yes"},
+		{"thermostat", "temperature=high"},
+		{"thermostat", "temperature=low"},
+		{"camera", "person=yes"},
+		{"camera", "person=no"},
+		{"meter", "usage=high"},
+	}
+	corpusActions = []struct {
+		device, cmd string
+	}{
+		{"hue_lights", "ON"},
+		{"hue_lights", "OFF"},
+		{"wemo_insight", "ON"},
+		{"wemo_insight", "OFF"},
+		{"manythings_camera", "ON"},
+		{"window", "OPEN"},
+		{"window", "CLOSE"},
+		{"front_door", "LOCK"},
+		{"front_door", "UNLOCK"},
+		{"thermostat", "ON"},
+		{"thermostat", "OFF"},
+		{"siren", "ON"},
+	}
+)
+
+// SynthesizeCorpus generates a recipe population with the Table 2
+// marginals: for each listed device, Recipes many recipes that
+// reference it (as trigger or action), drawn deterministically from
+// the vocabulary.
+func SynthesizeCorpus(seed int64) []Recipe {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Recipe
+	aliases := map[string]string{
+		"NEST Protect": "nest_protect",
+		"Wemo Plugin":  "wemo_insight",
+		"Scout Alarm":  "scout_alarm",
+	}
+	for _, row := range Table2() {
+		anchor := aliases[row.Device]
+		// Vocabulary entries mentioning the anchor, by side.
+		var anchorTrigs, anchorActs []int
+		for i, t := range corpusTriggers {
+			if t.device == anchor {
+				anchorTrigs = append(anchorTrigs, i)
+			}
+		}
+		for i, a := range corpusActions {
+			if a.device == anchor {
+				anchorActs = append(anchorActs, i)
+			}
+		}
+		for i := 0; i < row.Recipes; i++ {
+			// Alternate which side is pinned to the anchor, falling
+			// back to whichever side the vocabulary supports.
+			useTrigAnchor := len(anchorTrigs) > 0 && (i%2 == 0 || len(anchorActs) == 0)
+			trig := corpusTriggers[rng.Intn(len(corpusTriggers))]
+			act := corpusActions[rng.Intn(len(corpusActions))]
+			if useTrigAnchor {
+				trig = corpusTriggers[anchorTrigs[rng.Intn(len(anchorTrigs))]]
+			} else if len(anchorActs) > 0 {
+				act = corpusActions[anchorActs[rng.Intn(len(anchorActs))]]
+			}
+			out = append(out, Recipe{
+				Name:          fmt.Sprintf("%s-%03d", anchor, i),
+				TriggerDevice: trig.device,
+				TriggerState:  trig.state,
+				ActionDevice:  act.device,
+				ActionCommand: act.cmd,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ModuleSpec names a µmbox element the posture requires in front of
+// the device, with its configuration.
+type ModuleSpec struct {
+	// Kind is the element type: "password-proxy", "ids",
+	// "rate-limiter", "dns-guard", "stateful-fw", "context-gate",
+	// "logger".
+	Kind string
+	// Config carries element-specific settings.
+	Config map[string]string
+}
+
+// key renders a canonical identity for equality and hashing.
+func (m ModuleSpec) key() string {
+	keys := make([]string, 0, len(m.Config))
+	for k := range m.Config {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(m.Kind)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ";%s=%s", k, m.Config[k])
+	}
+	return b.String()
+}
+
+// Posture is the security treatment a device's traffic receives in a
+// given state: the module chain plus coarse controls. The zero value
+// is the permissive default ("just forward").
+type Posture struct {
+	// Modules to interpose, in order.
+	Modules []ModuleSpec
+	// BlockCommands lists management commands to block outright.
+	BlockCommands []string
+	// RateLimit caps the device's traffic (frames/second; 0 = none).
+	RateLimit float64
+	// Isolate quarantines the device entirely (drop everything).
+	Isolate bool
+}
+
+// Key renders a canonical identity: equal keys = equal postures. Used
+// by posture-equivalence collapsing.
+func (p Posture) Key() string {
+	var b strings.Builder
+	for _, m := range p.Modules {
+		b.WriteString(m.key())
+		b.WriteByte('|')
+	}
+	cmds := append([]string(nil), p.BlockCommands...)
+	sort.Strings(cmds)
+	fmt.Fprintf(&b, "block=%s|rate=%g|iso=%v", strings.Join(cmds, ","), p.RateLimit, p.Isolate)
+	return b.String()
+}
+
+// Equal compares postures canonically.
+func (p Posture) Equal(q Posture) bool { return p.Key() == q.Key() }
+
+// Merge overlays q on p: module union (by key), command union, the
+// stricter rate limit, and Isolate if either demands it. Used when
+// several rules apply to the same device in the same state at the
+// same priority and their postures are compatible.
+func (p Posture) Merge(q Posture) Posture {
+	out := Posture{Isolate: p.Isolate || q.Isolate}
+	seen := map[string]bool{}
+	for _, m := range append(append([]ModuleSpec{}, p.Modules...), q.Modules...) {
+		if !seen[m.key()] {
+			seen[m.key()] = true
+			out.Modules = append(out.Modules, m)
+		}
+	}
+	cmdSeen := map[string]bool{}
+	for _, c := range append(append([]string{}, p.BlockCommands...), q.BlockCommands...) {
+		if !cmdSeen[c] {
+			cmdSeen[c] = true
+			out.BlockCommands = append(out.BlockCommands, c)
+		}
+	}
+	switch {
+	case p.RateLimit == 0:
+		out.RateLimit = q.RateLimit
+	case q.RateLimit == 0:
+		out.RateLimit = p.RateLimit
+	default:
+		out.RateLimit = min(p.RateLimit, q.RateLimit)
+	}
+	return out
+}
+
+// String summarizes the posture.
+func (p Posture) String() string {
+	if p.Isolate {
+		return "ISOLATE"
+	}
+	var parts []string
+	for _, m := range p.Modules {
+		parts = append(parts, m.Kind)
+	}
+	if len(p.BlockCommands) > 0 {
+		parts = append(parts, "block:"+strings.Join(p.BlockCommands, "/"))
+	}
+	if p.RateLimit > 0 {
+		parts = append(parts, fmt.Sprintf("rate<=%.0f/s", p.RateLimit))
+	}
+	if len(parts) == 0 {
+		return "allow"
+	}
+	return strings.Join(parts, "+")
+}

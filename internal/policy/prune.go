@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"strings"
+)
+
+// PruneReport quantifies the state-space reduction the two §3.2
+// strategies achieve on a policy.
+type PruneReport struct {
+	// FullStates is |S| over the whole domain.
+	FullStates float64
+	// ReferencedVars is the policy's support.
+	ReferencedVars []string
+	// IndependentStates is |S| restricted to referenced variables
+	// (independence pruning: unreferenced devices/variables factor
+	// out).
+	IndependentStates float64
+	// EquivalenceClasses counts distinct posture assignments over the
+	// referenced space (posture-equivalence collapsing) — the true
+	// size of the compiled policy.
+	EquivalenceClasses int
+	// Enumerated reports how many projected states were walked
+	// (equals IndependentStates unless the limit tripped).
+	Enumerated int
+	// Complete is false if the enumeration limit was hit before
+	// covering the projected space.
+	Complete bool
+}
+
+// Compiled is the pruned lookup structure: posture assignments keyed
+// by the projection of the state onto the referenced variables.
+// Lookups cost one projection + one map hit regardless of how many
+// irrelevant devices the deployment has.
+type Compiled struct {
+	vars    []string
+	classes map[string]map[string]Posture // projection key → device → posture
+	fsm     *FSM
+}
+
+// Compile enumerates the projected space (bounded by limit; 0 = up to
+// 1<<20 states) and builds the pruned structure plus its report.
+func (f *FSM) Compile(limit int) (*Compiled, PruneReport) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	report := PruneReport{
+		FullStates:     f.Domain.StateCount(),
+		ReferencedVars: f.ReferencedVars(),
+	}
+
+	// Projected domain: only referenced variables.
+	proj := NewDomain()
+	refSet := map[string]bool{}
+	for _, v := range report.ReferencedVars {
+		refSet[v] = true
+		if name, ok := strings.CutPrefix(v, "dev:"); ok {
+			proj.AddDevice(name, f.Domain.DeviceContexts(name)...)
+		} else if name, ok := strings.CutPrefix(v, "env:"); ok {
+			proj.AddEnvVar(name, f.Domain.EnvLevels(name)...)
+		}
+	}
+	report.IndependentStates = proj.StateCount()
+
+	c := &Compiled{
+		vars:    report.ReferencedVars,
+		classes: make(map[string]map[string]Posture),
+		fsm:     f,
+	}
+	classKeys := map[string]bool{}
+	visited, complete := proj.EnumerateStates(limit, func(s State) bool {
+		postures := f.Lookup(s)
+		// Drop devices not declared in the projection... they default
+		// to allow and do not affect equivalence.
+		key := s.ProjectionKey(report.ReferencedVars)
+		relevant := make(map[string]Posture)
+		var sig strings.Builder
+		for _, dev := range f.Domain.Devices() {
+			p := postures[dev]
+			relevant[dev] = p
+			sig.WriteString(dev)
+			sig.WriteByte('=')
+			sig.WriteString(p.Key())
+			sig.WriteByte('&')
+		}
+		c.classes[key] = relevant
+		classKeys[sig.String()] = true
+		return true
+	})
+	report.Enumerated = visited
+	report.Complete = complete
+	report.EquivalenceClasses = len(classKeys)
+	return c, report
+}
+
+// Lookup resolves postures through the pruned structure; states
+// differing only in unreferenced variables share one entry. Falls
+// back to direct evaluation if the projection was not covered
+// (enumeration limit).
+func (c *Compiled) Lookup(s State) map[string]Posture {
+	key := s.ProjectionKey(c.vars)
+	if postures, ok := c.classes[key]; ok {
+		return postures
+	}
+	return c.fsm.Lookup(s)
+}
+
+// Size reports the number of stored projected states.
+func (c *Compiled) Size() int { return len(c.classes) }

@@ -1,0 +1,248 @@
+// Package policy implements the paper's §3.2 security-policy
+// abstraction: the system state is the product of every device's
+// security context and every environment variable's discrete level,
+// and each state assigns every device a security posture (which
+// µmbox modules and rules its traffic must traverse). The package
+// provides the deliberately brute-force FSM, the state-explosion
+// arithmetic that motivates pruning, the two pruning strategies the
+// paper sketches (independence and posture-equivalence collapsing),
+// conflict detection, and the IFTTT-recipe strawman of §3.1 with its
+// failure modes.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SecurityContext is a device's security-relevant condition.
+type SecurityContext string
+
+// Standard security contexts (domains may extend these).
+const (
+	ContextNormal      SecurityContext = "normal"
+	ContextSuspicious  SecurityContext = "suspicious"
+	ContextCompromised SecurityContext = "compromised"
+	ContextUnpatched   SecurityContext = "unpatched"
+)
+
+// Domain declares the variables the FSM ranges over: per-device
+// security contexts and discrete environment variables. (Device
+// operational attributes like alarm=on are modeled as environment
+// variables of the state space; they are world state just like
+// temperature.)
+type Domain struct {
+	deviceContexts map[string][]SecurityContext
+	envLevels      map[string][]string
+}
+
+// NewDomain returns an empty domain.
+func NewDomain() *Domain {
+	return &Domain{
+		deviceContexts: make(map[string][]SecurityContext),
+		envLevels:      make(map[string][]string),
+	}
+}
+
+// AddDevice declares a device and its possible security contexts
+// (default: normal/suspicious/compromised if none given).
+func (d *Domain) AddDevice(name string, contexts ...SecurityContext) {
+	if len(contexts) == 0 {
+		contexts = []SecurityContext{ContextNormal, ContextSuspicious, ContextCompromised}
+	}
+	d.deviceContexts[name] = contexts
+}
+
+// AddEnvVar declares an environment variable and its levels.
+func (d *Domain) AddEnvVar(name string, levels ...string) {
+	d.envLevels[name] = levels
+}
+
+// Devices lists declared devices, sorted.
+func (d *Domain) Devices() []string {
+	out := make([]string, 0, len(d.deviceContexts))
+	for k := range d.deviceContexts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EnvVars lists declared environment variables, sorted.
+func (d *Domain) EnvVars() []string {
+	out := make([]string, 0, len(d.envLevels))
+	for k := range d.envLevels {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeviceContexts returns a device's context domain.
+func (d *Domain) DeviceContexts(name string) []SecurityContext {
+	return d.deviceContexts[name]
+}
+
+// EnvLevels returns a variable's level domain.
+func (d *Domain) EnvLevels(name string) []string { return d.envLevels[name] }
+
+// StateCount is the size of the full product space |S| = ∏|Ci|×∏|Ej| —
+// the combinatorial explosion of §3.2.
+func (d *Domain) StateCount() float64 {
+	count := 1.0
+	for _, cs := range d.deviceContexts {
+		count *= float64(len(cs))
+	}
+	for _, ls := range d.envLevels {
+		count *= float64(len(ls))
+	}
+	return count
+}
+
+// State is one point of the product space.
+type State struct {
+	// Contexts maps device → security context.
+	Contexts map[string]SecurityContext
+	// Env maps environment variable → discrete level.
+	Env map[string]string
+}
+
+// NewState builds an empty state.
+func NewState() State {
+	return State{Contexts: make(map[string]SecurityContext), Env: make(map[string]string)}
+}
+
+// Clone deep-copies the state.
+func (s State) Clone() State {
+	c := NewState()
+	for k, v := range s.Contexts {
+		c.Contexts[k] = v
+	}
+	for k, v := range s.Env {
+		c.Env[k] = v
+	}
+	return c
+}
+
+// Key renders a stable identity string.
+func (s State) Key() string {
+	parts := make([]string, 0, len(s.Contexts)+len(s.Env))
+	for k, v := range s.Contexts {
+		parts = append(parts, "dev:"+k+"="+string(v))
+	}
+	for k, v := range s.Env {
+		parts = append(parts, "env:"+k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// ProjectionKey renders the state restricted to the given variables
+// (used by the pruned lookup structure). Variable names use the
+// "dev:<name>" / "env:<name>" prefix convention.
+func (s State) ProjectionKey(vars []string) string {
+	parts := make([]string, 0, len(vars))
+	for _, v := range vars {
+		if name, ok := strings.CutPrefix(v, "dev:"); ok {
+			parts = append(parts, v+"="+string(s.Contexts[name]))
+		} else if name, ok := strings.CutPrefix(v, "env:"); ok {
+			parts = append(parts, v+"="+s.Env[name])
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// String implements fmt.Stringer.
+func (s State) String() string { return s.Key() }
+
+// DefaultState is the state with every variable at its first domain
+// value, used to complete example states in conflict reports and as a
+// baseline in experiments.
+func (d *Domain) DefaultState() State { return d.defaultState() }
+
+// defaultState is the state with every variable at its first domain
+// value, used to complete example states in conflict reports.
+func (d *Domain) defaultState() State {
+	s := NewState()
+	for dev, ctxs := range d.deviceContexts {
+		if len(ctxs) > 0 {
+			s.Contexts[dev] = ctxs[0]
+		}
+	}
+	for v, levels := range d.envLevels {
+		if len(levels) > 0 {
+			s.Env[v] = levels[0]
+		}
+	}
+	return s
+}
+
+// EnumerateStates walks the full product space, invoking fn for each
+// state; it stops early (returning false) if fn returns false. The
+// space is exponential — callers use Limit to bound work.
+func (d *Domain) EnumerateStates(limit int, fn func(State) bool) (visited int, complete bool) {
+	type variable struct {
+		isDevice bool
+		name     string
+		values   []string
+	}
+	var vars []variable
+	for _, dev := range d.Devices() {
+		vals := make([]string, len(d.deviceContexts[dev]))
+		for i, c := range d.deviceContexts[dev] {
+			vals[i] = string(c)
+		}
+		vars = append(vars, variable{isDevice: true, name: dev, values: vals})
+	}
+	for _, ev := range d.EnvVars() {
+		vars = append(vars, variable{name: ev, values: d.envLevels[ev]})
+	}
+
+	idx := make([]int, len(vars))
+	for {
+		if limit > 0 && visited >= limit {
+			return visited, false
+		}
+		s := NewState()
+		for i, v := range vars {
+			if v.isDevice {
+				s.Contexts[v.name] = SecurityContext(v.values[idx[i]])
+			} else {
+				s.Env[v.name] = v.values[idx[i]]
+			}
+		}
+		visited++
+		if !fn(s) {
+			return visited, false
+		}
+		// Odometer increment.
+		pos := len(vars) - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < len(vars[pos].values) {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			return visited, true
+		}
+	}
+}
+
+// FormatCount renders a (possibly astronomically large) state count.
+func FormatCount(c float64) string {
+	switch {
+	case c < 1e6:
+		return fmt.Sprintf("%.0f", c)
+	case c < 1e9:
+		return fmt.Sprintf("%.1fM", c/1e6)
+	case c < 1e12:
+		return fmt.Sprintf("%.1fG", c/1e9)
+	default:
+		return fmt.Sprintf("%.2e", c)
+	}
+}

@@ -1,0 +1,125 @@
+package sigrepo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshotState is the on-disk form of a repository.
+type snapshotState struct {
+	NextID     int                        `json:"next_id"`
+	Signatures []Signature                `json:"signatures"`
+	Votes      map[string]map[string]bool `json:"votes"`
+	Reputation map[string]float64         `json:"reputation"`
+}
+
+// ExportJSON writes the repository's full state (signatures including
+// quarantine status and scores, votes, contributor reputations).
+func (r *Repository) ExportJSON(w io.Writer) error {
+	r.mu.Lock()
+	state := snapshotState{
+		NextID: r.nextID,
+		Votes:  make(map[string]map[string]bool, len(r.votes)),
+	}
+	for _, s := range r.byID {
+		state.Signatures = append(state.Signatures, *s)
+	}
+	for id, votes := range r.votes {
+		if _, live := r.byID[id]; !live {
+			continue
+		}
+		cp := make(map[string]bool, len(votes))
+		for k, v := range votes {
+			cp[k] = v
+		}
+		state.Votes[id] = cp
+	}
+	r.mu.Unlock()
+
+	r.rep.mu.Lock()
+	state.Reputation = make(map[string]float64, len(r.rep.score))
+	for k, v := range r.rep.score {
+		state.Reputation[k] = v
+	}
+	r.rep.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(state)
+}
+
+// ImportJSON replaces the repository's state with a previously
+// exported snapshot. Subscriptions are not part of the state (they
+// belong to live connections).
+func (r *Repository) ImportJSON(rd io.Reader) error {
+	var state snapshotState
+	if err := json.NewDecoder(rd).Decode(&state); err != nil {
+		return fmt.Errorf("sigrepo: import: %w", err)
+	}
+	r.mu.Lock()
+	r.nextID = state.NextID
+	r.bySKU = make(map[string][]*Signature)
+	r.byID = make(map[string]*Signature)
+	r.votes = make(map[string]map[string]bool)
+	for i := range state.Signatures {
+		s := state.Signatures[i]
+		cp := s
+		r.byID[s.ID] = &cp
+		r.bySKU[s.SKU] = append(r.bySKU[s.SKU], &cp)
+		r.contrib[s.Contributor] = true
+	}
+	for id, votes := range state.Votes {
+		if _, live := r.byID[id]; !live {
+			continue
+		}
+		cp := make(map[string]bool, len(votes))
+		for k, v := range votes {
+			cp[k] = v
+		}
+		r.votes[id] = cp
+	}
+	// Signatures without recorded votes still need a vote map.
+	for id := range r.byID {
+		if r.votes[id] == nil {
+			r.votes[id] = make(map[string]bool)
+		}
+	}
+	r.mu.Unlock()
+
+	r.rep.mu.Lock()
+	r.rep.score = make(map[string]float64, len(state.Reputation))
+	for k, v := range state.Reputation {
+		r.rep.score[k] = v
+	}
+	r.rep.mu.Unlock()
+	return nil
+}
+
+// SaveFile / LoadFile are path conveniences for the daemon.
+func (r *Repository) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.ExportJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores state from a snapshot file.
+func (r *Repository) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.ImportJSON(f)
+}

@@ -1,0 +1,275 @@
+package sigrepo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Notification announces a newly cleared signature to a subscriber.
+type Notification struct {
+	Signature Signature
+	// Priority is true for contributors (the paper's incentive:
+	// those who share get told first).
+	Priority bool
+}
+
+// Subscriber receives notifications for a SKU. Must not block.
+type Subscriber func(n Notification)
+
+// Repository is the in-process core: per-SKU signature storage,
+// validation, anonymization, reputation-weighted voting with
+// quarantine, and contributor-priority notification. The TCP server
+// wraps this.
+type Repository struct {
+	anon *Anonymizer
+	rep  *ReputationSystem
+
+	mu      sync.Mutex
+	nextID  int
+	bySKU   map[string][]*Signature
+	byID    map[string]*Signature
+	votes   map[string]map[string]bool // sigID → pseudonym → voted up?
+	subs    map[string][]subscription
+	contrib map[string]bool // pseudonyms that have ever contributed
+
+	// ClearScore releases a quarantined signature at/above this
+	// weighted score (default 1.0 ≈ two average-trust upvotes).
+	ClearScore float64
+	// RejectScore retires a signature at/below this (default -1.0).
+	RejectScore float64
+	// PriorityLag delays non-contributor notifications (incentive
+	// mechanism); contributors get them immediately. Default 0 in
+	// process-level use; the server sets a real lag.
+	PriorityLag time.Duration
+}
+
+type subscription struct {
+	pseudonym string
+	fn        Subscriber
+}
+
+// NewRepository builds a repository.
+func NewRepository(salt string) *Repository {
+	return &Repository{
+		anon:        NewAnonymizer(salt),
+		rep:         NewReputationSystem(),
+		bySKU:       make(map[string][]*Signature),
+		byID:        make(map[string]*Signature),
+		votes:       make(map[string]map[string]bool),
+		subs:        make(map[string][]subscription),
+		contrib:     make(map[string]bool),
+		ClearScore:  1.0,
+		RejectScore: -1.0,
+	}
+}
+
+// Reputation exposes the reputation system (for experiments).
+func (r *Repository) Reputation() *ReputationSystem { return r.rep }
+
+// Pseudonym maps an identity (e.g., an enterprise account) to its
+// anonymous handle.
+func (r *Repository) Pseudonym(identity string) string { return r.anon.Pseudonym(identity) }
+
+// Publish validates, anonymizes and stores a signature. It enters
+// quarantined unless the contributor's reputation already exceeds the
+// clear threshold's worth of trust.
+func (r *Repository) Publish(identity, sku, ruleText, description string) (*Signature, error) {
+	scrubbed := r.anon.ScrubRule(ruleText)
+	if err := Validate(sku, scrubbed); err != nil {
+		return nil, err
+	}
+	pseudo := r.anon.Pseudonym(identity)
+
+	r.mu.Lock()
+	r.nextID++
+	sig := &Signature{
+		ID:          fmt.Sprintf("sig-%06d", r.nextID),
+		SKU:         sku,
+		Rule:        scrubbed,
+		Description: r.anon.ScrubDescription(description),
+		Contributor: pseudo,
+		Submitted:   time.Now(),
+		Quarantined: true,
+	}
+	// Highly trusted contributors skip quarantine: their track record
+	// is the evidence.
+	if r.rep.Score(pseudo) >= 0.8 {
+		sig.Quarantined = false
+	}
+	r.bySKU[sku] = append(r.bySKU[sku], sig)
+	r.byID[sig.ID] = sig
+	r.votes[sig.ID] = make(map[string]bool)
+	r.contrib[pseudo] = true
+	cleared := !sig.Quarantined
+	cp := *sig
+	r.mu.Unlock()
+
+	if cleared {
+		r.notify(cp)
+	}
+	return &cp, nil
+}
+
+// Vote records a reputation-weighted community verdict on a
+// signature. When the accumulated score clears or rejects the
+// signature, contributor reputations update and (on clearing)
+// subscribers are notified.
+func (r *Repository) Vote(identity, sigID string, up bool) (*Signature, error) {
+	pseudo := r.anon.Pseudonym(identity)
+	weight := r.rep.VoteWeight(pseudo)
+
+	r.mu.Lock()
+	sig, ok := r.byID[sigID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSignature, sigID)
+	}
+	if _, dup := r.votes[sigID][pseudo]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s on %s", ErrDuplicateVote, pseudo, sigID)
+	}
+	if sig.Contributor == pseudo {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: self-vote on %s", ErrDuplicateVote, sigID)
+	}
+	r.votes[sigID][pseudo] = up
+	if up {
+		sig.Score += weight
+	} else {
+		sig.Score -= weight
+	}
+
+	var clearedCopy *Signature
+	var outcome *bool
+	switch {
+	case sig.Quarantined && sig.Score >= r.ClearScore:
+		sig.Quarantined = false
+		cp := *sig
+		clearedCopy = &cp
+		v := true
+		outcome = &v
+	case sig.Score <= r.RejectScore:
+		// Retire: remove from the SKU feed.
+		skuSigs := r.bySKU[sig.SKU]
+		for i, s := range skuSigs {
+			if s.ID == sigID {
+				r.bySKU[sig.SKU] = append(skuSigs[:i], skuSigs[i+1:]...)
+				break
+			}
+		}
+		delete(r.byID, sigID)
+		v := false
+		outcome = &v
+	}
+	contributor := sig.Contributor
+	var voterSides map[string]bool
+	if outcome != nil {
+		voterSides = make(map[string]bool, len(r.votes[sigID]))
+		for voter, votedUp := range r.votes[sigID] {
+			voterSides[voter] = votedUp
+		}
+	}
+	cp := *sig
+	r.mu.Unlock()
+
+	if outcome != nil {
+		r.rep.RecordOutcome(contributor, *outcome)
+		// Credence-style voter accountability: voters on the wrong
+		// side of the settled outcome burn reputation, voters on the
+		// right side earn it. Sock puppets that upvote poison lose
+		// their voting power after the first refutation.
+		for voter, votedUp := range voterSides {
+			r.rep.RecordOutcome(voter, votedUp == *outcome)
+		}
+	}
+	if clearedCopy != nil {
+		r.notify(*clearedCopy)
+	}
+	return &cp, nil
+}
+
+// Subscribe registers for cleared signatures on a SKU. The returned
+// cancel removes the subscription.
+func (r *Repository) Subscribe(identity, sku string, fn Subscriber) (cancel func()) {
+	pseudo := r.anon.Pseudonym(identity)
+	sub := subscription{pseudonym: pseudo, fn: fn}
+	r.mu.Lock()
+	r.subs[sku] = append(r.subs[sku], sub)
+	idx := len(r.subs[sku]) - 1
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		subs := r.subs[sku]
+		if idx < len(subs) && subs[idx].pseudonym == pseudo {
+			r.subs[sku] = append(subs[:idx], subs[idx+1:]...)
+		}
+	}
+}
+
+// notify fans a cleared signature out: contributors first, others
+// after PriorityLag.
+func (r *Repository) notify(sig Signature) {
+	r.mu.Lock()
+	subs := append([]subscription(nil), r.subs[sig.SKU]...)
+	lag := r.PriorityLag
+	contrib := make(map[string]bool, len(subs))
+	for _, s := range subs {
+		contrib[s.pseudonym] = r.contrib[s.pseudonym]
+	}
+	r.mu.Unlock()
+
+	for _, s := range subs {
+		isContrib := contrib[s.pseudonym]
+		n := Notification{Signature: sig, Priority: isContrib}
+		if isContrib || lag == 0 {
+			s.fn(n)
+			continue
+		}
+		sub := s
+		time.AfterFunc(lag, func() { sub.fn(n) })
+	}
+}
+
+// Fetch lists cleared signatures for a SKU, newest first.
+func (r *Repository) Fetch(sku string) []Signature {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Signature
+	for _, s := range r.bySKU[sku] {
+		if !s.Quarantined {
+			out = append(out, *s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Submitted.After(out[j].Submitted) })
+	return out
+}
+
+// SKUs lists SKUs with at least one signature (cleared or not).
+func (r *Repository) SKUs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.bySKU))
+	for sku, sigs := range r.bySKU {
+		if len(sigs) > 0 {
+			out = append(out, sku)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports totals for diagnostics.
+func (r *Repository) Stats() (total, quarantined int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.byID {
+		total++
+		if s.Quarantined {
+			quarantined++
+		}
+	}
+	return total, quarantined
+}

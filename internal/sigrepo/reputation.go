@@ -1,0 +1,71 @@
+package sigrepo
+
+import (
+	"math"
+	"sync"
+)
+
+// ReputationSystem tracks contributor trust from the community's
+// verdicts on their submissions — the paper's borrowed
+// reputation/voting mechanism (WiFi-Reports, Credence) against noisy
+// or adversarial crowdsourcing.
+type ReputationSystem struct {
+	mu    sync.Mutex
+	score map[string]float64
+
+	// InitialScore is a new contributor's trust (default 0.3 — some
+	// benefit of the doubt, not full trust).
+	InitialScore float64
+	// Gain/Loss shape the update per confirmed/refuted submission.
+	Gain, Loss float64
+}
+
+// NewReputationSystem builds the system with default parameters.
+func NewReputationSystem() *ReputationSystem {
+	return &ReputationSystem{
+		score:        make(map[string]float64),
+		InitialScore: 0.3,
+		Gain:         0.1,
+		Loss:         0.25,
+	}
+}
+
+// Score returns a contributor's current trust in [0,1].
+func (r *ReputationSystem) Score(contributor string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scoreLocked(contributor)
+}
+
+func (r *ReputationSystem) scoreLocked(contributor string) float64 {
+	s, ok := r.score[contributor]
+	if !ok {
+		return r.InitialScore
+	}
+	return s
+}
+
+// RecordOutcome updates a contributor's trust after the community
+// settles one of their submissions: confirmation earns trust slowly,
+// refutation burns it quickly (asymmetry makes poisoning expensive).
+func (r *ReputationSystem) RecordOutcome(contributor string, confirmed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.scoreLocked(contributor)
+	if confirmed {
+		s += r.Gain * (1 - s)
+	} else {
+		s -= r.Loss * s
+		s -= 0.05 // flat penalty so low scores still hurt
+	}
+	r.score[contributor] = math.Max(0, math.Min(1, s))
+}
+
+// VoteWeight converts trust into voting power: distrusted
+// contributors barely move scores.
+func (r *ReputationSystem) VoteWeight(contributor string) float64 {
+	s := r.Score(contributor)
+	// Sub-linear so a few high-reputation accounts cannot dictate
+	// outcomes alone, with a floor of 0.05 to keep newcomers audible.
+	return math.Max(0.05, math.Sqrt(s))
+}

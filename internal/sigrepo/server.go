@@ -1,0 +1,279 @@
+package sigrepo
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Wire protocol: newline-delimited JSON messages over TCP. Clients
+// send requests; the server answers each with one response and pushes
+// "notify" messages asynchronously for subscriptions.
+
+// wireRequest is a client → server message.
+type wireRequest struct {
+	Op          string `json:"op"` // publish | vote | fetch | subscribe | skus
+	Identity    string `json:"identity"`
+	SKU         string `json:"sku,omitempty"`
+	Rule        string `json:"rule,omitempty"`
+	Description string `json:"description,omitempty"`
+	SigID       string `json:"sig_id,omitempty"`
+	Up          bool   `json:"up,omitempty"`
+}
+
+// wireResponse is a server → client message.
+type wireResponse struct {
+	Kind       string      `json:"kind"` // reply | notify
+	OK         bool        `json:"ok"`
+	Error      string      `json:"error,omitempty"`
+	Signature  *Signature  `json:"signature,omitempty"`
+	Signatures []Signature `json:"signatures,omitempty"`
+	SKUs       []string    `json:"skus,omitempty"`
+	Priority   bool        `json:"priority,omitempty"`
+}
+
+// Server exposes a Repository over TCP.
+type Server struct {
+	repo *Repository
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps the repository.
+func NewServer(repo *Repository) *Server {
+	return &Server{repo: repo, conns: make(map[net.Conn]bool)}
+}
+
+// Listen binds and serves on addr, returning the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("sigrepo: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	var writeMu sync.Mutex
+	enc := json.NewEncoder(conn)
+	send := func(resp wireResponse) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_ = enc.Encode(resp)
+	}
+
+	var cancels []func()
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		var req wireRequest
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			send(wireResponse{Kind: "reply", Error: "bad request: " + err.Error()})
+			continue
+		}
+		switch req.Op {
+		case "publish":
+			sig, err := s.repo.Publish(req.Identity, req.SKU, req.Rule, req.Description)
+			if err != nil {
+				send(wireResponse{Kind: "reply", Error: err.Error()})
+				continue
+			}
+			send(wireResponse{Kind: "reply", OK: true, Signature: sig})
+		case "vote":
+			sig, err := s.repo.Vote(req.Identity, req.SigID, req.Up)
+			if err != nil {
+				send(wireResponse{Kind: "reply", Error: err.Error()})
+				continue
+			}
+			send(wireResponse{Kind: "reply", OK: true, Signature: sig})
+		case "fetch":
+			send(wireResponse{Kind: "reply", OK: true, Signatures: s.repo.Fetch(req.SKU)})
+		case "skus":
+			send(wireResponse{Kind: "reply", OK: true, SKUs: s.repo.SKUs()})
+		case "subscribe":
+			cancel := s.repo.Subscribe(req.Identity, req.SKU, func(n Notification) {
+				sig := n.Signature
+				send(wireResponse{Kind: "notify", OK: true, Signature: &sig, Priority: n.Priority})
+			})
+			cancels = append(cancels, cancel)
+			send(wireResponse{Kind: "reply", OK: true})
+		default:
+			send(wireResponse{Kind: "reply", Error: "unknown op " + req.Op})
+		}
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Client talks to a sigrepo Server. Safe for sequential use; one
+// request in flight at a time, with asynchronous notifications
+// delivered to OnNotify.
+type Client struct {
+	identity string
+	conn     net.Conn
+	enc      *json.Encoder
+
+	// OnNotify receives pushed signatures; set before Subscribe.
+	OnNotify func(sig Signature, priority bool)
+
+	replies chan wireResponse
+	done    chan struct{}
+}
+
+// DialClient connects to the repository as the given identity.
+func DialClient(addr, identity string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sigrepo: dial: %w", err)
+	}
+	c := &Client{
+		identity: identity,
+		conn:     conn,
+		enc:      json.NewEncoder(conn),
+		replies:  make(chan wireResponse, 4),
+		done:     make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	scanner := bufio.NewScanner(c.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		var resp wireResponse
+		if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+			continue
+		}
+		if resp.Kind == "notify" {
+			if c.OnNotify != nil && resp.Signature != nil {
+				c.OnNotify(*resp.Signature, resp.Priority)
+			}
+			continue
+		}
+		select {
+		case c.replies <- resp:
+		default:
+		}
+	}
+}
+
+// call sends one request and waits for its reply.
+func (c *Client) call(req wireRequest) (wireResponse, error) {
+	req.Identity = c.identity
+	if err := c.enc.Encode(req); err != nil {
+		return wireResponse{}, err
+	}
+	select {
+	case resp := <-c.replies:
+		if resp.Error != "" {
+			return resp, fmt.Errorf("sigrepo: %s", resp.Error)
+		}
+		return resp, nil
+	case <-c.done:
+		return wireResponse{}, fmt.Errorf("sigrepo: connection closed")
+	}
+}
+
+// Publish shares a signature.
+func (c *Client) Publish(sku, rule, description string) (*Signature, error) {
+	resp, err := c.call(wireRequest{Op: "publish", SKU: sku, Rule: rule, Description: description})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Signature, nil
+}
+
+// Vote casts a verdict on a signature.
+func (c *Client) Vote(sigID string, up bool) (*Signature, error) {
+	resp, err := c.call(wireRequest{Op: "vote", SigID: sigID, Up: up})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Signature, nil
+}
+
+// Fetch lists cleared signatures for a SKU.
+func (c *Client) Fetch(sku string) ([]Signature, error) {
+	resp, err := c.call(wireRequest{Op: "fetch", SKU: sku})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Signatures, nil
+}
+
+// SKUs lists SKUs known to the repository.
+func (c *Client) SKUs() ([]string, error) {
+	resp, err := c.call(wireRequest{Op: "skus"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.SKUs, nil
+}
+
+// Subscribe registers for pushed signatures on a SKU.
+func (c *Client) Subscribe(sku string) error {
+	_, err := c.call(wireRequest{Op: "subscribe", SKU: sku})
+	return err
+}
+
+// Close drops the connection.
+func (c *Client) Close() { _ = c.conn.Close() }

@@ -12,6 +12,7 @@ import (
 	"iotsec/internal/openflow"
 	"iotsec/internal/packet"
 	"iotsec/internal/policy"
+	"iotsec/internal/telemetry"
 )
 
 // --- Paper tables & figures: one benchmark per artifact. Each runs
@@ -89,7 +90,7 @@ func BenchmarkAblationStatePruning(b *testing.B) {
 
 func BenchmarkAblationHierarchicalControl(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = experiment.RunAblationHierarchy(2 * time.Millisecond)
+		_ = experiment.RunAblationHierarchy(2*time.Millisecond, 11)
 	}
 }
 
@@ -103,7 +104,7 @@ func BenchmarkAblationMicroMbox(b *testing.B) {
 
 func BenchmarkAblationFuzzCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = experiment.RunAblationFuzzCoverage()
+		_ = experiment.RunAblationFuzzCoverage(5)
 	}
 }
 
@@ -276,6 +277,56 @@ func BenchmarkPolicyLookup(b *testing.B) {
 	b.Run("compiled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = compiled.Lookup(state)
+		}
+	})
+}
+
+// BenchmarkTelemetryOverhead quantifies the cost of the observability
+// subsystem on the hot path: a bare counter increment, and the µmbox
+// pipeline with instrumentation on vs off. The paper's per-device
+// µmbox argument (§5.2) only holds if telemetry is close to free —
+// the counter increment must stay under 20ns and the instrumented
+// pipeline within 5% of the bare one.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("counter-inc", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		c := reg.NewCounter("iotsec_bench_ops_total", "bench counter")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+
+	mkPipe := func() (*mbox.Pipeline, *mbox.Context) {
+		raw := benchPacket()
+		rules, _ := ids.ParseRules(`alert tcp any any -> any 80 (msg:"creds"; content:"admin:admin"; sid:1;)`)
+		pipe := mbox.NewPipeline(
+			&mbox.Logger{},
+			mbox.NewStatefulFirewall(80),
+			&mbox.IDSElement{Engine: ids.NewEngine(rules)},
+		)
+		ctx := &mbox.Context{
+			Frame:  raw,
+			Packet: packet.Decode(raw, packet.LayerTypeEthernet),
+			Dir:    mbox.ToDevice,
+		}
+		return pipe, ctx
+	}
+
+	b.Run("pipeline-bare", func(b *testing.B) {
+		pipe, ctx := mkPipe()
+		pipe.Instrument(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipe.Process(ctx)
+		}
+	})
+	b.Run("pipeline-instrumented", func(b *testing.B) {
+		pipe, ctx := mkPipe()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipe.Process(ctx)
 		}
 	})
 }

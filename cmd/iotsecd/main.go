@@ -15,11 +15,14 @@ import (
 
 	"iotsec/internal/controller"
 	"iotsec/internal/core"
+	"iotsec/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7700", "admin API address")
 	tick := flag.Duration("tick", 250*time.Millisecond, "wall time per environment tick")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"serve /metrics and /debug/telemetry on this address (empty = disabled)")
 	flag.Parse()
 
 	p, err := core.DemoHome()
@@ -29,6 +32,17 @@ func main() {
 	}
 	p.Start()
 	defer p.Stop()
+
+	if *telemetryAddr != "" {
+		p.Switch.ExportTelemetry(telemetry.Default)
+		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iotsecd: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Printf("iotsecd: telemetry on http://%s/metrics\n", taddr)
+	}
 
 	admin, addr, err := p.ServeAdmin(*listen)
 	if err != nil {

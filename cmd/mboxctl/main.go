@@ -7,19 +7,30 @@
 //	mboxctl [-addr host:port] env
 //	mboxctl [-addr host:port] set-env <var> <value>
 //	mboxctl [-addr host:port] set-context <device> <context>
+//	mboxctl [-telemetry-addr host:port] stats
+//
+// stats talks to the daemon's telemetry listener (iotsecd
+// -telemetry-addr), not the admin API.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"iotsec/internal/core"
+	"iotsec/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "iotsecd admin address")
+	telemetryAddr := flag.String("telemetry-addr", "127.0.0.1:7701",
+		"iotsecd telemetry address (for the stats subcommand)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -28,6 +39,12 @@ func main() {
 
 	var req core.AdminRequest
 	switch args[0] {
+	case "stats":
+		if err := printStats(*telemetryAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "status":
 		req = core.AdminRequest{Op: "status"}
 	case "env":
@@ -71,7 +88,59 @@ func main() {
 	}
 }
 
+// printStats fetches the JSON telemetry snapshot and renders it.
+func printStats(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/telemetry?spans=16")
+	if err != nil {
+		return fmt.Errorf("%w (is iotsecd running with -telemetry-addr %s?)", err, addr)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.SnapshotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding snapshot: %w", err)
+	}
+
+	fmt.Printf("telemetry snapshot @ %s\n\n", snap.TakenAt.Format(time.RFC3339))
+	for _, m := range snap.Metrics {
+		switch m.Kind {
+		case telemetry.KindHistogram:
+			var count, sum float64
+			for _, s := range m.Samples {
+				switch s.Suffix {
+				case "_count":
+					count = s.Value
+				case "_sum":
+					sum = s.Value
+				}
+			}
+			mean := 0.0
+			if count > 0 {
+				mean = sum / count
+			}
+			fmt.Printf("%-52s count=%g mean=%.6g\n", m.Name, count, mean)
+		default:
+			for _, s := range m.Samples {
+				fmt.Printf("%-52s %g\n", m.Name+s.Labels.String(), s.Value)
+			}
+		}
+	}
+
+	fmt.Printf("\nspans: %d started, %d finished\n", snap.Spans.Started, snap.Spans.Finished)
+	recent := snap.Spans.Recent
+	sort.SliceStable(recent, func(i, j int) bool { return recent[i].Start.Before(recent[j].Start) })
+	for _, sp := range recent {
+		attrs := ""
+		if len(sp.Attrs) > 0 {
+			attrs = " " + sp.Attrs.String()
+		}
+		fmt.Printf("  %-28s %10s  trace=%d span=%d parent=%d%s\n",
+			sp.Name, sp.Duration, sp.TraceID, sp.ID, sp.ParentID, attrs)
+	}
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>")
+	fmt.Fprintln(os.Stderr, "usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>|stats")
 	os.Exit(2)
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"iotsec/internal/sigrepo"
+	"iotsec/internal/telemetry"
 )
 
 func main() {
@@ -19,6 +20,8 @@ func main() {
 	salt := flag.String("salt", "", "pseudonymization salt (default: random per run)")
 	lag := flag.Duration("priority-lag", 30*time.Second, "notification delay for non-contributors")
 	state := flag.String("state", "", "snapshot file to load at start and save on shutdown/periodically")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"serve /metrics and /debug/telemetry on this address (empty = disabled)")
 	flag.Parse()
 
 	s := *salt
@@ -56,6 +59,16 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("sigrepod: listening on %s (priority lag %v)\n", addr, *lag)
+
+	if *telemetryAddr != "" {
+		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigrepod: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Printf("sigrepod: telemetry on http://%s/metrics\n", taddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

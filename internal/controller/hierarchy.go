@@ -26,9 +26,19 @@ type Global struct {
 	sink         PostureSink
 	lastPostures map[string]string // device → posture key
 
+	// commitTimes retains the commit wall-clock of recent versions so
+	// the enforcement layer can measure event→enforcement latency
+	// (Figure 2's end-to-end loop). Bounded to the last commitWindow
+	// versions.
+	commitMu    sync.Mutex
+	commitTimes map[uint64]time.Time
+
 	recomputes atomic.Uint64
 	changes    atomic.Uint64
 }
+
+// commitWindow bounds Global's retained commit timestamps.
+const commitWindow = 4096
 
 // NewGlobal builds the global controller over a fresh view.
 func NewGlobal(fsm *policy.FSM, sink PostureSink) *Global {
@@ -37,14 +47,36 @@ func NewGlobal(fsm *policy.FSM, sink PostureSink) *Global {
 		fsm:          fsm,
 		sink:         sink,
 		lastPostures: make(map[string]string),
+		commitTimes:  make(map[uint64]time.Time),
 	}
-	g.View.Observe(func(c ViewChange) { g.reconcile(c.Version) })
+	g.View.Observe(func(c ViewChange) {
+		g.recordCommit(c.Version, c.When)
+		g.reconcile(c.Version)
+	})
 	return g
+}
+
+// recordCommit retains a version's commit time (bounded window).
+func (g *Global) recordCommit(version uint64, when time.Time) {
+	g.commitMu.Lock()
+	g.commitTimes[version] = when
+	delete(g.commitTimes, version-commitWindow) // monotonic versions: evict the tail
+	g.commitMu.Unlock()
+}
+
+// CommitTime reports when the given store version was committed, if
+// still retained.
+func (g *Global) CommitTime(version uint64) (time.Time, bool) {
+	g.commitMu.Lock()
+	defer g.commitMu.Unlock()
+	t, ok := g.commitTimes[version]
+	return t, ok
 }
 
 // reconcile recomputes all postures and pushes the deltas.
 func (g *Global) reconcile(version uint64) {
 	g.recomputes.Add(1)
+	mRecomputes.Inc()
 	state := g.View.State()
 	postures := g.fsm.Lookup(state)
 
@@ -68,6 +100,7 @@ func (g *Global) reconcile(version uint64) {
 
 	for _, c := range changed {
 		g.changes.Add(1)
+		mPostureChanges.Inc()
 		if sink != nil {
 			sink(c.dev, c.p, version)
 		}
@@ -129,6 +162,9 @@ func NewHierarchy(fsm *policy.FSM, part *Partitioning, envLocality map[string]in
 		globalVars:    make(map[string]bool),
 		locals:        make(map[int]*Local),
 	}
+	// Expose the partition shape on the default registry; the fixed id
+	// means a rebuilt hierarchy replaces its predecessor's collector.
+	part.ExportTelemetry(nil, "hierarchy")
 
 	// Classify each rule.
 	localRules := make(map[int][]policy.Rule)
@@ -227,6 +263,7 @@ func (h *Hierarchy) HandleDeviceEvent(e device.Event) {
 
 	if h.eventGloballyRelevant(e) {
 		h.escalated.Add(1)
+		mEscalations.Inc()
 		if h.GlobalDelay > 0 {
 			time.Sleep(h.GlobalDelay)
 		}
@@ -234,6 +271,7 @@ func (h *Hierarchy) HandleDeviceEvent(e device.Event) {
 		return
 	}
 	h.localHandled.Add(1)
+	mLocalHandled.Inc()
 }
 
 // eventGloballyRelevant decides whether the global policy could care
@@ -260,6 +298,7 @@ func (h *Hierarchy) HandleEnv(envVar, level string, group int, reason string) {
 	}
 	if h.globalVars["env:"+envVar] {
 		h.escalated.Add(1)
+		mEscalations.Inc()
 		if h.GlobalDelay > 0 {
 			time.Sleep(h.GlobalDelay)
 		}
@@ -267,6 +306,7 @@ func (h *Hierarchy) HandleEnv(envVar, level string, group int, reason string) {
 		return
 	}
 	h.localHandled.Add(1)
+	mLocalHandled.Inc()
 }
 
 // Metrics reports locally absorbed vs escalated events.

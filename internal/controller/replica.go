@@ -40,6 +40,7 @@ func (r *Replica) Offer(u Update, committedAt time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.pending = append(r.pending, timedUpdate{u: u, at: committedAt})
+	mReplicaPending.Inc()
 }
 
 // AdvanceTo applies every pending update whose commit time is at
@@ -52,10 +53,12 @@ func (r *Replica) AdvanceTo(now time.Time) {
 	})
 	kept := r.pending[:0]
 	for _, tu := range r.pending {
-		if now.Sub(tu.at) >= r.Lag {
+		if age := now.Sub(tu.at); age >= r.Lag {
 			if cur, ok := r.values[tu.u.Key]; !ok || tu.u.Version > cur.Version {
 				r.values[tu.u.Key] = tu.u
 			}
+			mReplicaLagSeconds.Observe(age.Seconds())
+			mReplicaPending.Dec()
 		} else {
 			kept = append(kept, tu)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"iotsec/internal/openflow"
 	"iotsec/internal/packet"
+	"iotsec/internal/telemetry"
 )
 
 // SteeredDevice describes one protected device on a steered switch:
@@ -143,9 +144,11 @@ func (s *Steering) program(dpid uint64) {
 	if ports == nil {
 		return
 	}
+	defer telemetry.Time(mProgramSeconds)()
 	hosts := hostPorts(ports, devices)
 
 	send := func(fm *openflow.FlowMod) {
+		mFlowMods.Inc()
 		if err := s.endpoint.SendFlowMod(dpid, fm); err != nil {
 			s.logger.Printf("steering: flow-mod to %d: %v", dpid, err)
 		}

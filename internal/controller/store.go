@@ -49,12 +49,14 @@ func (s *Store) Put(key, value string) uint64 {
 	}
 	watchers := append([]chan Update(nil), s.watchers...)
 	s.mu.Unlock()
+	mStoreCommits.Inc()
 	for _, w := range watchers {
 		// Watch channels are buffered; a full watcher loses its
 		// guarantee and must Resync.
 		select {
 		case w <- u:
 		default:
+			mStoreWatchDrops.Inc()
 		}
 	}
 	return v

@@ -106,6 +106,7 @@ func (v *View) apply(varName, value, reason string) {
 	observers := append([]ViewObserver(nil), v.observers...)
 	v.mu.Unlock()
 
+	mViewChanges.Inc()
 	change := ViewChange{Var: varName, Value: value, Version: version, Reason: reason, When: time.Now()}
 	for _, o := range observers {
 		o(change)

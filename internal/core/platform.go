@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"iotsec/internal/netsim"
 	"iotsec/internal/packet"
 	"iotsec/internal/policy"
+	"iotsec/internal/telemetry"
 )
 
 // Options configure a Platform.
@@ -183,6 +185,7 @@ func (p *Platform) AddDevice(d *device.Device) (*Managed, error) {
 	p.profiles[d.Name] = ids.NewProfile(d.Name)
 	started := p.started
 	p.mu.Unlock()
+	mDevicesAdded.Inc()
 
 	// Hot-plugged devices get their posture immediately; devices
 	// added before Start are postured there.
@@ -245,6 +248,7 @@ func (p *Platform) AddSignatureRule(sku, ruleText string) error {
 	if r == nil {
 		return fmt.Errorf("core: empty rule for %s", sku)
 	}
+	mSigRulesAdded.Inc()
 	p.mu.Lock()
 	p.skuRules[sku] = append(p.skuRules[sku], r)
 	affected := make([]*Managed, 0)
@@ -261,7 +265,9 @@ func (p *Platform) AddSignatureRule(sku, ruleText string) error {
 }
 
 // applyPosture is the PostureSink: translate the posture into an
-// element chain and live-reconfigure the device's µmbox.
+// element chain and live-reconfigure the device's µmbox. It closes
+// Figure 2's loop, so it also emits the event→enforcement latency
+// (measured from the view commit that triggered it) and a span.
 func (p *Platform) applyPosture(deviceName string, posture policy.Posture, version uint64) {
 	p.mu.Lock()
 	m, ok := p.devices[deviceName]
@@ -274,8 +280,18 @@ func (p *Platform) applyPosture(deviceName string, posture policy.Posture, versi
 	p.lastVersion = version
 	p.mu.Unlock()
 
+	_, span := telemetry.StartSpan(context.Background(), "core.apply_posture")
+	span.SetAttr("device", deviceName)
+	span.SetAttr("version", strconv.FormatUint(version, 10))
 	elements := p.buildPipeline(m, posture)
 	_ = p.Manager.Reconfigure("mb-"+deviceName, elements...)
+	span.End()
+	mPostureApplies.Inc()
+	if version > 0 {
+		if committed, ok := p.Global.CommitTime(version); ok {
+			mEnforceSeconds.Observe(time.Since(committed).Seconds())
+		}
+	}
 }
 
 // buildPipeline translates a posture into concrete µmbox elements.

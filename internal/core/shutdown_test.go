@@ -1,0 +1,70 @@
+package core
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"iotsec/internal/telemetry"
+)
+
+// waitGoroutines polls until the goroutine count returns near base.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d now vs %d at start\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonStyleShutdownNoGoroutineLeak assembles the full iotsecd
+// shape — demo platform, admin API, telemetry server — scrapes it
+// once, then tears everything down and verifies no goroutine outlives
+// the shutdown.
+func TestDaemonStyleShutdownNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	p, err := DemoHome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	admin, _, err := p.ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Switch.ExportTelemetry(telemetry.Default)
+	tsrv, taddr, err := telemetry.Default.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One real scrape over HTTP while the fabric is live.
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + taddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status = %d", resp.StatusCode)
+	}
+
+	if err := tsrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	admin.Close()
+	p.Stop()
+	waitGoroutines(t, base)
+}

@@ -68,14 +68,15 @@ func RunAblationStatePruning() *Table {
 
 // RunAblationHierarchy (A2) compares flat (everything global) vs
 // hierarchical event handling as deployments scale and interactions
-// stay local.
-func RunAblationHierarchy(globalRTT time.Duration) *Table {
+// stay local. The event mix is drawn from the injected seed so runs
+// are reproducible and comparable across configurations.
+func RunAblationHierarchy(globalRTT time.Duration, seed int64) *Table {
 	t := &Table{
 		ID:      "A2",
 		Title:   "Flat vs hierarchical control plane (modeled global RTT " + globalRTT.String() + ")",
 		Columns: []string{"Devices", "Events", "Flat latency", "Hier. escalated", "Hier. latency"},
 	}
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(seed))
 	for _, nDevices := range []int{8, 32, 128} {
 		devices := make([]string, nDevices)
 		d := policy.NewDomain()
@@ -183,8 +184,9 @@ func RunAblationMicroMbox() (*Table, error) {
 }
 
 // RunAblationFuzzCoverage (A4) compares model fuzzing against passive
-// observation for cross-device interaction discovery.
-func RunAblationFuzzCoverage() *Table {
+// observation for cross-device interaction discovery. The fuzzer's
+// command sampling uses the injected seed.
+func RunAblationFuzzCoverage(seed int64) *Table {
 	t := &Table{
 		ID:      "A4",
 		Title:   "Interaction discovery: model fuzzing vs passive observation",
@@ -195,7 +197,7 @@ func RunAblationFuzzCoverage() *Table {
 	// configurations) that single probes miss.
 	truth := learn.ExhaustiveInteractions(ablationWorld, 2, 3)
 	for _, trials := range []int{3, 10, 50, 200} {
-		fuzz := learn.NewFuzzer(ablationWorld, 5).Run(trials)
+		fuzz := learn.NewFuzzer(ablationWorld, seed).Run(trials)
 		passive := learn.PassiveObserve(ablationWorld, trials)
 		t.AddRow(trials,
 			fmt.Sprintf("%.0f%%", 100*learn.Coverage(fuzz, truth)),

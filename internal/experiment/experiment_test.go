@@ -164,7 +164,7 @@ func TestAblationStatePruning(t *testing.T) {
 }
 
 func TestAblationHierarchy(t *testing.T) {
-	tbl := RunAblationHierarchy(2 * time.Millisecond)
+	tbl := RunAblationHierarchy(2*time.Millisecond, 11)
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %v", tbl.Rows)
 	}
@@ -188,7 +188,7 @@ func TestAblationMicroMbox(t *testing.T) {
 }
 
 func TestAblationFuzzCoverage(t *testing.T) {
-	tbl := RunAblationFuzzCoverage()
+	tbl := RunAblationFuzzCoverage(5)
 	if len(tbl.Rows) != 4 {
 		t.Fatalf("rows = %v", tbl.Rows)
 	}

@@ -123,6 +123,7 @@ func (p *Profile) ObserveMessage(peer string, port uint16, cmd string, now time.
 
 	var anomalies []Anomaly
 	report := func(kind AnomalyKind, detail string, score float64) {
+		mAnomalies.With(string(kind)).Inc()
 		anomalies = append(anomalies, Anomaly{
 			Device: p.Device, Kind: kind, Detail: detail, Score: score, When: now,
 		})

@@ -118,6 +118,7 @@ func (e *Engine) Stats() (scanned, matched uint64) {
 // is NOT guaranteed; callers wanting a verdict use Verdict).
 func (e *Engine) Match(p *packet.Packet) []Alert {
 	e.scanned.Add(1)
+	mPacketsScanned.Inc()
 	ip := p.IPv4()
 	if ip == nil {
 		return nil
@@ -160,6 +161,7 @@ func (e *Engine) Match(p *packet.Packet) []Alert {
 			return
 		}
 		e.matched.Add(1)
+		mRuleMatches.Inc()
 		alerts = append(alerts, Alert{
 			Rule: r, Msg: r.Msg, SID: r.SID, Action: r.Action,
 			SrcIP: ip.SrcIP, DstIP: ip.DstIP, When: time.Now(),
@@ -217,6 +219,7 @@ func (e *Engine) Verdict(p *packet.Packet) (blocked bool, alerts []Alert) {
 	alerts = e.Match(p)
 	for _, a := range alerts {
 		if a.Action == ActionBlock {
+			mBlocks.Inc()
 			return true, alerts
 		}
 	}

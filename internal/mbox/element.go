@@ -8,8 +8,10 @@ package mbox
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"iotsec/internal/packet"
+	"iotsec/internal/telemetry"
 )
 
 // Direction distinguishes which way a frame is crossing the µmbox.
@@ -80,26 +82,48 @@ type ElementStats struct {
 	Consumed  uint64
 }
 
-// Pipeline is an ordered element chain supporting live reconfiguration:
-// traffic keeps flowing during Swap/Insert/Remove (readers take an
-// RLock; reconfiguration takes the write lock for a pointer swap).
-type Pipeline struct {
-	mu       sync.RWMutex
-	elements []Element
-	stats    map[string]*elementStats
+// stage is one precomputed pipeline step: the element plus its
+// per-instance counters and the pre-resolved telemetry vec children.
+// Stages are built once per (re)configuration so the per-packet path
+// is element dispatch plus straight atomic increments.
+type stage struct {
+	elem  Element
+	stats *elementStats
 
-	reconfigs atomic.Uint64
+	mProcessed *telemetry.Counter
+	mDropped   *telemetry.Counter
+	mConsumed  *telemetry.Counter
 }
 
-// NewPipeline builds a pipeline from the given stages.
+// Pipeline is an ordered element chain supporting live reconfiguration:
+// the active chain lives behind an atomic pointer, so the forwarding
+// path never takes a lock and reconfiguration is a single pointer swap
+// (no packet is ever half-processed by a mixed chain).
+type Pipeline struct {
+	chain atomic.Pointer[[]stage]
+
+	mu    sync.Mutex // guards stats map and chain rebuilds
+	stats map[string]*elementStats
+
+	reconfigs  atomic.Uint64
+	instrument atomic.Bool
+}
+
+// NewPipeline builds a pipeline from the given stages with telemetry
+// instrumentation enabled.
 func NewPipeline(elements ...Element) *Pipeline {
 	p := &Pipeline{stats: make(map[string]*elementStats)}
-	for _, e := range elements {
-		p.ensureStats(e.Name())
-	}
-	p.elements = elements
+	p.instrument.Store(true)
+	p.mu.Lock()
+	p.install(elements)
+	p.mu.Unlock()
 	return p
 }
+
+// Instrument toggles hot-path telemetry (element counters and latency
+// sampling). On by default; benchmarks disable it to measure the bare
+// pipeline.
+func (p *Pipeline) Instrument(on bool) { p.instrument.Store(on) }
 
 func (p *Pipeline) ensureStats(name string) *elementStats {
 	if s, ok := p.stats[name]; ok {
@@ -110,43 +134,78 @@ func (p *Pipeline) ensureStats(name string) *elementStats {
 	return s
 }
 
+// install rebuilds and publishes the stage chain. Caller holds p.mu.
+func (p *Pipeline) install(elements []Element) {
+	chain := make([]stage, len(elements))
+	for i, e := range elements {
+		name := e.Name()
+		chain[i] = stage{
+			elem:       e,
+			stats:      p.ensureStats(name),
+			mProcessed: mElemProcessed.With(name),
+			mDropped:   mElemDropped.With(name),
+			mConsumed:  mElemConsumed.With(name),
+		}
+	}
+	p.chain.Store(&chain)
+}
+
 // Process runs the frame through the chain.
 func (p *Pipeline) Process(ctx *Context) Verdict {
-	p.mu.RLock()
-	elements := p.elements
-	p.mu.RUnlock()
-	for _, e := range elements {
-		p.mu.RLock()
-		st := p.stats[e.Name()]
-		p.mu.RUnlock()
+	chain := *p.chain.Load()
+	instr := p.instrument.Load()
+	var start time.Time
+	sampled := false
+	// Sampling piggybacks on the first stage's processed counter — a
+	// plain load instead of one more contended RMW per packet. Under
+	// concurrency several goroutines may observe the same value and
+	// all sample; that only nudges the effective rate, which is fine
+	// for a latency histogram.
+	if instr && len(chain) > 0 && chain[0].stats.processed.Load()%latencySampleEvery == 0 {
+		start = time.Now()
+		sampled = true
+	}
+	verdict := Forward
+	for i := range chain {
+		st := &chain[i]
 		if ctx.Reparse {
 			ctx.Packet = packet.Decode(ctx.Frame, packet.LayerTypeEthernet)
 			ctx.Reparse = false
 		}
-		v := e.Process(ctx)
-		if st != nil {
-			st.processed.Add(1)
-			switch v {
-			case Drop:
-				st.dropped.Add(1)
-			case Consumed:
-				st.consumed.Add(1)
+		v := st.elem.Process(ctx)
+		st.stats.processed.Add(1)
+		if instr {
+			st.mProcessed.Inc()
+		}
+		switch v {
+		case Drop:
+			st.stats.dropped.Add(1)
+			if instr {
+				st.mDropped.Inc()
+			}
+		case Consumed:
+			st.stats.consumed.Add(1)
+			if instr {
+				st.mConsumed.Inc()
 			}
 		}
 		if v != Forward {
-			return v
+			verdict = v
+			break
 		}
 	}
-	return Forward
+	if sampled {
+		mPipelineSeconds.Observe(time.Since(start).Seconds())
+	}
+	return verdict
 }
 
 // Elements lists the current stage names in order.
 func (p *Pipeline) Elements() []string {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]string, len(p.elements))
-	for i, e := range p.elements {
-		out[i] = e.Name()
+	chain := *p.chain.Load()
+	out := make([]string, len(chain))
+	for i := range chain {
+		out[i] = chain[i].elem.Name()
 	}
 	return out
 }
@@ -156,10 +215,7 @@ func (p *Pipeline) Elements() []string {
 func (p *Pipeline) Replace(elements ...Element) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, e := range elements {
-		p.ensureStats(e.Name())
-	}
-	p.elements = elements
+	p.install(elements)
 	p.reconfigs.Add(1)
 }
 
@@ -167,14 +223,22 @@ func (p *Pipeline) Replace(elements ...Element) {
 func (p *Pipeline) Insert(i int, e Element) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.ensureStats(e.Name())
+	old := *p.chain.Load()
 	if i < 0 {
 		i = 0
 	}
-	if i > len(p.elements) {
-		i = len(p.elements)
+	if i > len(old) {
+		i = len(old)
 	}
-	p.elements = append(p.elements[:i], append([]Element{e}, p.elements[i:]...)...)
+	elements := make([]Element, 0, len(old)+1)
+	for _, st := range old[:i] {
+		elements = append(elements, st.elem)
+	}
+	elements = append(elements, e)
+	for _, st := range old[i:] {
+		elements = append(elements, st.elem)
+	}
+	p.install(elements)
 	p.reconfigs.Add(1)
 }
 
@@ -183,9 +247,16 @@ func (p *Pipeline) Insert(i int, e Element) {
 func (p *Pipeline) Remove(name string) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for i, e := range p.elements {
-		if e.Name() == name {
-			p.elements = append(p.elements[:i], p.elements[i+1:]...)
+	old := *p.chain.Load()
+	for i := range old {
+		if old[i].elem.Name() == name {
+			elements := make([]Element, 0, len(old)-1)
+			for j := range old {
+				if j != i {
+					elements = append(elements, old[j].elem)
+				}
+			}
+			p.install(elements)
 			p.reconfigs.Add(1)
 			return true
 		}
@@ -198,13 +269,12 @@ func (p *Pipeline) Reconfigs() uint64 { return p.reconfigs.Load() }
 
 // Stats snapshots all element counters.
 func (p *Pipeline) Stats() []ElementStats {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]ElementStats, 0, len(p.elements))
-	for _, e := range p.elements {
-		s := p.stats[e.Name()]
+	chain := *p.chain.Load()
+	out := make([]ElementStats, 0, len(chain))
+	for i := range chain {
+		s := chain[i].stats
 		out = append(out, ElementStats{
-			Name:      e.Name(),
+			Name:      chain[i].elem.Name(),
 			Processed: s.processed.Load(),
 			Dropped:   s.dropped.Load(),
 			Consumed:  s.consumed.Load(),

@@ -7,18 +7,20 @@ import (
 
 	"iotsec/internal/ids"
 	"iotsec/internal/packet"
+	"iotsec/internal/telemetry"
 )
 
 // --- Logger ---
 
 // Logger counts traffic and optionally reports each frame; always
-// forwards.
+// forwards. Counting is lock-free telemetry counters: the per-instance
+// counters back Totals, and package-level aggregates feed /metrics.
 type Logger struct {
-	// Report, if set, receives a one-line summary per frame.
+	// Report, if set, receives a one-line summary per frame. Set it
+	// before traffic flows; it is read without synchronization.
 	Report func(line string)
 
-	frames, bytes uint64
-	mu            sync.Mutex
+	frames, bytes telemetry.Counter
 }
 
 // Name implements Element.
@@ -26,22 +28,19 @@ func (l *Logger) Name() string { return "logger" }
 
 // Process implements Element.
 func (l *Logger) Process(ctx *Context) Verdict {
-	l.mu.Lock()
-	l.frames++
-	l.bytes += uint64(len(ctx.Frame))
-	report := l.Report
-	l.mu.Unlock()
-	if report != nil {
-		report(ctx.Packet.String())
+	l.frames.Inc()
+	l.bytes.Add(uint64(len(ctx.Frame)))
+	mLoggerFrames.Inc()
+	mLoggerBytes.Add(uint64(len(ctx.Frame)))
+	if l.Report != nil {
+		l.Report(ctx.Packet.String())
 	}
 	return Forward
 }
 
 // Totals reports frames and bytes seen.
 func (l *Logger) Totals() (frames, bytes uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.frames, l.bytes
+	return l.frames.Value(), l.bytes.Value()
 }
 
 // --- Header filter (ACL) ---

@@ -134,6 +134,9 @@ func (m *Manager) Launch(name string, platform PlatformKind, pipeline *Pipeline)
 	m.bootCount++
 	m.bootTotal += modeled
 	m.mu.Unlock()
+	mBoots.Inc()
+	mBootSeconds.Observe(modeled.Seconds())
+	mInstances.Inc()
 	return inst, nil
 }
 
@@ -149,6 +152,7 @@ func (m *Manager) Reconfigure(name string, elements ...Element) error {
 	m.reconfCount++
 	m.mu.Unlock()
 	inst.Mbox.Pipeline().Replace(elements...)
+	mReconfigures.Inc()
 	return nil
 }
 
@@ -162,6 +166,7 @@ func (m *Manager) Terminate(name string) error {
 	}
 	delete(m.instances, name)
 	m.used[inst.Server]--
+	mInstances.Dec()
 	return nil
 }
 

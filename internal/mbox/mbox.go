@@ -74,6 +74,7 @@ func (m *Mbox) HandleFrame(ingress *netsim.Port, frame netsim.Frame) {
 	if m.hasProtected.Load() {
 		if ip := decoded.IPv4(); ip != nil && ip.SrcIP != m.protected && ip.DstIP != m.protected {
 			m.forwarded.Add(1)
+			mForwarded.Inc()
 			egress.Send(frame)
 			return
 		}
@@ -87,9 +88,11 @@ func (m *Mbox) HandleFrame(ingress *netsim.Port, frame netsim.Frame) {
 	switch m.pipeline.Process(ctx) {
 	case Forward:
 		m.forwarded.Add(1)
+		mForwarded.Inc()
 		egress.Send(ctx.Frame)
 	case Drop:
 		m.dropped.Add(1)
+		mDropped.Inc()
 	case Consumed:
 		// The element already responded (or absorbed) the frame.
 	}

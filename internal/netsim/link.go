@@ -69,8 +69,11 @@ func (l *Link) deliver(src, dst *Port, frame Frame) {
 	}
 	if l.lose() {
 		src.stats.dropsLoss.Add(1)
+		mFramesLost.Inc()
 		return
 	}
+	mFramesDelivered.Inc()
+	mBytesDelivered.Add(uint64(len(frame)))
 	cp := make(Frame, len(frame))
 	copy(cp, frame)
 

@@ -110,11 +110,14 @@ func (p *Port) enqueue(frame Frame) {
 		return
 	default:
 		p.stats.dropsQueue.Add(1)
+		mQueueDrops.Inc()
 	}
 }
 
 // run pumps the inbox into the owner until the port closes.
 func (p *Port) run() {
+	mPortsOpen.Inc()
+	defer mPortsOpen.Dec()
 	for {
 		select {
 		case <-p.closed:

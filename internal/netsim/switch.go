@@ -98,9 +98,11 @@ func (s *Switch) PortIDs() []uint16 {
 // apply the winning entry's actions.
 func (s *Switch) HandleFrame(ingress *Port, frame Frame) {
 	s.packetsIn.Add(1)
+	mSwitchPacketsIn.Inc()
 	decoded := packet.Decode(frame, packet.LayerTypeEthernet)
 	entry, ok := s.table.Lookup(decoded, ingress.ID, len(frame))
 	if !ok {
+		mSwitchTableMiss.Inc()
 		switch MissBehavior(s.miss.Load()) {
 		case MissFlood:
 			s.flood(ingress.ID, frame)
@@ -142,6 +144,7 @@ func (s *Switch) output(portID uint16, frame Frame) {
 	s.mu.RUnlock()
 	if p != nil {
 		s.packetsOut.Add(1)
+		mSwitchPacketsOut.Inc()
 		p.Send(frame)
 	}
 }
@@ -154,6 +157,7 @@ func (s *Switch) flood(except uint16, frame Frame) {
 			continue
 		}
 		s.packetsOut.Add(1)
+		mSwitchPacketsOut.Inc()
 		p.Send(frame)
 	}
 }

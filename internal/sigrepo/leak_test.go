@@ -1,0 +1,64 @@
+package sigrepo
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the process goroutine count falls back to
+// (or near) base, failing the test if it never does. The slack of two
+// absorbs runtime helpers that come and go.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d now vs %d at start\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerCloseNoGoroutineLeak drives a server with live subscribed
+// clients and verifies Close tears down the accept loop and every
+// per-connection goroutine.
+func TestServerCloseNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	repo := NewRepository("leak-salt")
+	srv := NewServer(repo)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := DialClient(addr, fmt.Sprintf("ent-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		if err := c.Subscribe("sku-leak"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exercise the wire path so connections are demonstrably live.
+	if _, err := clients[0].Publish("sku-leak", `alert tcp any any -> any any (msg:"x"; sid:9001;)`, "d"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close() // closes listener + connections, waits for handlers
+	for _, c := range clients {
+		c.Close()
+	}
+	waitGoroutines(t, base)
+}

@@ -1,0 +1,32 @@
+package sigrepo
+
+import "iotsec/internal/telemetry"
+
+// Crowdsourced-repository telemetry: publish/vote/notify rates, the
+// quarantine outcome split, and server connection counts.
+var (
+	mPublishes = telemetry.NewCounter(
+		"iotsec_sigrepo_publishes_total",
+		"Signatures accepted by repositories (validated + stored).")
+	mPublishRejected = telemetry.NewCounter(
+		"iotsec_sigrepo_publish_rejected_total",
+		"Signature submissions failing validation.")
+	mVotes = telemetry.NewCounter(
+		"iotsec_sigrepo_votes_total",
+		"Community votes recorded.")
+	mCleared = telemetry.NewCounter(
+		"iotsec_sigrepo_cleared_total",
+		"Signatures cleared out of quarantine (by trust or votes).")
+	mRetired = telemetry.NewCounter(
+		"iotsec_sigrepo_retired_total",
+		"Signatures retired by down-votes.")
+	mNotifies = telemetry.NewCounter(
+		"iotsec_sigrepo_notifies_total",
+		"Subscriber notifications delivered or scheduled.")
+	mServerConns = telemetry.NewGauge(
+		"iotsec_sigrepo_server_connections",
+		"Open TCP connections across sigrepo servers.")
+	mServerRequests = telemetry.NewCounter(
+		"iotsec_sigrepo_server_requests_total",
+		"Wire requests handled by sigrepo servers.")
+)

@@ -78,6 +78,7 @@ func (r *Repository) Pseudonym(identity string) string { return r.anon.Pseudonym
 func (r *Repository) Publish(identity, sku, ruleText, description string) (*Signature, error) {
 	scrubbed := r.anon.ScrubRule(ruleText)
 	if err := Validate(sku, scrubbed); err != nil {
+		mPublishRejected.Inc()
 		return nil, err
 	}
 	pseudo := r.anon.Pseudonym(identity)
@@ -106,7 +107,9 @@ func (r *Repository) Publish(identity, sku, ruleText, description string) (*Sign
 	cp := *sig
 	r.mu.Unlock()
 
+	mPublishes.Inc()
 	if cleared {
+		mCleared.Inc()
 		r.notify(cp)
 	}
 	return &cp, nil
@@ -174,7 +177,13 @@ func (r *Repository) Vote(identity, sigID string, up bool) (*Signature, error) {
 	cp := *sig
 	r.mu.Unlock()
 
+	mVotes.Inc()
 	if outcome != nil {
+		if *outcome {
+			mCleared.Inc()
+		} else {
+			mRetired.Inc()
+		}
 		r.rep.RecordOutcome(contributor, *outcome)
 		// Credence-style voter accountability: voters on the wrong
 		// side of the settled outcome burn reputation, voters on the
@@ -224,6 +233,7 @@ func (r *Repository) notify(sig Signature) {
 	for _, s := range subs {
 		isContrib := contrib[s.pseudonym]
 		n := Notification{Signature: sig, Priority: isContrib}
+		mNotifies.Inc()
 		if isContrib || lag == 0 {
 			s.fn(n)
 			continue

@@ -86,7 +86,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
+	mServerConns.Inc()
 	defer func() {
+		mServerConns.Dec()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -116,6 +118,7 @@ func (s *Server) serve(conn net.Conn) {
 			send(wireResponse{Kind: "reply", Error: "bad request: " + err.Error()})
 			continue
 		}
+		mServerRequests.Inc()
 		switch req.Op {
 		case "publish":
 			sig, err := s.repo.Publish(req.Identity, req.SKU, req.Rule, req.Description)

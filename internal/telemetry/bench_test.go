@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("iotsec_bench_total", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("iotsec_bench_par_total", "b")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.NewCounterVec("iotsec_bench_vec_total", "b", "who")
+	v.With("x") // pre-create
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("x").Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("iotsec_bench_seconds", "b", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0001)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("iotsec_bench_par_seconds", "b", LatencyBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0001)
+		}
+	})
+}
+
+func BenchmarkScrape(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.NewCounter("iotsec_bench_c"+string(rune('a'+i))+"_total", "b").Add(uint64(i))
+	}
+	h := r.NewHistogram("iotsec_bench_scrape_seconds", "b", LatencyBuckets)
+	h.Observe(0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		_ = r.WritePrometheus(&sb)
+	}
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Samples {
+			fmt.Fprintf(bw, "%s%s%s %s\n", f.Name, s.Suffix, s.Labels.String(), formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SnapshotJSON is the machine-readable registry dump served at
+// /debug/telemetry and appended by flush hooks. The shape is stable so
+// benchmark runs can be diffed across commits.
+type SnapshotJSON struct {
+	TakenAt time.Time    `json:"taken_at"`
+	Metrics []MetricJSON `json:"metrics"`
+	Spans   SpansJSON    `json:"spans"`
+}
+
+// MetricJSON is one metric family in a snapshot.
+type MetricJSON struct {
+	Name    string       `json:"name"`
+	Kind    Kind         `json:"kind"`
+	Help    string       `json:"help,omitempty"`
+	Samples []SampleJSON `json:"samples"`
+}
+
+// SampleJSON is one series point in a snapshot.
+type SampleJSON struct {
+	Suffix string  `json:"suffix,omitempty"`
+	Labels Labels  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// SpansJSON summarizes the span store in a snapshot.
+type SpansJSON struct {
+	Started  uint64         `json:"started"`
+	Finished uint64         `json:"finished"`
+	Recent   []FinishedSpan `json:"recent,omitempty"`
+}
+
+// Snapshot captures the registry (including up to recentSpans recent
+// spans; <= 0 means 32).
+func (r *Registry) Snapshot(recentSpans int) *SnapshotJSON {
+	if recentSpans <= 0 {
+		recentSpans = 32
+	}
+	snap := &SnapshotJSON{TakenAt: time.Now()}
+	for _, f := range r.families() {
+		mj := MetricJSON{Name: f.Name, Kind: f.Kind, Help: f.Help}
+		for _, s := range f.Samples {
+			mj.Samples = append(mj.Samples, SampleJSON{Suffix: s.Suffix, Labels: s.Labels, Value: s.Value})
+		}
+		snap.Metrics = append(snap.Metrics, mj)
+	}
+	started, finished := r.spans.Stats()
+	snap.Spans = SpansJSON{Started: started, Finished: finished, Recent: r.spans.Recent(recentSpans)}
+	return snap
+}
+
+// Handler serves the Prometheus text format (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// DebugHandler serves the JSON snapshot (mount at /debug/telemetry).
+func (r *Registry) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 32
+		if s := req.URL.Query().Get("spans"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot(n))
+	})
+}
+
+// Server is a telemetry HTTP listener serving /metrics and
+// /debug/telemetry. Close tears it down without leaking goroutines.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Serve starts a telemetry server on addr (use port 0 for ephemeral),
+// returning the server and its bound address.
+func (r *Registry) Serve(addr string) (*Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("telemetry: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/telemetry", r.DebugHandler())
+	s := &Server{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns on Close
+	}()
+	return s, ln.Addr().String(), nil
+}
+
+// Addr reports the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, drops open connections, and waits for the
+// serve goroutine to exit. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// StartFlusher invokes fn with a fresh snapshot every interval until
+// the returned stop function runs (which flushes one final time). Use
+// it to append benchmark-comparable JSON lines to a file or pipe.
+func (r *Registry) StartFlusher(interval time.Duration, fn func(*SnapshotJSON)) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				fn(r.Snapshot(0))
+				return
+			case <-t.C:
+				fn(r.Snapshot(0))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 
 	"iotsec/internal/controller"
 	"iotsec/internal/core"
+	"iotsec/internal/journal"
 	"iotsec/internal/telemetry"
 )
 
@@ -22,8 +24,16 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7700", "admin API address")
 	tick := flag.Duration("tick", 250*time.Millisecond, "wall time per environment tick")
 	telemetryAddr := flag.String("telemetry-addr", "",
-		"serve /metrics and /debug/telemetry on this address (empty = disabled)")
+		"serve /metrics, /debug/telemetry, /debug/journal and /debug/pprof on this address (empty = disabled)")
+	slowSpan := flag.Duration("slow-span", 0,
+		"log spans slower than this threshold to stderr (0 = disabled)")
 	flag.Parse()
+
+	if *slowSpan > 0 {
+		telemetry.Default.Spans().SetSlowThreshold(*slowSpan, func(fs telemetry.FinishedSpan) {
+			fmt.Fprintf(os.Stderr, "iotsecd: slow span %s took %s (trace %d)\n", fs.Name, fs.Duration, fs.TraceID)
+		})
+	}
 
 	p, err := core.DemoHome()
 	if err != nil {
@@ -35,7 +45,8 @@ func main() {
 
 	if *telemetryAddr != "" {
 		p.Switch.ExportTelemetry(telemetry.Default)
-		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr)
+		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr,
+			telemetry.Mount{Pattern: "/debug/journal", Handler: journal.Default.Handler()})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "iotsecd: telemetry: %v\n", err)
 			os.Exit(1)
@@ -53,8 +64,8 @@ func main() {
 	fmt.Printf("iotsecd: admin API on %s (try: mboxctl -addr %s status)\n", addr, addr)
 
 	// Surface state changes on stdout.
-	p.Global.View.Observe(func(c controller.ViewChange) {
-		fmt.Printf("iotsecd: [v%d] %s = %s (%s)\n", c.Version, c.Var, c.Value, c.Reason)
+	p.Global.View.Observe(func(_ context.Context, c controller.ViewChange) {
+		fmt.Printf("iotsecd: [v%d] %s = %s (%s) trace=%d\n", c.Version, c.Var, c.Value, c.Reason, c.TraceID)
 	})
 
 	stop := make(chan os.Signal, 1)

@@ -8,22 +8,30 @@
 //	mboxctl [-addr host:port] set-env <var> <value>
 //	mboxctl [-addr host:port] set-context <device> <context>
 //	mboxctl [-telemetry-addr host:port] stats
+//	mboxctl [-telemetry-addr host:port] trace <id>
+//	mboxctl [-telemetry-addr host:port] journal [-trace N] [-device D] [-type T] [-since 5m] [-sev warn] [-limit N] [-follow]
 //
-// stats talks to the daemon's telemetry listener (iotsecd
-// -telemetry-addr), not the admin API.
+// stats, trace and journal talk to the daemon's telemetry listener
+// (iotsecd -telemetry-addr), not the admin API. trace renders the
+// forensic timeline of one causal chain; journal dumps (or, with
+// -follow, live-tails) the event journal.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"iotsec/internal/core"
+	"iotsec/internal/journal"
 	"iotsec/internal/telemetry"
 )
 
@@ -42,6 +50,21 @@ func main() {
 	case "stats":
 		if err := printStats(*telemetryAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "mboxctl: stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "trace":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := printTrace(*telemetryAddr, args[1]); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "journal":
+		if err := printJournal(*telemetryAddr, args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: journal: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -140,7 +163,113 @@ func printStats(addr string) error {
 	return nil
 }
 
+// fetchJournal pulls a filtered snapshot from /debug/journal.
+func fetchJournal(addr string, query url.Values) (*journal.SnapshotJSON, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/journal?" + query.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("%w (is iotsecd running with -telemetry-addr %s?)", err, addr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var snap journal.SnapshotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding journal: %w", err)
+	}
+	return &snap, nil
+}
+
+// printTrace reconstructs and renders one causal chain.
+func printTrace(addr, idArg string) error {
+	id, err := strconv.ParseUint(idArg, 10, 64)
+	if err != nil || id == 0 {
+		return fmt.Errorf("trace id must be a positive integer, got %q", idArg)
+	}
+	snap, err := fetchJournal(addr, url.Values{"trace": {idArg}, "limit": {"0"}})
+	if err != nil {
+		return err
+	}
+	t := journal.Reconstruct(snap.Events, id)
+	if len(t.Events) == 0 {
+		return fmt.Errorf("no journal events for trace %d", id)
+	}
+	fmt.Print(t.Render())
+	fmt.Printf("chain: %s\n", t.Chain())
+	return nil
+}
+
+// printJournal dumps (or follows) the event journal.
+func printJournal(addr string, args []string) error {
+	fs := flag.NewFlagSet("journal", flag.ExitOnError)
+	trace := fs.Uint64("trace", 0, "restrict to one causal chain")
+	dev := fs.String("device", "", "restrict to one device")
+	typ := fs.String("type", "", "restrict to one event type")
+	since := fs.String("since", "", "only events since (duration like 5m, or RFC3339)")
+	sev := fs.String("sev", "", "minimum severity (debug|info|warn|critical)")
+	limit := fs.Int("limit", 64, "most recent N matches (0 = all)")
+	follow := fs.Bool("follow", false, "stream live events after the backlog")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q := url.Values{}
+	if *trace != 0 {
+		q.Set("trace", strconv.FormatUint(*trace, 10))
+	}
+	if *dev != "" {
+		q.Set("device", *dev)
+	}
+	if *typ != "" {
+		q.Set("type", *typ)
+	}
+	if *since != "" {
+		q.Set("since", *since)
+	}
+	if *sev != "" {
+		q.Set("sev", *sev)
+	}
+	q.Set("limit", strconv.Itoa(*limit))
+
+	if *follow {
+		q.Set("follow", "1")
+		resp, err := http.Get("http://" + addr + "/debug/journal?" + q.Encode())
+		if err != nil {
+			return fmt.Errorf("%w (is iotsecd running with -telemetry-addr %s?)", err, addr)
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			var e journal.Event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				continue
+			}
+			printEvent(e)
+		}
+		return sc.Err()
+	}
+
+	snap, err := fetchJournal(addr, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("journal: %d events appended, %d tail drops, %d shown\n",
+		snap.Appended, snap.TailDrops, len(snap.Events))
+	for _, e := range snap.Events {
+		printEvent(e)
+	}
+	return nil
+}
+
+// printEvent renders one journal line.
+func printEvent(e journal.Event) {
+	fmt.Printf("%6d %s [%s] %-13s %-12s trace=%-6d %s\n",
+		e.Seq, e.Wall.Format("15:04:05.000"), e.Severity, e.Type, e.Device, e.TraceID, e.Detail)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>|stats")
+	fmt.Fprintln(os.Stderr, `usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>
+       mboxctl [-telemetry-addr host:port] stats|trace <id>|journal [flags]`)
 	os.Exit(2)
 }

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"iotsec/internal/journal"
 	"iotsec/internal/sigrepo"
 	"iotsec/internal/telemetry"
 )
@@ -21,7 +22,7 @@ func main() {
 	lag := flag.Duration("priority-lag", 30*time.Second, "notification delay for non-contributors")
 	state := flag.String("state", "", "snapshot file to load at start and save on shutdown/periodically")
 	telemetryAddr := flag.String("telemetry-addr", "",
-		"serve /metrics and /debug/telemetry on this address (empty = disabled)")
+		"serve /metrics, /debug/telemetry and /debug/journal on this address (empty = disabled)")
 	flag.Parse()
 
 	s := *salt
@@ -61,7 +62,8 @@ func main() {
 	fmt.Printf("sigrepod: listening on %s (priority lag %v)\n", addr, *lag)
 
 	if *telemetryAddr != "" {
-		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr)
+		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr,
+			telemetry.Mount{Pattern: "/debug/journal", Handler: journal.Default.Handler()})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sigrepod: telemetry: %v\n", err)
 			os.Exit(1)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -68,7 +69,7 @@ func main() {
 	})
 
 	postures := 0
-	hier := controller.NewHierarchy(fsm, part, envLocality, func(dev string, p policy.Posture, _ uint64) {
+	hier := controller.NewHierarchy(fsm, part, envLocality, func(_ context.Context, dev string, p policy.Posture, _ uint64) {
 		postures++
 	})
 	hier.GlobalDelay = 2 * time.Millisecond
@@ -85,7 +86,7 @@ func main() {
 			if (i+r)%2 == 0 {
 				presence = "no"
 			}
-			hier.HandleDeviceEvent(device.Event{
+			hier.HandleDeviceEvent(context.Background(), device.Event{
 				Device: fmt.Sprintf("room%d-cam", r),
 				Kind:   device.EventStateChange,
 				Detail: "person=" + presence,

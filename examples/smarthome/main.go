@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	platform.Global.View.Observe(func(c controller.ViewChange) {
+	platform.Global.View.Observe(func(_ context.Context, c controller.ViewChange) {
 		fmt.Printf("    [controller] %s = %s (%s)\n", c.Var, c.Value, c.Reason)
 	})
 
@@ -86,7 +87,7 @@ func main() {
 	show("window state: %s", window.Get("window"))
 
 	show("\nthe administrator investigates, patches the alarm's exposure, and clears it:")
-	platform.Global.View.SetDeviceContext("firealarm", policy.ContextNormal, "admin cleared after investigation")
+	platform.Global.View.SetDeviceContext(context.Background(), "firealarm", policy.ContextNormal, "admin cleared after investigation")
 	time.Sleep(20 * time.Millisecond)
 	show("state: FireAlarm:<%s> Window:<%s> — the OPEN block lifts automatically",
 		platform.Global.View.DeviceContext("firealarm"),

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -89,26 +90,26 @@ func TestViewEscalationRules(t *testing.T) {
 	v := NewView()
 	var changes []ViewChange
 	var mu sync.Mutex
-	v.Observe(func(c ViewChange) {
+	v.Observe(func(_ context.Context, c ViewChange) {
 		mu.Lock()
 		changes = append(changes, c)
 		mu.Unlock()
 	})
 
 	// Backdoor access flips to suspicious immediately.
-	v.HandleDeviceEvent(device.Event{Device: "alarm", Kind: device.EventBackdoorAccess, Detail: "TEST"})
+	v.HandleDeviceEvent(context.Background(), device.Event{Device: "alarm", Kind: device.EventBackdoorAccess, Detail: "TEST"})
 	if v.DeviceContext("alarm") != policy.ContextSuspicious {
 		t.Error("backdoor did not escalate")
 	}
 
 	// Brute force needs the threshold.
 	for i := 0; i < 4; i++ {
-		v.HandleDeviceEvent(device.Event{Device: "window", Kind: device.EventAuthFailure})
+		v.HandleDeviceEvent(context.Background(), device.Event{Device: "window", Kind: device.EventAuthFailure})
 	}
 	if v.DeviceContext("window") != policy.ContextNormal {
 		t.Error("escalated below threshold")
 	}
-	v.HandleDeviceEvent(device.Event{Device: "window", Kind: device.EventAuthFailure})
+	v.HandleDeviceEvent(context.Background(), device.Event{Device: "window", Kind: device.EventAuthFailure})
 	if v.DeviceContext("window") != policy.ContextSuspicious {
 		t.Error("brute force did not escalate at threshold")
 	}
@@ -116,18 +117,18 @@ func TestViewEscalationRules(t *testing.T) {
 	// Success resets the counter.
 	v2 := NewView()
 	for i := 0; i < 4; i++ {
-		v2.HandleDeviceEvent(device.Event{Device: "d", Kind: device.EventAuthFailure})
+		v2.HandleDeviceEvent(context.Background(), device.Event{Device: "d", Kind: device.EventAuthFailure})
 	}
-	v2.HandleDeviceEvent(device.Event{Device: "d", Kind: device.EventAuthSuccess})
+	v2.HandleDeviceEvent(context.Background(), device.Event{Device: "d", Kind: device.EventAuthSuccess})
 	for i := 0; i < 4; i++ {
-		v2.HandleDeviceEvent(device.Event{Device: "d", Kind: device.EventAuthFailure})
+		v2.HandleDeviceEvent(context.Background(), device.Event{Device: "d", Kind: device.EventAuthFailure})
 	}
 	if v2.DeviceContext("d") != policy.ContextNormal {
 		t.Error("auth success did not reset the failure counter")
 	}
 
 	// State changes surface as env vars.
-	v.HandleDeviceEvent(device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=yes"})
+	v.HandleDeviceEvent(context.Background(), device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=yes"})
 	if v.Env("cam_person") != "yes" {
 		t.Errorf("cam_person = %q", v.Env("cam_person"))
 	}
@@ -136,7 +137,7 @@ func TestViewEscalationRules(t *testing.T) {
 	mu.Lock()
 	n := len(changes)
 	mu.Unlock()
-	v.HandleDeviceEvent(device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=yes"})
+	v.HandleDeviceEvent(context.Background(), device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=yes"})
 	mu.Lock()
 	if len(changes) != n {
 		t.Error("idempotent write notified observers")
@@ -146,15 +147,15 @@ func TestViewEscalationRules(t *testing.T) {
 
 func TestViewAlertsAndAnomalies(t *testing.T) {
 	v := NewView()
-	v.HandleAlert("cam", ids.Alert{SID: 7, Action: ids.ActionAlert, Msg: "probe"})
+	v.HandleAlert(context.Background(), "cam", ids.Alert{SID: 7, Action: ids.ActionAlert, Msg: "probe"})
 	if v.DeviceContext("cam") != policy.ContextSuspicious {
 		t.Error("alert did not mark suspicious")
 	}
-	v.HandleAlert("cam", ids.Alert{SID: 8, Action: ids.ActionBlock, Msg: "exploit"})
+	v.HandleAlert(context.Background(), "cam", ids.Alert{SID: 8, Action: ids.ActionBlock, Msg: "exploit"})
 	if v.DeviceContext("cam") != policy.ContextCompromised {
 		t.Error("block alert did not mark compromised")
 	}
-	v.HandleAnomaly(ids.Anomaly{Device: "plug", Kind: ids.AnomalyRate, Detail: "burst"})
+	v.HandleAnomaly(context.Background(), ids.Anomaly{Device: "plug", Kind: ids.AnomalyRate, Detail: "burst"})
 	if v.DeviceContext("plug") != policy.ContextSuspicious {
 		t.Error("anomaly did not mark suspicious")
 	}
@@ -205,13 +206,13 @@ func TestGlobalControllerPostureDeltas(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var changes []change
-	g := NewGlobal(f, func(dev string, p policy.Posture, _ uint64) {
+	g := NewGlobal(f, func(_ context.Context, dev string, p policy.Posture, _ uint64) {
 		mu.Lock()
 		changes = append(changes, change{dev, p})
 		mu.Unlock()
 	})
 
-	g.View.HandleDeviceEvent(device.Event{Device: "alarm", Kind: device.EventBackdoorAccess})
+	g.View.HandleDeviceEvent(context.Background(), device.Event{Device: "alarm", Kind: device.EventBackdoorAccess})
 	mu.Lock()
 	defer mu.Unlock()
 	var winChanged bool
@@ -264,7 +265,7 @@ func TestHierarchyLocalVsGlobalRouting(t *testing.T) {
 
 	var mu sync.Mutex
 	postures := map[string]policy.Posture{}
-	h := NewHierarchy(f, part, envLocality, func(dev string, p policy.Posture, _ uint64) {
+	h := NewHierarchy(f, part, envLocality, func(_ context.Context, dev string, p policy.Posture, _ uint64) {
 		mu.Lock()
 		postures[dev] = p
 		mu.Unlock()
@@ -274,7 +275,7 @@ func TestHierarchyLocalVsGlobalRouting(t *testing.T) {
 	}
 
 	// A cam state change is local: handled without escalation.
-	h.HandleDeviceEvent(device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=no"})
+	h.HandleDeviceEvent(context.Background(), device.Event{Device: "cam", Kind: device.EventStateChange, Detail: "person=no"})
 	local, escalated := h.Metrics()
 	if local != 1 || escalated != 0 {
 		t.Errorf("after local event: local=%d escalated=%d", local, escalated)
@@ -287,13 +288,13 @@ func TestHierarchyLocalVsGlobalRouting(t *testing.T) {
 
 	// Alarm backdoor is globally relevant (global rule references
 	// dev:alarm): escalates.
-	h.HandleDeviceEvent(device.Event{Device: "alarm", Kind: device.EventBackdoorAccess})
+	h.HandleDeviceEvent(context.Background(), device.Event{Device: "alarm", Kind: device.EventBackdoorAccess})
 	_, escalated = h.Metrics()
 	if escalated != 1 {
 		t.Errorf("escalated = %d, want 1", escalated)
 	}
 	// Plug backdoor also escalates and completes the global rule.
-	h.HandleDeviceEvent(device.Event{Device: "plug", Kind: device.EventBackdoorAccess})
+	h.HandleDeviceEvent(context.Background(), device.Event{Device: "plug", Kind: device.EventBackdoorAccess})
 	mu.Lock()
 	if p, ok := postures["window"]; !ok || !p.Isolate {
 		t.Errorf("global rule did not fire: %+v", postures)
@@ -322,7 +323,7 @@ func TestHierarchyGlobalDelayAccounting(t *testing.T) {
 	h.GlobalDelay = 20 * time.Millisecond
 
 	start := time.Now()
-	h.HandleDeviceEvent(device.Event{Device: "a", Kind: device.EventBackdoorAccess})
+	h.HandleDeviceEvent(context.Background(), device.Event{Device: "a", Kind: device.EventBackdoorAccess})
 	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
 		t.Errorf("escalation did not pay the global delay: %v", elapsed)
 	}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -8,12 +9,15 @@ import (
 
 	"iotsec/internal/device"
 	"iotsec/internal/policy"
+	"iotsec/internal/telemetry"
 )
 
 // PostureSink receives recomputed postures for devices whose
 // treatment changed; the enforcement layer (µmbox orchestrator) wires
-// in here.
-type PostureSink func(deviceName string, p policy.Posture, version uint64)
+// in here. ctx carries the causal trace of the event that forced the
+// recomputation, so enforcement spans and journal entries link back
+// to it.
+type PostureSink func(ctx context.Context, deviceName string, p policy.Posture, version uint64)
 
 // Global is the logically centralized controller: it owns the
 // authoritative view and the full policy, recomputing postures on
@@ -49,9 +53,9 @@ func NewGlobal(fsm *policy.FSM, sink PostureSink) *Global {
 		lastPostures: make(map[string]string),
 		commitTimes:  make(map[uint64]time.Time),
 	}
-	g.View.Observe(func(c ViewChange) {
+	g.View.Observe(func(ctx context.Context, c ViewChange) {
 		g.recordCommit(c.Version, c.When)
-		g.reconcile(c.Version)
+		g.reconcile(ctx, c.Version)
 	})
 	return g
 }
@@ -74,7 +78,7 @@ func (g *Global) CommitTime(version uint64) (time.Time, bool) {
 }
 
 // reconcile recomputes all postures and pushes the deltas.
-func (g *Global) reconcile(version uint64) {
+func (g *Global) reconcile(ctx context.Context, version uint64) {
 	g.recomputes.Add(1)
 	mRecomputes.Inc()
 	state := g.View.State()
@@ -102,7 +106,7 @@ func (g *Global) reconcile(version uint64) {
 		g.changes.Add(1)
 		mPostureChanges.Inc()
 		if sink != nil {
-			sink(c.dev, c.p, version)
+			sink(ctx, c.dev, c.p, version)
 		}
 	}
 }
@@ -217,14 +221,14 @@ func NewHierarchy(fsm *policy.FSM, part *Partitioning, envLocality map[string]in
 			sink:         sink,
 			lastPostures: make(map[string]string),
 		}
-		local.View.Observe(func(c ViewChange) { local.reconcile(c.Version) })
+		local.View.Observe(func(ctx context.Context, c ViewChange) { local.reconcile(ctx, c.Version) })
 		h.locals[g] = local
 	}
 	return h
 }
 
 // reconcile runs the local rule subset.
-func (l *Local) reconcile(version uint64) {
+func (l *Local) reconcile(ctx context.Context, version uint64) {
 	state := l.View.State()
 	postures := l.fsm.Lookup(state)
 	l.mu.Lock()
@@ -247,27 +251,32 @@ func (l *Local) reconcile(version uint64) {
 	l.mu.Unlock()
 	for _, c := range changed {
 		if sink != nil {
-			sink(c.dev, c.p, version)
+			sink(ctx, c.dev, c.p, version)
 		}
 	}
 }
 
 // HandleDeviceEvent routes an event: the owning partition's local
 // controller absorbs it; only events touching globally referenced
-// variables escalate (paying GlobalDelay).
-func (h *Hierarchy) HandleDeviceEvent(e device.Event) {
+// variables escalate (paying GlobalDelay). The trace carried by ctx
+// crosses the local/global boundary with the event, so escalated
+// enforcement still links back to the original sensor reading.
+func (h *Hierarchy) HandleDeviceEvent(ctx context.Context, e device.Event) {
 	group := h.partitioning.GroupOf(e.Device)
 	if local, ok := h.locals[group]; ok {
-		local.View.HandleDeviceEvent(e)
+		local.View.HandleDeviceEvent(ctx, e)
 	}
 
 	if h.eventGloballyRelevant(e) {
 		h.escalated.Add(1)
 		mEscalations.Inc()
+		ctx, span := telemetry.StartSpan(ctx, "controller.escalate")
+		span.SetAttr("device", e.Device)
 		if h.GlobalDelay > 0 {
 			time.Sleep(h.GlobalDelay)
 		}
-		h.Global.View.HandleDeviceEvent(e)
+		h.Global.View.HandleDeviceEvent(ctx, e)
+		span.End()
 		return
 	}
 	h.localHandled.Add(1)
@@ -292,17 +301,20 @@ func (h *Hierarchy) eventGloballyRelevant(e device.Event) bool {
 
 // HandleEnv routes an environment reading to the owning partition (if
 // local) and to the global view when globally referenced.
-func (h *Hierarchy) HandleEnv(envVar, level string, group int, reason string) {
+func (h *Hierarchy) HandleEnv(ctx context.Context, envVar, level string, group int, reason string) {
 	if local, ok := h.locals[group]; ok {
-		local.View.SetEnv(envVar, level, reason)
+		local.View.SetEnv(ctx, envVar, level, reason)
 	}
 	if h.globalVars["env:"+envVar] {
 		h.escalated.Add(1)
 		mEscalations.Inc()
+		ctx, span := telemetry.StartSpan(ctx, "controller.escalate")
+		span.SetAttr("env", envVar)
 		if h.GlobalDelay > 0 {
 			time.Sleep(h.GlobalDelay)
 		}
-		h.Global.View.SetEnv(envVar, level, reason)
+		h.Global.View.SetEnv(ctx, envVar, level, reason)
+		span.End()
 		return
 	}
 	h.localHandled.Add(1)

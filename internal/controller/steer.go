@@ -1,11 +1,13 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 	"time"
 
+	"iotsec/internal/journal"
 	"iotsec/internal/openflow"
 	"iotsec/internal/packet"
 	"iotsec/internal/telemetry"
@@ -36,6 +38,12 @@ type SteeredDevice struct {
 //	prio 200: in_port=A            -> output {host ports}  (processed, outward)
 //	prio 150: eth_dst=D.MAC        -> output A       (device-bound, into µmbox)
 //	prio  50: (default)            -> output {host ports} + {A for broadcast}
+//
+// Beyond tunnel programming, Steering can install per-device
+// quarantine rules (Isolate/Release): priority-400 drop rules keyed
+// by the device MAC, emitted with the trace ID of the causal chain
+// that requested them, so forensic timelines show which anomaly
+// produced which FLOW_MOD.
 type Steering struct {
 	mu      sync.Mutex
 	devices []SteeredDevice
@@ -74,8 +82,9 @@ func (s *Steering) Close() error { return s.endpoint.Close() }
 func (s *Steering) Endpoint() *openflow.ControllerEndpoint { return s.endpoint }
 
 // AddDevice registers a protected device and reprograms all connected
-// switches.
-func (s *Steering) AddDevice(d SteeredDevice) {
+// switches. The context carries the causal trace (if any) into the
+// emitted FLOW_MODs.
+func (s *Steering) AddDevice(ctx context.Context, d SteeredDevice) {
 	s.mu.Lock()
 	s.devices = append(s.devices, d)
 	dpids := make([]uint64, 0, len(s.switches))
@@ -84,7 +93,7 @@ func (s *Steering) AddDevice(d SteeredDevice) {
 	}
 	s.mu.Unlock()
 	for _, dpid := range dpids {
-		s.program(dpid)
+		s.program(ctx, dpid)
 	}
 }
 
@@ -96,7 +105,7 @@ func (s *Steering) SwitchConnected(dpid uint64, ports []uint16) {
 	s.mu.Lock()
 	s.switches[dpid] = ports
 	s.mu.Unlock()
-	go s.program(dpid)
+	go s.program(context.Background(), dpid)
 }
 
 // SwitchDisconnected implements openflow.SwitchHandler.
@@ -134,27 +143,39 @@ func hostPorts(ports []uint16, devices []SteeredDevice) []uint16 {
 	return hosts
 }
 
+// send stamps a FLOW_MOD with the context's trace ID, journals it,
+// and pushes it to one switch.
+func (s *Steering) send(ctx context.Context, dpid uint64, fm *openflow.FlowMod, what string) {
+	fm.TraceID = telemetry.TraceID(ctx)
+	mFlowMods.Inc()
+	journal.Record(ctx, journal.TypeFlowMod, journal.Info, what,
+		fmt.Sprintf("%s prio %d cookie %#x to dpid %d", fm.Command, fm.Priority, fm.Cookie, dpid))
+	if err := s.endpoint.SendFlowMod(dpid, fm); err != nil {
+		s.logger.Printf("steering: flow-mod to %d: %v", dpid, err)
+	}
+}
+
 // program pushes the full steering rule set to one switch, fencing
 // with a barrier so enforcement is in place before program returns.
-func (s *Steering) program(dpid uint64) {
+// With no registered devices it is a no-op: a connected switch keeps
+// its existing table until steering actually has something to steer.
+func (s *Steering) program(ctx context.Context, dpid uint64) {
 	s.mu.Lock()
 	ports := s.switches[dpid]
 	devices := append([]SteeredDevice(nil), s.devices...)
 	s.mu.Unlock()
-	if ports == nil {
+	if ports == nil || len(devices) == 0 {
 		return
 	}
+	ctx, span := telemetry.StartSpan(ctx, "controller.steer.program")
+	span.SetAttr("dpid", fmt.Sprintf("%d", dpid))
+	defer span.End()
 	defer telemetry.Time(mProgramSeconds)()
 	hosts := hostPorts(ports, devices)
 
-	send := func(fm *openflow.FlowMod) {
-		mFlowMods.Inc()
-		if err := s.endpoint.SendFlowMod(dpid, fm); err != nil {
-			s.logger.Printf("steering: flow-mod to %d: %v", dpid, err)
-		}
-	}
-	// Start from a clean table.
-	send(&openflow.FlowMod{Command: openflow.FlowDelete, Match: openflow.MatchAll()})
+	// Start from a clean table (quarantine rules included; they are
+	// re-issued by the posture loop if still warranted).
+	s.send(ctx, dpid, &openflow.FlowMod{Command: openflow.FlowDelete, Match: openflow.MatchAll()}, "")
 
 	outputsTo := func(ports []uint16) []openflow.Action {
 		acts := make([]openflow.Action, len(ports))
@@ -166,21 +187,21 @@ func (s *Steering) program(dpid uint64) {
 
 	for _, d := range devices {
 		// Processed traffic exiting the µmbox toward the device.
-		send(&openflow.FlowMod{
+		s.send(ctx, dpid, &openflow.FlowMod{
 			Command:  openflow.FlowAdd,
 			Match:    openflow.MatchAll().WithInPort(d.MboxSouthPort),
 			Priority: 220,
 			Actions:  []openflow.Action{openflow.Output(d.DevicePort)},
 			Cookie:   dpid,
-		})
+		}, d.Name)
 		// Device-origin traffic enters the µmbox south leg.
-		send(&openflow.FlowMod{
+		s.send(ctx, dpid, &openflow.FlowMod{
 			Command:  openflow.FlowAdd,
 			Match:    openflow.MatchAll().WithInPort(d.DevicePort),
 			Priority: 220,
 			Actions:  []openflow.Action{openflow.Output(d.MboxSouthPort)},
 			Cookie:   dpid,
-		})
+		}, d.Name)
 		// Processed device-origin traffic exits toward the hosts and
 		// toward other protected devices' tunnels (device-to-device
 		// traffic crosses both µmboxes).
@@ -190,21 +211,21 @@ func (s *Steering) program(dpid uint64) {
 				northActions = append(northActions, openflow.Output(other.MboxNorthPort))
 			}
 		}
-		send(&openflow.FlowMod{
+		s.send(ctx, dpid, &openflow.FlowMod{
 			Command:  openflow.FlowAdd,
 			Match:    openflow.MatchAll().WithInPort(d.MboxNorthPort),
 			Priority: 200,
 			Actions:  northActions,
 			Cookie:   dpid,
-		})
+		}, d.Name)
 		// Device-bound traffic detours into the µmbox north leg.
-		send(&openflow.FlowMod{
+		s.send(ctx, dpid, &openflow.FlowMod{
 			Command:  openflow.FlowAdd,
 			Match:    openflow.MatchAll().WithEthDst(d.MAC),
 			Priority: 150,
 			Actions:  []openflow.Action{openflow.Output(d.MboxNorthPort)},
 			Cookie:   dpid,
-		})
+		}, d.Name)
 	}
 
 	// Default: host-to-host plus broadcast reach into every µmbox
@@ -214,17 +235,87 @@ func (s *Steering) program(dpid uint64) {
 	for _, d := range devices {
 		defaults = append(defaults, openflow.Output(d.MboxNorthPort))
 	}
-	send(&openflow.FlowMod{
+	s.send(ctx, dpid, &openflow.FlowMod{
 		Command:  openflow.FlowAdd,
 		Match:    openflow.MatchAll(),
 		Priority: 50,
 		Actions:  defaults,
 		Cookie:   dpid,
-	})
+	}, "")
 
 	if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
 		s.logger.Printf("steering: barrier to %d: %v", dpid, err)
 	}
+}
+
+// quarantineCookie derives a stable per-device cookie from its MAC so
+// Release can delete exactly the rules Isolate installed. The high
+// byte tags the rule class so steering cookies (= dpid) never collide.
+func quarantineCookie(mac packet.MACAddress) uint64 {
+	var c uint64 = 0x51 // 'Q'
+	for _, b := range mac {
+		c = c<<8 | uint64(b)
+	}
+	return c
+}
+
+// Isolate installs quarantine drop rules for one device MAC on every
+// connected switch: priority-400 rules matching eth_src and eth_dst
+// with an empty action list (= drop), fenced by a barrier. The rules
+// carry the context's trace ID, so the forensic journal links them to
+// the anomaly that triggered the posture change.
+func (s *Steering) Isolate(ctx context.Context, name string, mac packet.MACAddress) {
+	ctx, span := telemetry.StartSpan(ctx, "controller.steer.isolate")
+	span.SetAttr("device", name)
+	defer span.End()
+	cookie := quarantineCookie(mac)
+	for _, dpid := range s.dpids() {
+		s.send(ctx, dpid, &openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Match:    openflow.MatchAll().WithEthSrc(mac),
+			Priority: 400,
+			Cookie:   cookie,
+		}, name)
+		s.send(ctx, dpid, &openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Match:    openflow.MatchAll().WithEthDst(mac),
+			Priority: 400,
+			Cookie:   cookie,
+		}, name)
+		if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
+			s.logger.Printf("steering: isolate barrier to %d: %v", dpid, err)
+		}
+	}
+}
+
+// Release removes the quarantine rules Isolate installed for mac on
+// every connected switch (delete-by-cookie), barrier-fenced.
+func (s *Steering) Release(ctx context.Context, name string, mac packet.MACAddress) {
+	ctx, span := telemetry.StartSpan(ctx, "controller.steer.release")
+	span.SetAttr("device", name)
+	defer span.End()
+	cookie := quarantineCookie(mac)
+	for _, dpid := range s.dpids() {
+		s.send(ctx, dpid, &openflow.FlowMod{
+			Command: openflow.FlowDeleteByCookie,
+			Match:   openflow.MatchAll(),
+			Cookie:  cookie,
+		}, name)
+		if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
+			s.logger.Printf("steering: release barrier to %d: %v", dpid, err)
+		}
+	}
+}
+
+// dpids snapshots the connected switch IDs.
+func (s *Steering) dpids() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.switches))
+	for dpid := range s.switches {
+		out = append(out, dpid)
+	}
+	return out
 }
 
 // String summarizes the steering state.

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -65,7 +66,7 @@ func TestSDNSteeredTunnel(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	steering.AddDevice(SteeredDevice{
+	steering.AddDevice(context.Background(), SteeredDevice{
 		Name: "cam", MAC: cam.MAC(),
 		DevicePort: 1, MboxNorthPort: 2, MboxSouthPort: 3,
 	})
@@ -145,8 +146,8 @@ func TestSteeringMultipleDevices(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	steering.AddDevice(SteeredDevice{Name: "d1", MAC: d1.MAC(), DevicePort: 1, MboxNorthPort: 2, MboxSouthPort: 3})
-	steering.AddDevice(SteeredDevice{Name: "d2", MAC: d2.MAC(), DevicePort: 4, MboxNorthPort: 5, MboxSouthPort: 6})
+	steering.AddDevice(context.Background(), SteeredDevice{Name: "d1", MAC: d1.MAC(), DevicePort: 1, MboxNorthPort: 2, MboxSouthPort: 3})
+	steering.AddDevice(context.Background(), SteeredDevice{Name: "d2", MAC: d2.MAC(), DevicePort: 4, MboxNorthPort: 5, MboxSouthPort: 6})
 
 	// d1 calls d2 directly: the request crosses d1's µmbox outbound
 	// and d2's µmbox inbound.

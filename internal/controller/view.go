@@ -8,6 +8,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -15,7 +16,9 @@ import (
 
 	"iotsec/internal/device"
 	"iotsec/internal/ids"
+	"iotsec/internal/journal"
 	"iotsec/internal/policy"
+	"iotsec/internal/telemetry"
 )
 
 // ViewChange describes one state-variable update.
@@ -29,11 +32,15 @@ type ViewChange struct {
 	// Reason explains the transition (event kind, alert sid, ...).
 	Reason string
 	When   time.Time
+	// TraceID is the causal chain that carried the change (0 when the
+	// mutation arrived outside any trace).
+	TraceID uint64
 }
 
-// ViewObserver is notified of committed changes in order. Must not
+// ViewObserver is notified of committed changes in order, under the
+// context (and therefore trace) that carried the mutation. Must not
 // block.
-type ViewObserver func(ViewChange)
+type ViewObserver func(ctx context.Context, c ViewChange)
 
 // View is the context monitor: the authoritative, versioned global
 // system state Sk. All mutations flow through the embedded versioned
@@ -73,18 +80,19 @@ func (v *View) Observe(o ViewObserver) {
 	v.observers = append(v.observers, o)
 }
 
-// SetDeviceContext transitions a device's security context.
-func (v *View) SetDeviceContext(deviceName string, ctx policy.SecurityContext, reason string) {
-	v.apply("dev:"+deviceName, string(ctx), reason)
+// SetDeviceContext transitions a device's security context. ctx
+// carries the causal trace of whatever triggered the transition.
+func (v *View) SetDeviceContext(ctx context.Context, deviceName string, sc policy.SecurityContext, reason string) {
+	v.apply(ctx, "dev:"+deviceName, string(sc), reason)
 }
 
 // SetEnv commits an environment level.
-func (v *View) SetEnv(envVar, level, reason string) {
-	v.apply("env:"+envVar, level, reason)
+func (v *View) SetEnv(ctx context.Context, envVar, level, reason string) {
+	v.apply(ctx, "env:"+envVar, level, reason)
 }
 
 // apply commits a change through the store and notifies observers.
-func (v *View) apply(varName, value, reason string) {
+func (v *View) apply(ctx context.Context, varName, value, reason string) {
 	v.mu.Lock()
 	// Idempotence: unchanged values do not spam observers.
 	var old string
@@ -107,9 +115,18 @@ func (v *View) apply(varName, value, reason string) {
 	v.mu.Unlock()
 
 	mViewChanges.Inc()
-	change := ViewChange{Var: varName, Value: value, Version: version, Reason: reason, When: time.Now()}
+	change := ViewChange{
+		Var: varName, Value: value, Version: version, Reason: reason,
+		When: time.Now(), TraceID: telemetry.TraceID(ctx),
+	}
+	device := ""
+	if name, ok := strings.CutPrefix(varName, "dev:"); ok {
+		device = name
+	}
+	journal.Record(ctx, journal.TypeViewChange, journal.Debug, device,
+		fmt.Sprintf("v%d %s = %s (%s)", version, varName, value, reason))
 	for _, o := range observers {
-		o(change)
+		o(ctx, change)
 	}
 }
 
@@ -154,10 +171,10 @@ func (v *View) Version() uint64 { return v.store.Version() }
 //   - ≥ BruteForceThreshold consecutive auth failures → suspicious
 //   - device state changes surface as env variables
 //     "<device>_<attr>" so policies can condition on them
-func (v *View) HandleDeviceEvent(e device.Event) {
+func (v *View) HandleDeviceEvent(ctx context.Context, e device.Event) {
 	switch e.Kind {
 	case device.EventBackdoorAccess:
-		v.SetDeviceContext(e.Device, policy.ContextSuspicious, "backdoor access: "+e.Detail)
+		v.SetDeviceContext(ctx, e.Device, policy.ContextSuspicious, "backdoor access: "+e.Detail)
 	case device.EventAuthFailure:
 		v.mu.Lock()
 		v.failures[e.Device]++
@@ -165,7 +182,7 @@ func (v *View) HandleDeviceEvent(e device.Event) {
 		threshold := v.BruteForceThreshold
 		v.mu.Unlock()
 		if n >= threshold {
-			v.SetDeviceContext(e.Device, policy.ContextSuspicious,
+			v.SetDeviceContext(ctx, e.Device, policy.ContextSuspicious,
 				fmt.Sprintf("brute force: %d consecutive auth failures", n))
 		}
 	case device.EventAuthSuccess:
@@ -174,7 +191,7 @@ func (v *View) HandleDeviceEvent(e device.Event) {
 		v.mu.Unlock()
 	case device.EventStateChange, device.EventSensor:
 		if attr, val, ok := strings.Cut(e.Detail, "="); ok {
-			v.SetEnv(e.Device+"_"+attr, val, "device report")
+			v.SetEnv(ctx, e.Device+"_"+attr, val, "device report")
 		}
 	}
 }
@@ -182,16 +199,16 @@ func (v *View) HandleDeviceEvent(e device.Event) {
 // HandleAlert folds an IDS alert into the view: any signature match
 // against a device marks it suspicious; block-action matches mark it
 // compromised.
-func (v *View) HandleAlert(deviceName string, a ids.Alert) {
-	ctx := policy.ContextSuspicious
+func (v *View) HandleAlert(ctx context.Context, deviceName string, a ids.Alert) {
+	sc := policy.ContextSuspicious
 	if a.Action == ids.ActionBlock {
-		ctx = policy.ContextCompromised
+		sc = policy.ContextCompromised
 	}
-	v.SetDeviceContext(deviceName, ctx, fmt.Sprintf("ids sid=%d %s", a.SID, a.Msg))
+	v.SetDeviceContext(ctx, deviceName, sc, fmt.Sprintf("ids sid=%d %s", a.SID, a.Msg))
 }
 
 // HandleAnomaly folds an anomaly detection into the view.
-func (v *View) HandleAnomaly(a ids.Anomaly) {
-	v.SetDeviceContext(a.Device, policy.ContextSuspicious,
+func (v *View) HandleAnomaly(ctx context.Context, a ids.Anomaly) {
+	v.SetDeviceContext(ctx, a.Device, policy.ContextSuspicious,
 		fmt.Sprintf("anomaly %s: %s", a.Kind, a.Detail))
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"sync"
 
 	"iotsec/internal/policy"
+	"iotsec/internal/telemetry"
 )
 
 // Admin exposes a running Platform over a small JSON-over-TCP
@@ -137,13 +139,18 @@ func (a *Admin) handle(req AdminRequest) AdminResponse {
 		p.Env.Step()
 		return AdminResponse{OK: true}
 	case "set-context":
-		ctx := policy.SecurityContext(req.Value)
-		switch ctx {
+		sc := policy.SecurityContext(req.Value)
+		switch sc {
 		case policy.ContextNormal, policy.ContextSuspicious, policy.ContextCompromised, policy.ContextUnpatched:
 		default:
 			return AdminResponse{Error: "set-context: unknown context " + req.Value}
 		}
-		p.Global.View.SetDeviceContext(req.Device, ctx, "admin")
+		// Operator actions start fresh causal chains too: an admin
+		// quarantine shows up in the journal with its own trace ID.
+		ctx, span := telemetry.StartSpan(context.Background(), "core.admin.set_context")
+		span.SetAttr("device", req.Device)
+		p.Global.View.SetDeviceContext(ctx, req.Device, sc, "admin")
+		span.End()
 		return AdminResponse{OK: true}
 	default:
 		return AdminResponse{Error: "unknown op " + req.Op}

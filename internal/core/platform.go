@@ -19,6 +19,7 @@ import (
 	"iotsec/internal/device"
 	"iotsec/internal/envsim"
 	"iotsec/internal/ids"
+	"iotsec/internal/journal"
 	"iotsec/internal/mbox"
 	"iotsec/internal/netsim"
 	"iotsec/internal/packet"
@@ -77,6 +78,10 @@ type Platform struct {
 	nextSwitchPort uint16
 	started        bool
 
+	// steering, when attached via UseSteering, receives quarantine
+	// FLOW_MODs whenever a posture isolates or releases a device.
+	steering *controller.Steering
+
 	recorder *netsim.Recorder
 }
 
@@ -86,6 +91,9 @@ type Managed struct {
 	Instance *mbox.Instance
 	// CurrentPosture is the last applied posture.
 	CurrentPosture policy.Posture
+
+	// isolated mirrors whether quarantine flow rules are installed.
+	isolated bool
 }
 
 // New assembles a platform.
@@ -134,10 +142,14 @@ func New(opts Options) (*Platform, error) {
 	p.Global = controller.NewGlobal(opts.Policy, p.applyPosture)
 
 	// Environment → view: discretized levels feed the global state.
+	// Each tick is a fresh causal chain (a root span), so any posture
+	// change it provokes is traceable back to the reading.
 	p.Env.AddObserver(func(s envsim.Snapshot, _ map[string]float64) {
+		ctx, span := telemetry.StartSpan(context.Background(), "core.env_tick")
 		for _, v := range p.disc.Variables() {
-			p.Global.View.SetEnv(v, p.disc.Value(v, s.Get(v)), "environment")
+			p.Global.View.SetEnv(ctx, v, p.disc.Value(v, s.Get(v)), "environment")
 		}
+		span.End()
 	})
 	return p, nil
 }
@@ -168,9 +180,9 @@ func (p *Platform) AddDevice(d *device.Device) (*Managed, error) {
 		return nil, err
 	}
 	d.BindEnvironment(p.Env)
-	d.SetEventSink(func(e device.Event) { p.Global.View.HandleDeviceEvent(e) })
+	d.SetEventSink(func(e device.Event) { p.ReportDeviceEvent(e) })
 
-	inst, err := p.Manager.Launch("mb-"+d.Name, p.opts.Platform, mbox.NewPipeline(&mbox.Logger{}))
+	inst, err := p.Manager.Launch(context.Background(), "mb-"+d.Name, p.opts.Platform, mbox.NewPipeline(&mbox.Logger{}))
 	if err != nil {
 		return nil, fmt.Errorf("core: launching µmbox for %s: %w", d.Name, err)
 	}
@@ -192,7 +204,7 @@ func (p *Platform) AddDevice(d *device.Device) (*Managed, error) {
 	if started {
 		state := p.Global.View.State()
 		if posture, ok := p.fsm.Lookup(state)[d.Name]; ok {
-			p.applyPosture(d.Name, posture, p.Global.View.Version())
+			p.applyPosture(context.Background(), d.Name, posture, p.Global.View.Version())
 		}
 	}
 	return m, nil
@@ -219,7 +231,7 @@ func (p *Platform) Start() {
 	// Apply the policy's posture for the initial (all-normal) state.
 	state := p.Global.View.State()
 	for dev, posture := range p.fsm.Lookup(state) {
-		p.applyPosture(dev, posture, 0)
+		p.applyPosture(context.Background(), dev, posture, 0)
 	}
 }
 
@@ -259,7 +271,7 @@ func (p *Platform) AddSignatureRule(sku, ruleText string) error {
 	}
 	p.mu.Unlock()
 	for _, m := range affected {
-		p.applyPosture(m.Device.Name, m.CurrentPosture, p.Global.View.Version())
+		p.applyPosture(context.Background(), m.Device.Name, m.CurrentPosture, p.Global.View.Version())
 	}
 	return nil
 }
@@ -267,8 +279,11 @@ func (p *Platform) AddSignatureRule(sku, ruleText string) error {
 // applyPosture is the PostureSink: translate the posture into an
 // element chain and live-reconfigure the device's µmbox. It closes
 // Figure 2's loop, so it also emits the event→enforcement latency
-// (measured from the view commit that triggered it) and a span.
-func (p *Platform) applyPosture(deviceName string, posture policy.Posture, version uint64) {
+// (measured from the view commit that triggered it) and a span — a
+// child of whatever event chain provoked the posture, so the journal
+// timeline for the trace reads anomaly → posture → FLOW_MOD →
+// mbox-reconfig in sequence order.
+func (p *Platform) applyPosture(ctx context.Context, deviceName string, posture policy.Posture, version uint64) {
 	p.mu.Lock()
 	m, ok := p.devices[deviceName]
 	if !ok {
@@ -276,15 +291,33 @@ func (p *Platform) applyPosture(deviceName string, posture policy.Posture, versi
 		return // policy mentions a device not (yet) deployed
 	}
 	m.CurrentPosture = posture
+	wasIsolated := m.isolated
+	m.isolated = posture.Isolate
+	steering := p.steering
 	p.reconfigures++
 	p.lastVersion = version
 	p.mu.Unlock()
 
-	_, span := telemetry.StartSpan(context.Background(), "core.apply_posture")
+	ctx, span := telemetry.StartSpan(ctx, "core.apply_posture")
 	span.SetAttr("device", deviceName)
 	span.SetAttr("version", strconv.FormatUint(version, 10))
+	sev := journal.Info
+	if posture.Isolate {
+		sev = journal.Warn
+	}
+	journal.Record(ctx, journal.TypePosture, sev, deviceName,
+		fmt.Sprintf("v%d %s", version, posture))
+	// Network-level enforcement first (quarantine rules reach the
+	// switches), then the µmbox pipeline swap.
+	if steering != nil && posture.Isolate != wasIsolated {
+		if posture.Isolate {
+			steering.Isolate(ctx, deviceName, m.Device.MAC())
+		} else {
+			steering.Release(ctx, deviceName, m.Device.MAC())
+		}
+	}
 	elements := p.buildPipeline(m, posture)
-	_ = p.Manager.Reconfigure("mb-"+deviceName, elements...)
+	_ = p.Manager.Reconfigure(ctx, "mb-"+deviceName, elements...)
 	span.End()
 	mPostureApplies.Inc()
 	if version > 0 {
@@ -292,6 +325,52 @@ func (p *Platform) applyPosture(deviceName string, posture policy.Posture, versi
 			mEnforceSeconds.Observe(time.Since(committed).Seconds())
 		}
 	}
+}
+
+// UseSteering attaches an SDN steering application: posture changes
+// that isolate (or release) a device are additionally enforced as
+// quarantine FLOW_MODs on every switch the steering app controls,
+// carrying the causal trace ID across the southbound wire.
+func (p *Platform) UseSteering(s *controller.Steering) {
+	p.mu.Lock()
+	p.steering = s
+	p.mu.Unlock()
+}
+
+// ReportDeviceEvent feeds one device event into the view as a fresh
+// causal chain (root span + journal record). Device event sinks call
+// this; tests can inject synthetic events through it.
+func (p *Platform) ReportDeviceEvent(e device.Event) {
+	ctx, span := telemetry.StartSpan(context.Background(), "core.device_event")
+	span.SetAttr("device", e.Device)
+	journal.Record(ctx, journal.TypeDeviceEvent, journal.Debug, e.Device,
+		fmt.Sprintf("%s: %s", e.Kind, e.Detail))
+	p.Global.View.HandleDeviceEvent(ctx, e)
+	span.End()
+}
+
+// ReportAnomaly feeds one behavioral anomaly into the view as a fresh
+// causal chain. µmbox anomaly elements call this; tests inject
+// synthetic anomalies through it and then follow the resulting trace
+// ID through the journal.
+func (p *Platform) ReportAnomaly(a ids.Anomaly) {
+	ctx, span := telemetry.StartSpan(context.Background(), "core.anomaly")
+	span.SetAttr("device", a.Device)
+	journal.Record(ctx, journal.TypeAnomaly, journal.Warn, a.Device,
+		fmt.Sprintf("%s: %s (score %.2f)", a.Kind, a.Detail, a.Score))
+	p.Global.View.HandleAnomaly(ctx, a)
+	span.End()
+}
+
+// ReportAlert feeds one IDS alert into the view as a fresh causal
+// chain.
+func (p *Platform) ReportAlert(deviceName string, a ids.Alert) {
+	ctx, span := telemetry.StartSpan(context.Background(), "core.alert")
+	span.SetAttr("device", deviceName)
+	journal.Record(ctx, journal.TypeAlert, journal.Warn, deviceName,
+		fmt.Sprintf("sid %d: %s", a.SID, a.Msg))
+	p.Global.View.HandleAlert(ctx, deviceName, a)
+	span.End()
 }
 
 // buildPipeline translates a posture into concrete µmbox elements.
@@ -336,7 +415,7 @@ func (p *Platform) buildElement(dev *device.Device, spec policy.ModuleSpec) mbox
 		name := dev.Name
 		return &mbox.IDSElement{
 			Engine:  ids.NewEngine(rules),
-			OnAlert: func(a ids.Alert) { p.Global.View.HandleAlert(name, a) },
+			OnAlert: func(a ids.Alert) { p.ReportAlert(name, a) },
 		}
 	case "anomaly":
 		p.mu.Lock()
@@ -344,7 +423,7 @@ func (p *Platform) buildElement(dev *device.Device, spec policy.ModuleSpec) mbox
 		p.mu.Unlock()
 		return &mbox.AnomalyElement{
 			Profile:   profile,
-			OnAnomaly: func(a ids.Anomaly) { p.Global.View.HandleAnomaly(a) },
+			OnAnomaly: func(a ids.Anomaly) { p.ReportAnomaly(a) },
 		}
 	case "rate-limiter":
 		rate, _ := strconv.ParseFloat(spec.Config["rate"], 64)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -269,7 +270,7 @@ func TestIsolationPosture(t *testing.T) {
 		t.Fatalf("pre-quarantine call failed: %v %+v", err, resp)
 	}
 	// The admin marks it compromised (e.g., after a sigrepo alert).
-	p.Global.View.SetDeviceContext("stb", policy.ContextCompromised, "manual quarantine")
+	p.Global.View.SetDeviceContext(context.Background(), "stb", policy.ContextCompromised, "manual quarantine")
 	time.Sleep(20 * time.Millisecond)
 	if _, err := client.Call(stb.IP(), device.Request{Cmd: "INFO"}); err == nil {
 		t.Fatal("isolated device still reachable")

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -129,10 +130,10 @@ func RunAblationHierarchy(globalRTT time.Duration, seed int64) *Table {
 		for e := 0; e < events; e++ {
 			dev := devices[rng.Intn(nDevices)]
 			if e%5 == 0 {
-				h.HandleDeviceEvent(device.Event{Device: dev, Kind: device.EventBackdoorAccess, Detail: "probe"})
+				h.HandleDeviceEvent(context.Background(), device.Event{Device: dev, Kind: device.EventBackdoorAccess, Detail: "probe"})
 				continue
 			}
-			h.HandleDeviceEvent(device.Event{
+			h.HandleDeviceEvent(context.Background(), device.Event{
 				Device: dev,
 				Kind:   device.EventStateChange,
 				Detail: fmt.Sprintf("attr=%s", []string{"a", "b"}[rng.Intn(2)]),
@@ -162,7 +163,7 @@ func RunAblationMicroMbox() (*Table, error) {
 		mgr := mbox.NewManager(mbox.Server{Name: "s0", Slots: 256})
 		mgr.TimeScale = 0 // account, don't sleep
 		for i := 0; i < 100; i++ {
-			if _, err := mgr.Launch(fmt.Sprintf("mb-%d", i), k, mbox.NewPipeline(&mbox.Logger{})); err != nil {
+			if _, err := mgr.Launch(context.Background(), fmt.Sprintf("mb-%d", i), k, mbox.NewPipeline(&mbox.Logger{})); err != nil {
 				return nil, err
 			}
 		}
@@ -251,13 +252,13 @@ func RunAblationReputation(seed int64) *Table {
 
 		var goodIDs, poisonIDs []string
 		for i := 0; i < 10; i++ {
-			sig, err := repo.Publish(honest[i%len(honest)], "sku-x", fmt.Sprintf(goodRule, 100+i), "seen in logs")
+			sig, err := repo.Publish(context.Background(), honest[i%len(honest)], "sku-x", fmt.Sprintf(goodRule, 100+i), "seen in logs")
 			if err == nil {
 				goodIDs = append(goodIDs, sig.ID)
 			}
 		}
 		for i := 0; i < 10; i++ {
-			sig, err := repo.Publish(attackers[i%len(attackers)], "sku-x", fmt.Sprintf(poisonRule, 200+i), "trust me")
+			sig, err := repo.Publish(context.Background(), attackers[i%len(attackers)], "sku-x", fmt.Sprintf(poisonRule, 200+i), "trust me")
 			if err == nil {
 				poisonIDs = append(poisonIDs, sig.ID)
 			}
@@ -273,20 +274,20 @@ func RunAblationReputation(seed int64) *Table {
 			// warm the reputations with a first wave here).
 			warm := func(id string, poison bool) {
 				if poison {
-					_, _ = repo.Vote("sock-1", id, true)
-					_, _ = repo.Vote("sock-2", id, true)
+					_, _ = repo.Vote(context.Background(), "sock-1", id, true)
+					_, _ = repo.Vote(context.Background(), "sock-2", id, true)
 				}
 				for _, voter := range honest {
 					if rng.Float64() < 0.9 {
-						_, _ = repo.Vote(voter, id, !poison)
+						_, _ = repo.Vote(context.Background(), voter, id, !poison)
 					}
 				}
 			}
 			for i := 0; i < 6; i++ {
-				if sig, err := repo.Publish(honest[i%len(honest)], "sku-warm", fmt.Sprintf(goodRule, 300+i), ""); err == nil {
+				if sig, err := repo.Publish(context.Background(), honest[i%len(honest)], "sku-warm", fmt.Sprintf(goodRule, 300+i), ""); err == nil {
 					warm(sig.ID, false)
 				}
-				if sig, err := repo.Publish(attackers[i%len(attackers)], "sku-warm", fmt.Sprintf(poisonRule, 400+i), ""); err == nil {
+				if sig, err := repo.Publish(context.Background(), attackers[i%len(attackers)], "sku-warm", fmt.Sprintf(poisonRule, 400+i), ""); err == nil {
 					warm(sig.ID, true)
 				}
 			}
@@ -303,15 +304,15 @@ func RunAblationReputation(seed int64) *Table {
 			repo2.ClearScore = -1e9
 			goodIDs, poisonIDs = goodIDs[:0], poisonIDs[:0]
 			for i := 0; i < 10; i++ {
-				if sig, err := repo2.Publish(honest[i%len(honest)], "sku-x", fmt.Sprintf(goodRule, 100+i), ""); err == nil {
+				if sig, err := repo2.Publish(context.Background(), honest[i%len(honest)], "sku-x", fmt.Sprintf(goodRule, 100+i), ""); err == nil {
 					goodIDs = append(goodIDs, sig.ID)
-					_, _ = repo2.Vote("anyone", sig.ID, true)
+					_, _ = repo2.Vote(context.Background(), "anyone", sig.ID, true)
 				}
 			}
 			for i := 0; i < 10; i++ {
-				if sig, err := repo2.Publish(attackers[i%len(attackers)], "sku-x", fmt.Sprintf(poisonRule, 200+i), ""); err == nil {
+				if sig, err := repo2.Publish(context.Background(), attackers[i%len(attackers)], "sku-x", fmt.Sprintf(poisonRule, 200+i), ""); err == nil {
 					poisonIDs = append(poisonIDs, sig.ID)
-					_, _ = repo2.Vote("anyone", sig.ID, true)
+					_, _ = repo2.Vote(context.Background(), "anyone", sig.ID, true)
 				}
 			}
 			repo = repo2

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -154,7 +155,7 @@ func measureSteeredLatency() (time.Duration, error) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	steering.AddDevice(controller.SteeredDevice{
+	steering.AddDevice(context.Background(), controller.SteeredDevice{
 		Name: "cam", MAC: cam.MAC(), DevicePort: 1, MboxNorthPort: 2, MboxSouthPort: 3,
 	})
 

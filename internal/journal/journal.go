@@ -1,0 +1,363 @@
+// Package journal is IoTSec's forensic event log: a bounded,
+// lock-cheap ring of structured events covering the whole Figure 2
+// loop — detected anomalies, IDS alerts, device events, FSM posture
+// transitions, FLOW_MOD emission/application, µmbox boots and
+// reconfigurations, and signature publishes/votes. Every event
+// carries the trace ID of the causal chain it belongs to (threaded
+// end-to-end via context.Context and internal/telemetry spans), a
+// wall-clock timestamp and a monotonic offset, so a single sensor
+// anomaly can be reconstructed into the exact enforcement it caused.
+//
+// The write path is one short mutex-guarded slot store (no
+// allocation, no fan-out unless a tail subscriber is attached); the
+// BenchmarkJournalAppend budget is < 100ns/op so hot paths can
+// journal unconditionally.
+package journal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotsec/internal/telemetry"
+)
+
+// Type classifies an event.
+type Type string
+
+// Event types, one per observable stage of the detect → policy →
+// controller → µmbox chain.
+const (
+	// TypeDeviceEvent is a raw device-emitted event entering the view.
+	TypeDeviceEvent Type = "device-event"
+	// TypeAnomaly is a behavioral-anomaly detection.
+	TypeAnomaly Type = "anomaly"
+	// TypeAlert is a signature (IDS) match.
+	TypeAlert Type = "alert"
+	// TypeViewChange is a committed state-variable change (the FSM
+	// input transition).
+	TypeViewChange Type = "view-change"
+	// TypePosture is a recomputed posture applied to a device.
+	TypePosture Type = "posture"
+	// TypeFlowMod is a FLOW_MOD emitted southbound by the controller.
+	TypeFlowMod Type = "flow-mod"
+	// TypeFlowApplied is a FLOW_MOD applied by a switch agent (the far
+	// side of the OpenFlow wire; proves the trace ID crossed it).
+	TypeFlowApplied Type = "flow-applied"
+	// TypeMboxBoot is a µmbox instance boot.
+	TypeMboxBoot Type = "mbox-boot"
+	// TypeMboxReconfig is a live µmbox pipeline reconfiguration.
+	TypeMboxReconfig Type = "mbox-reconfig"
+	// TypeSigPublish is a signature published to a repository.
+	TypeSigPublish Type = "sig-publish"
+	// TypeSigVote is a community vote on a signature.
+	TypeSigVote Type = "sig-vote"
+)
+
+// Severity ranks events for filtering.
+type Severity uint8
+
+// Severities, in ascending order.
+const (
+	Debug Severity = iota
+	Info
+	Warn
+	Critical
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	switch s {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Critical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders severities as their names.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a severity name (clients decoding /debug/journal
+// responses need the round trip).
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	sev, ok := ParseSeverity(name)
+	if !ok {
+		return fmt.Errorf("journal: unknown severity %q", name)
+	}
+	*s = sev
+	return nil
+}
+
+// ParseSeverity maps a name back to a Severity (ok=false on unknown).
+func ParseSeverity(name string) (Severity, bool) {
+	switch name {
+	case "debug":
+		return Debug, true
+	case "info":
+		return Info, true
+	case "warn":
+		return Warn, true
+	case "critical":
+		return Critical, true
+	}
+	return 0, false
+}
+
+// Event is one forensic record.
+type Event struct {
+	// Seq is the journal-assigned sequence number; within one journal
+	// it is a total order consistent with causality of the emitting
+	// call chain.
+	Seq uint64 `json:"seq"`
+	// TraceID links the event to the causal chain that produced it
+	// (0 = emitted outside any trace).
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Wall is the wall-clock timestamp.
+	Wall time.Time `json:"wall"`
+	// Mono is the monotonic offset since the journal was created —
+	// immune to wall-clock steps, so intervals between events are
+	// trustworthy.
+	Mono time.Duration `json:"mono_ns"`
+	// Type classifies the event.
+	Type Type `json:"type"`
+	// Severity ranks it.
+	Severity Severity `json:"severity"`
+	// Device is the device the event concerns ("" when not
+	// device-scoped, e.g. signature publishes carry the SKU here).
+	Device string `json:"device,omitempty"`
+	// Detail is a one-line human-readable description.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is the bounded event ring. The zero value is not usable;
+// call New (or use Default).
+type Journal struct {
+	start time.Time
+
+	mu   sync.Mutex
+	ring []Event
+	pos  int
+	full bool
+	seq  uint64
+	subs []*tailSub
+
+	// nsubs mirrors len(subs) so the append fast path can skip
+	// subscriber fan-out with one atomic load.
+	nsubs   atomic.Int32
+	dropped atomic.Uint64 // tail-subscriber drops
+}
+
+// New builds a journal retaining up to capacity events (values < 1
+// default to 8192).
+func New(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 8192
+	}
+	return &Journal{start: time.Now(), ring: make([]Event, capacity)}
+}
+
+// Default is the process-wide journal that instrumented packages
+// record into and that cmd binaries expose at /debug/journal.
+var Default = New(8192)
+
+// The journal's own metrics are a scrape-time collector over Default
+// rather than per-append counter increments: the append fast path
+// stays within its <100ns budget, and the scrape sees exact totals
+// (the sequence number is the append count).
+func init() {
+	telemetry.Default.RegisterCollector("journal", func(emit func(name string, kind telemetry.Kind, help string, labels telemetry.Labels, value float64)) {
+		appended, drops := Default.Stats()
+		emit("iotsec_journal_events_total", telemetry.KindCounter,
+			"Events appended to the forensic journal.", nil, float64(appended))
+		emit("iotsec_journal_tail_drops_total", telemetry.KindCounter,
+			"Events dropped on full tail-subscriber buffers.", nil, float64(drops))
+	})
+}
+
+// Record stamps and appends an event, deriving the trace ID from the
+// span carried by ctx. This is the call instrumented code makes.
+func (j *Journal) Record(ctx context.Context, t Type, sev Severity, device, detail string) {
+	now := time.Now()
+	e := Event{
+		TraceID:  telemetry.TraceID(ctx),
+		Wall:     now,
+		Mono:     now.Sub(j.start),
+		Type:     t,
+		Severity: sev,
+		Device:   device,
+		Detail:   detail,
+	}
+	j.append(e)
+}
+
+// Record appends to the Default journal.
+func Record(ctx context.Context, t Type, sev Severity, device, detail string) {
+	Default.Record(ctx, t, sev, device, detail)
+}
+
+// RecordTrace appends an event with an explicit trace ID — for code
+// on the far side of a wire protocol where the trace arrives in the
+// decoded message rather than a context (e.g. switch agents applying
+// a FLOW_MOD).
+func (j *Journal) RecordTrace(traceID uint64, t Type, sev Severity, device, detail string) {
+	now := time.Now()
+	j.append(Event{
+		TraceID:  traceID,
+		Wall:     now,
+		Mono:     now.Sub(j.start),
+		Type:     t,
+		Severity: sev,
+		Device:   device,
+		Detail:   detail,
+	})
+}
+
+// RecordTrace appends to the Default journal.
+func RecordTrace(traceID uint64, t Type, sev Severity, device, detail string) {
+	Default.RecordTrace(traceID, t, sev, device, detail)
+}
+
+// append assigns the sequence number and stores the event.
+func (j *Journal) append(e Event) {
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	j.ring[j.pos] = e
+	j.pos++
+	if j.pos == len(j.ring) {
+		j.pos = 0
+		j.full = true
+	}
+	if j.nsubs.Load() > 0 {
+		for _, s := range j.subs {
+			select {
+			case s.ch <- e:
+			default:
+				j.dropped.Add(1)
+			}
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Filter selects events. Zero-valued fields match everything.
+type Filter struct {
+	// TraceID restricts to one causal chain.
+	TraceID uint64
+	// Device restricts to one device.
+	Device string
+	// Type restricts to one event type.
+	Type Type
+	// Since drops events whose wall clock is before it.
+	Since time.Time
+	// MinSeverity drops events below it.
+	MinSeverity Severity
+	// Limit keeps only the most recent N matches (0 = all retained).
+	Limit int
+}
+
+// matches applies the filter.
+func (f Filter) matches(e Event) bool {
+	if f.TraceID != 0 && e.TraceID != f.TraceID {
+		return false
+	}
+	if f.Device != "" && e.Device != f.Device {
+		return false
+	}
+	if f.Type != "" && e.Type != f.Type {
+		return false
+	}
+	if !f.Since.IsZero() && e.Wall.Before(f.Since) {
+		return false
+	}
+	if e.Severity < f.MinSeverity {
+		return false
+	}
+	return true
+}
+
+// Snapshot returns retained events matching f in causal (sequence)
+// order, oldest first. With Limit set, only the most recent Limit
+// matches are kept (still oldest-first).
+func (j *Journal) Snapshot(f Filter) []Event {
+	j.mu.Lock()
+	size := j.pos
+	if j.full {
+		size = len(j.ring)
+	}
+	out := make([]Event, 0, size)
+	for i := 0; i < size; i++ {
+		idx := i
+		if j.full {
+			idx = (j.pos + i) % len(j.ring)
+		}
+		if e := j.ring[idx]; f.matches(e) {
+			out = append(out, e)
+		}
+	}
+	j.mu.Unlock()
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// Stats reports events appended since creation and tail drops. The
+// sequence counter doubles as the append total.
+func (j *Journal) Stats() (appended, tailDrops uint64) {
+	j.mu.Lock()
+	appended = j.seq
+	j.mu.Unlock()
+	return appended, j.dropped.Load()
+}
+
+// tailSub is one streaming subscriber.
+type tailSub struct {
+	ch chan Event
+}
+
+// Tail subscribes to the live event stream: every subsequent append
+// is offered to the returned channel. Slow consumers lose events
+// (non-blocking send; drops are counted) rather than stalling
+// writers. cancel unsubscribes and closes the channel.
+func (j *Journal) Tail(buffer int) (events <-chan Event, cancel func()) {
+	if buffer < 1 {
+		buffer = 256
+	}
+	s := &tailSub{ch: make(chan Event, buffer)}
+	j.mu.Lock()
+	j.subs = append(j.subs, s)
+	j.nsubs.Store(int32(len(j.subs)))
+	j.mu.Unlock()
+	var once sync.Once
+	return s.ch, func() {
+		once.Do(func() {
+			j.mu.Lock()
+			for i, sub := range j.subs {
+				if sub == s {
+					j.subs = append(j.subs[:i], j.subs[i+1:]...)
+					break
+				}
+			}
+			j.nsubs.Store(int32(len(j.subs)))
+			j.mu.Unlock()
+			close(s.ch)
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package mbox
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -185,7 +186,7 @@ func TestManagerInstanceLookupAndDefaults(t *testing.T) {
 	if _, ok := mgr.Instance("ghost"); ok {
 		t.Error("ghost instance found")
 	}
-	inst, err := mgr.Launch("x", PlatformKind("weird"), NewPipeline())
+	inst, err := mgr.Launch(context.Background(), "x", PlatformKind("weird"), NewPipeline())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,14 @@
 package mbox
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"iotsec/internal/journal"
+	"iotsec/internal/telemetry"
 )
 
 // PlatformKind models what the µmbox instance boots as; the relative
@@ -99,8 +103,13 @@ func (m *Manager) place() (string, error) {
 
 // Launch boots a new µmbox around the pipeline, blocking for the
 // (scaled) boot latency — the cost Figure 2's "dynamically launch
-// µmbox" arrow pays.
-func (m *Manager) Launch(name string, platform PlatformKind, pipeline *Pipeline) (*Instance, error) {
+// µmbox" arrow pays. The context carries the causal trace of whatever
+// decision requested the boot.
+func (m *Manager) Launch(ctx context.Context, name string, platform PlatformKind, pipeline *Pipeline) (*Instance, error) {
+	ctx, span := telemetry.StartSpan(ctx, "mbox.launch")
+	span.SetAttr("mbox", name)
+	span.SetAttr("platform", string(platform))
+	defer span.End()
 	m.mu.Lock()
 	if _, dup := m.instances[name]; dup {
 		m.mu.Unlock()
@@ -137,12 +146,18 @@ func (m *Manager) Launch(name string, platform PlatformKind, pipeline *Pipeline)
 	mBoots.Inc()
 	mBootSeconds.Observe(modeled.Seconds())
 	mInstances.Inc()
+	journal.Record(ctx, journal.TypeMboxBoot, journal.Info, name,
+		fmt.Sprintf("%s on %s (boot %s)", platform, server, modeled))
 	return inst, nil
 }
 
 // Reconfigure swaps an instance's pipeline live (no reboot, no
-// traffic interruption) — the agility §5.2 demands.
-func (m *Manager) Reconfigure(name string, elements ...Element) error {
+// traffic interruption) — the agility §5.2 demands. The context
+// carries the causal trace of the posture change that requested it.
+func (m *Manager) Reconfigure(ctx context.Context, name string, elements ...Element) error {
+	ctx, span := telemetry.StartSpan(ctx, "mbox.reconfigure")
+	span.SetAttr("mbox", name)
+	defer span.End()
 	m.mu.Lock()
 	inst := m.instances[name]
 	if inst == nil {
@@ -153,6 +168,8 @@ func (m *Manager) Reconfigure(name string, elements ...Element) error {
 	m.mu.Unlock()
 	inst.Mbox.Pipeline().Replace(elements...)
 	mReconfigures.Inc()
+	journal.Record(ctx, journal.TypeMboxReconfig, journal.Info, name,
+		fmt.Sprintf("pipeline swapped to %d elements", len(elements)))
 	return nil
 }
 

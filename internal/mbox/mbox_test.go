@@ -1,6 +1,7 @@
 package mbox
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -353,14 +354,14 @@ func TestManagerLaunchPlacementAndMetrics(t *testing.T) {
 	mgr.TimeScale = 0.001
 
 	for i, name := range []string{"a", "b", "c"} {
-		if _, err := mgr.Launch(name, PlatformMicroVM, NewPipeline()); err != nil {
+		if _, err := mgr.Launch(context.Background(), name, PlatformMicroVM, NewPipeline()); err != nil {
 			t.Fatalf("launch %d: %v", i, err)
 		}
 	}
-	if _, err := mgr.Launch("d", PlatformMicroVM, NewPipeline()); !errors.Is(err, ErrNoCapacity) {
+	if _, err := mgr.Launch(context.Background(), "d", PlatformMicroVM, NewPipeline()); !errors.Is(err, ErrNoCapacity) {
 		t.Errorf("over-capacity launch: %v", err)
 	}
-	if _, err := mgr.Launch("a", PlatformMicroVM, NewPipeline()); !errors.Is(err, ErrDuplicateMbox) {
+	if _, err := mgr.Launch(context.Background(), "a", PlatformMicroVM, NewPipeline()); !errors.Is(err, ErrDuplicateMbox) {
 		t.Errorf("duplicate launch: %v", err)
 	}
 	total, used := mgr.Capacity()
@@ -374,7 +375,7 @@ func TestManagerLaunchPlacementAndMetrics(t *testing.T) {
 		t.Errorf("used after terminate = %d", used)
 	}
 	// Freed slot is reusable.
-	if _, err := mgr.Launch("e", PlatformProcess, NewPipeline()); err != nil {
+	if _, err := mgr.Launch(context.Background(), "e", PlatformProcess, NewPipeline()); err != nil {
 		t.Fatal(err)
 	}
 	boots, mean, _ := mgr.Metrics()
@@ -385,10 +386,10 @@ func TestManagerLaunchPlacementAndMetrics(t *testing.T) {
 		t.Errorf("mean boot = %v", mean)
 	}
 	// Reconfigure requires a live instance.
-	if err := mgr.Reconfigure("e", &staticElement{name: "x", verdict: Forward}); err != nil {
+	if err := mgr.Reconfigure(context.Background(), "e", &staticElement{name: "x", verdict: Forward}); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.Reconfigure("ghost"); !errors.Is(err, ErrUnknownMbox) {
+	if err := mgr.Reconfigure(context.Background(), "ghost"); !errors.Is(err, ErrUnknownMbox) {
 		t.Errorf("reconfigure ghost: %v", err)
 	}
 }

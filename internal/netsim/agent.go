@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"iotsec/internal/journal"
 	"iotsec/internal/openflow"
 )
 
@@ -112,7 +113,13 @@ func (a *SwitchAgent) applyFlowMod(fm *openflow.FlowMod, xid uint32) {
 		a.sw.Table().DeleteByCookie(fm.Cookie)
 	default:
 		_ = a.conn.SendWithXID(&openflow.ErrorMsg{Code: 2, Text: "unknown flow-mod command"}, xid)
+		return
 	}
+	// Journal the application on the switch side of the wire; the
+	// trace ID rode inside the FLOW_MOD, proving the causal chain
+	// crossed the southbound protocol.
+	journal.RecordTrace(fm.TraceID, journal.TypeFlowApplied, journal.Debug, "",
+		fmt.Sprintf("dpid %d: %s prio %d cookie %#x", a.sw.DatapathID(), fm.Command, fm.Priority, fm.Cookie))
 }
 
 // expiryLoop periodically evicts timed-out flows and notifies the

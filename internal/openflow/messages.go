@@ -239,6 +239,20 @@ const (
 	FlowDeleteByCookie
 )
 
+// String names the command for logs and journal entries.
+func (c FlowModCommand) String() string {
+	switch c {
+	case FlowAdd:
+		return "add"
+	case FlowDelete:
+		return "delete"
+	case FlowDeleteByCookie:
+		return "delete-by-cookie"
+	default:
+		return fmt.Sprintf("command(%d)", uint8(c))
+	}
+}
+
 // FlowMod installs or removes flow entries on a switch.
 type FlowMod struct {
 	Command     FlowModCommand
@@ -248,6 +262,11 @@ type FlowMod struct {
 	IdleTimeout time.Duration
 	HardTimeout time.Duration
 	Cookie      uint64
+	// TraceID carries the causal-chain ID of the control decision that
+	// produced this message across the southbound wire, so switch-side
+	// application can be journaled against the same trace as the
+	// posture transition that triggered it (0 = untraced).
+	TraceID uint64
 }
 
 // Type implements Message.
@@ -260,6 +279,7 @@ func (f *FlowMod) encodeBody(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(f.IdleTimeout/time.Millisecond))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(f.HardTimeout/time.Millisecond))
 	dst = binary.BigEndian.AppendUint64(dst, f.Cookie)
+	dst = binary.BigEndian.AppendUint64(dst, f.TraceID)
 	return encodeActions(dst, f.Actions)
 }
 
@@ -273,14 +293,15 @@ func (f *FlowMod) decodeBody(src []byte) error {
 		return err
 	}
 	f.Match = m
-	if len(rest) < 18 {
+	if len(rest) < 26 {
 		return fmt.Errorf("%w: flow-mod fields truncated", ErrBadMessage)
 	}
 	f.Priority = binary.BigEndian.Uint16(rest[0:2])
 	f.IdleTimeout = time.Duration(binary.BigEndian.Uint32(rest[2:6])) * time.Millisecond
 	f.HardTimeout = time.Duration(binary.BigEndian.Uint32(rest[6:10])) * time.Millisecond
 	f.Cookie = binary.BigEndian.Uint64(rest[10:18])
-	actions, _, err := decodeActions(rest[18:])
+	f.TraceID = binary.BigEndian.Uint64(rest[18:26])
+	actions, _, err := decodeActions(rest[26:])
 	if err != nil {
 		return err
 	}

@@ -46,6 +46,15 @@ func TestMessageRoundTrips(t *testing.T) {
 			HardTimeout: time.Minute,
 			Cookie:      0xabc,
 		},
+		&FlowMod{
+			Command:  FlowAdd,
+			Match:    MatchAll().WithEthSrc(macB),
+			Priority: 400,
+			Actions:  []Action{}, // quarantine drop rule: no actions
+			Cookie:   0x51abc,
+			TraceID:  0xfeedfacecafe,
+		},
+		&FlowMod{Command: FlowDeleteByCookie, Match: MatchAll(), Actions: []Action{}, Cookie: 7},
 		&FlowRemoved{DatapathID: 3, Match: MatchAll().WithTpSrc(53), Priority: 9, Cookie: 11, Packets: 100, Bytes: 9999},
 		&StatsRequest{},
 		&StatsReply{DatapathID: 5, FlowCount: 10, PacketsIn: 1, PacketsOut: 2, TableMiss: 3},

@@ -1,10 +1,14 @@
 package sigrepo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"iotsec/internal/journal"
+	"iotsec/internal/telemetry"
 )
 
 // Notification announces a newly cleared signature to a subscriber.
@@ -74,8 +78,12 @@ func (r *Repository) Pseudonym(identity string) string { return r.anon.Pseudonym
 
 // Publish validates, anonymizes and stores a signature. It enters
 // quarantined unless the contributor's reputation already exceeds the
-// clear threshold's worth of trust.
-func (r *Repository) Publish(identity, sku, ruleText, description string) (*Signature, error) {
+// clear threshold's worth of trust. The context carries the causal
+// trace of the detection that distilled the signature.
+func (r *Repository) Publish(ctx context.Context, identity, sku, ruleText, description string) (*Signature, error) {
+	ctx, span := telemetry.StartSpan(ctx, "sigrepo.publish")
+	span.SetAttr("sku", sku)
+	defer span.End()
 	scrubbed := r.anon.ScrubRule(ruleText)
 	if err := Validate(sku, scrubbed); err != nil {
 		mPublishRejected.Inc()
@@ -108,6 +116,8 @@ func (r *Repository) Publish(identity, sku, ruleText, description string) (*Sign
 	r.mu.Unlock()
 
 	mPublishes.Inc()
+	journal.Record(ctx, journal.TypeSigPublish, journal.Info, sku,
+		fmt.Sprintf("%s by %s (quarantined=%v)", cp.ID, pseudo, cp.Quarantined))
 	if cleared {
 		mCleared.Inc()
 		r.notify(cp)
@@ -119,7 +129,10 @@ func (r *Repository) Publish(identity, sku, ruleText, description string) (*Sign
 // signature. When the accumulated score clears or rejects the
 // signature, contributor reputations update and (on clearing)
 // subscribers are notified.
-func (r *Repository) Vote(identity, sigID string, up bool) (*Signature, error) {
+func (r *Repository) Vote(ctx context.Context, identity, sigID string, up bool) (*Signature, error) {
+	ctx, span := telemetry.StartSpan(ctx, "sigrepo.vote")
+	span.SetAttr("sig", sigID)
+	defer span.End()
 	pseudo := r.anon.Pseudonym(identity)
 	weight := r.rep.VoteWeight(pseudo)
 
@@ -178,6 +191,12 @@ func (r *Repository) Vote(identity, sigID string, up bool) (*Signature, error) {
 	r.mu.Unlock()
 
 	mVotes.Inc()
+	verdict := "down"
+	if up {
+		verdict = "up"
+	}
+	journal.Record(ctx, journal.TypeSigVote, journal.Debug, cp.SKU,
+		fmt.Sprintf("%s %s by %s (score %.2f)", sigID, verdict, pseudo, cp.Score))
 	if outcome != nil {
 		if *outcome {
 			mCleared.Inc()

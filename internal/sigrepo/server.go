@@ -2,10 +2,13 @@ package sigrepo
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
+
+	"iotsec/internal/telemetry"
 )
 
 // Wire protocol: newline-delimited JSON messages over TCP. Clients
@@ -119,18 +122,24 @@ func (s *Server) serve(conn net.Conn) {
 			continue
 		}
 		mServerRequests.Inc()
+		// Each wire request is a fresh causal chain on the repository
+		// side; the root span gives it a trace ID the journal records
+		// under.
+		ctx, span := telemetry.StartSpan(context.Background(), "sigrepo.server."+req.Op)
 		switch req.Op {
 		case "publish":
-			sig, err := s.repo.Publish(req.Identity, req.SKU, req.Rule, req.Description)
+			sig, err := s.repo.Publish(ctx, req.Identity, req.SKU, req.Rule, req.Description)
 			if err != nil {
 				send(wireResponse{Kind: "reply", Error: err.Error()})
+				span.End()
 				continue
 			}
 			send(wireResponse{Kind: "reply", OK: true, Signature: sig})
 		case "vote":
-			sig, err := s.repo.Vote(req.Identity, req.SigID, req.Up)
+			sig, err := s.repo.Vote(ctx, req.Identity, req.SigID, req.Up)
 			if err != nil {
 				send(wireResponse{Kind: "reply", Error: err.Error()})
+				span.End()
 				continue
 			}
 			send(wireResponse{Kind: "reply", OK: true, Signature: sig})
@@ -148,6 +157,7 @@ func (s *Server) serve(conn net.Conn) {
 		default:
 			send(wireResponse{Kind: "reply", Error: "unknown op " + req.Op})
 		}
+		span.End()
 	}
 }
 

@@ -1,6 +1,7 @@
 package sigrepo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -99,7 +100,7 @@ func TestReputationBoundsProperty(t *testing.T) {
 
 func TestPublishQuarantineAndClearing(t *testing.T) {
 	repo := NewRepository("salt")
-	sig, err := repo.Publish("contributor-a", "belkin-wemo", testRule, "backdoor traffic")
+	sig, err := repo.Publish(context.Background(), "contributor-a", "belkin-wemo", testRule, "backdoor traffic")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestPublishQuarantineAndClearing(t *testing.T) {
 		cleared = append(cleared, n.Signature)
 	})
 	for i, voter := range []string{"v1", "v2", "v3"} {
-		if _, err := repo.Vote(voter, sig.ID, true); err != nil {
+		if _, err := repo.Vote(context.Background(), voter, sig.ID, true); err != nil {
 			t.Fatalf("vote %d: %v", i, err)
 		}
 	}
@@ -134,33 +135,33 @@ func TestPublishQuarantineAndClearing(t *testing.T) {
 
 func TestVoteGuards(t *testing.T) {
 	repo := NewRepository("salt")
-	sig, err := repo.Publish("author", "sku1", testRule, "")
+	sig, err := repo.Publish(context.Background(), "author", "sku1", testRule, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := repo.Vote("author", sig.ID, true); !errors.Is(err, ErrDuplicateVote) {
+	if _, err := repo.Vote(context.Background(), "author", sig.ID, true); !errors.Is(err, ErrDuplicateVote) {
 		t.Errorf("self-vote: %v", err)
 	}
-	if _, err := repo.Vote("v1", sig.ID, true); err != nil {
+	if _, err := repo.Vote(context.Background(), "v1", sig.ID, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := repo.Vote("v1", sig.ID, true); !errors.Is(err, ErrDuplicateVote) {
+	if _, err := repo.Vote(context.Background(), "v1", sig.ID, true); !errors.Is(err, ErrDuplicateVote) {
 		t.Errorf("double vote: %v", err)
 	}
-	if _, err := repo.Vote("v1", "sig-999999", true); !errors.Is(err, ErrUnknownSignature) {
+	if _, err := repo.Vote(context.Background(), "v1", "sig-999999", true); !errors.Is(err, ErrUnknownSignature) {
 		t.Errorf("vote on ghost: %v", err)
 	}
 }
 
 func TestDownvotesRetireSignatureAndBurnReputation(t *testing.T) {
 	repo := NewRepository("salt")
-	sig, err := repo.Publish("spammer", "sku1", testRule, "bogus")
+	sig, err := repo.Publish(context.Background(), "spammer", "sku1", testRule, "bogus")
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := repo.Reputation().Score(repo.Pseudonym("spammer"))
 	for _, voter := range []string{"v1", "v2", "v3"} {
-		if _, err := repo.Vote(voter, sig.ID, false); err != nil {
+		if _, err := repo.Vote(context.Background(), voter, sig.ID, false); err != nil {
 			// Once the score crosses the reject threshold the
 			// signature is retired; later votes see it gone.
 			if errors.Is(err, ErrUnknownSignature) {
@@ -185,7 +186,7 @@ func TestTrustedContributorSkipsQuarantine(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		repo.Reputation().RecordOutcome(pseudo, true)
 	}
-	sig, err := repo.Publish("veteran", "sku1", testRule, "")
+	sig, err := repo.Publish(context.Background(), "veteran", "sku1", testRule, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestContributorPriorityNotification(t *testing.T) {
 	repo.PriorityLag = 50 * time.Millisecond
 
 	// contributor-b has shared before; freeloader-c has not.
-	if _, err := repo.Publish("contributor-b", "other-sku", testRule, ""); err != nil {
+	if _, err := repo.Publish(context.Background(), "contributor-b", "other-sku", testRule, ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -220,12 +221,12 @@ func TestContributorPriorityNotification(t *testing.T) {
 	repo.Subscribe("contributor-b", "belkin-wemo", record("contributor"))
 	repo.Subscribe("freeloader-c", "belkin-wemo", record("freeloader"))
 
-	sig, err := repo.Publish("contributor-a", "belkin-wemo", testRule, "")
+	sig, err := repo.Publish(context.Background(), "contributor-a", "belkin-wemo", testRule, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"v1", "v2", "v3"} {
-		if _, err := repo.Vote(v, sig.ID, true); err != nil {
+		if _, err := repo.Vote(context.Background(), v, sig.ID, true); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -332,17 +333,17 @@ func TestServerClientEndToEnd(t *testing.T) {
 
 func TestPersistenceRoundTrip(t *testing.T) {
 	repo := NewRepository("salt")
-	sig, err := repo.Publish("org-a", "sku-1", testRule, "desc")
+	sig, err := repo.Publish(context.Background(), "org-a", "sku-1", testRule, "desc")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Clear it with votes so scores and reputations are non-trivial.
 	for _, v := range []string{"v1", "v2", "v3"} {
-		if _, err := repo.Vote(v, sig.ID, true); err != nil {
+		if _, err := repo.Vote(context.Background(), v, sig.ID, true); err != nil {
 			t.Fatal(err)
 		}
 	}
-	quarantined, err := repo.Publish("org-b", "sku-2", testRule, "pending")
+	quarantined, err := repo.Publish(context.Background(), "org-b", "sku-2", testRule, "pending")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,11 +375,11 @@ func TestPersistenceRoundTrip(t *testing.T) {
 		t.Error("reputation lost across restore")
 	}
 	// Double-vote protection survives: v1 already voted on sig.
-	if _, err := restored.Vote("v1", sig.ID, true); !errors.Is(err, ErrDuplicateVote) {
+	if _, err := restored.Vote(context.Background(), "v1", sig.ID, true); !errors.Is(err, ErrDuplicateVote) {
 		t.Errorf("vote dedup lost: %v", err)
 	}
 	// New IDs continue after the highest allocated one.
-	newSig, err := restored.Publish("org-c", "sku-3", testRule, "")
+	newSig, err := restored.Publish(context.Background(), "org-c", "sku-3", testRule, "")
 	if err != nil {
 		t.Fatal(err)
 	}

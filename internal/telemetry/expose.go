@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -120,16 +121,36 @@ type Server struct {
 	done   chan struct{}
 }
 
+// Mount adds an extra handler to a telemetry server's mux — how the
+// journal (and any future debug surface) rides on the same listener
+// without telemetry depending on it.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts a telemetry server on addr (use port 0 for ephemeral),
-// returning the server and its bound address.
-func (r *Registry) Serve(addr string) (*Server, string, error) {
+// returning the server and its bound address. Besides /metrics and
+// /debug/telemetry the mux carries the net/http/pprof surface under
+// /debug/pprof/ and any extra mounts; the runtime-stats collector is
+// registered so every scrape includes iotsec_runtime_* gauges.
+func (r *Registry) Serve(addr string, mounts ...Mount) (*Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen: %w", err)
 	}
+	r.RegisterRuntimeStats()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/debug/telemetry", r.DebugHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	s := &Server{
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		ln:   ln,

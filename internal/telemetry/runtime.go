@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// RegisterRuntimeStats installs a scrape-time collector exposing Go
+// runtime health as iotsec_runtime_* gauges: goroutine count, heap
+// usage, GC activity and process uptime. The collector reads
+// runtime.ReadMemStats at scrape time only, so the hot paths pay
+// nothing; re-registration replaces the previous collector, so it is
+// idempotent.
+func (r *Registry) RegisterRuntimeStats() {
+	r.RegisterCollector("runtime", func(emit func(name string, kind Kind, help string, labels Labels, value float64)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit("iotsec_runtime_goroutines", KindGauge,
+			"Live goroutines.", nil, float64(runtime.NumGoroutine()))
+		emit("iotsec_runtime_heap_alloc_bytes", KindGauge,
+			"Bytes of allocated heap objects.", nil, float64(ms.HeapAlloc))
+		emit("iotsec_runtime_heap_sys_bytes", KindGauge,
+			"Heap memory obtained from the OS.", nil, float64(ms.HeapSys))
+		emit("iotsec_runtime_heap_objects", KindGauge,
+			"Live heap objects.", nil, float64(ms.HeapObjects))
+		emit("iotsec_runtime_next_gc_bytes", KindGauge,
+			"Heap size target of the next GC cycle.", nil, float64(ms.NextGC))
+		emit("iotsec_runtime_gc_runs_total", KindCounter,
+			"Completed GC cycles.", nil, float64(ms.NumGC))
+		emit("iotsec_runtime_gc_pause_seconds_total", KindCounter,
+			"Cumulative stop-the-world GC pause.", nil, float64(ms.PauseTotalNs)/1e9)
+		lastPause := 0.0
+		if ms.NumGC > 0 {
+			lastPause = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+		}
+		emit("iotsec_runtime_last_gc_pause_seconds", KindGauge,
+			"Duration of the most recent GC pause.", nil, lastPause)
+		emit("iotsec_runtime_uptime_seconds", KindGauge,
+			"Seconds since the process registered runtime telemetry.", nil,
+			time.Since(processStart).Seconds())
+	})
+}
+
+// RegisterRuntimeStats installs the runtime collector on Default.
+func RegisterRuntimeStats() { Default.RegisterRuntimeStats() }

@@ -303,8 +303,22 @@ func TestServeAndScrapeHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(snap.Metrics) != 1 || snap.Metrics[0].Name != "iotsec_test_http_total" {
-		t.Fatalf("snapshot wrong: %+v", snap.Metrics)
+	// Serve registers the runtime-stats collector, so the snapshot
+	// carries the explicit counter plus iotsec_runtime_* gauges.
+	var sawCounter, sawRuntime bool
+	for _, m := range snap.Metrics {
+		switch {
+		case m.Name == "iotsec_test_http_total":
+			sawCounter = len(m.Samples) == 1 && m.Samples[0].Value == 3
+		case strings.HasPrefix(m.Name, "iotsec_runtime_"):
+			sawRuntime = true
+		}
+	}
+	if !sawCounter {
+		t.Fatalf("snapshot missing iotsec_test_http_total=3: %+v", snap.Metrics)
+	}
+	if !sawRuntime {
+		t.Fatalf("snapshot missing iotsec_runtime_* gauges: %+v", snap.Metrics)
 	}
 }
 

@@ -50,6 +50,12 @@ type SpanStore struct {
 	started  atomic.Uint64
 	finished atomic.Uint64
 
+	// slowNS, when > 0, is the duration threshold (ns) above which an
+	// ended span is reported to the slow hook regardless of sampling.
+	slowNS   atomic.Int64
+	slowHook atomic.Pointer[func(FinishedSpan)]
+	slowSeen atomic.Uint64
+
 	mu   sync.Mutex
 	ring []FinishedSpan
 	pos  int
@@ -105,6 +111,34 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return Default.Spans().StartSpan(ctx, name)
 }
 
+// TraceID reports the trace ID carried by ctx (0 = no active trace).
+// Forensic consumers (the event journal, FLOW_MOD metadata) use this
+// to stamp records with the causal chain they belong to.
+func TraceID(ctx context.Context) uint64 {
+	if s := FromContext(ctx); s != nil {
+		return s.TraceID
+	}
+	return 0
+}
+
+// SetSlowThreshold arms slow-span reporting: spans whose duration
+// meets or exceeds d invoke fn on End (in addition to normal
+// recording, and regardless of the sampling decision). d <= 0 or a
+// nil fn disarms. fn must be safe for concurrent use and must not
+// block.
+func (st *SpanStore) SetSlowThreshold(d time.Duration, fn func(FinishedSpan)) {
+	if d <= 0 || fn == nil {
+		st.slowNS.Store(0)
+		st.slowHook.Store(nil)
+		return
+	}
+	st.slowNS.Store(int64(d))
+	st.slowHook.Store(&fn)
+}
+
+// SlowSpans counts spans that crossed the slow threshold.
+func (st *SpanStore) SlowSpans() uint64 { return st.slowSeen.Load() }
+
 // SetAttr attaches a key/value attribute to the span.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
@@ -130,18 +164,26 @@ func (s *Span) End() {
 	s.mu.Unlock()
 
 	s.store.finished.Add(1)
-	if !s.sampled {
-		return
-	}
-	s.store.record(FinishedSpan{
+	dur := time.Since(s.Start)
+	fs := FinishedSpan{
 		TraceID:  s.TraceID,
 		ID:       s.ID,
 		ParentID: s.ParentID,
 		Name:     s.Name,
 		Start:    s.Start,
-		Duration: time.Since(s.Start),
+		Duration: dur,
 		Attrs:    attrs,
-	})
+	}
+	if slow := s.store.slowNS.Load(); slow > 0 && int64(dur) >= slow {
+		s.store.slowSeen.Add(1)
+		if fn := s.store.slowHook.Load(); fn != nil {
+			(*fn)(fs)
+		}
+	}
+	if !s.sampled {
+		return
+	}
+	s.store.record(fs)
 }
 
 func (st *SpanStore) record(fs FinishedSpan) {

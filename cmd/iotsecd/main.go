@@ -25,6 +25,8 @@ func main() {
 	tick := flag.Duration("tick", 250*time.Millisecond, "wall time per environment tick")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"serve /metrics, /debug/telemetry, /debug/journal and /debug/pprof on this address (empty = disabled)")
+	debugRemote := flag.Bool("debug-remote", false,
+		"allow non-loopback clients to reach the unauthenticated /debug/ surfaces (pprof, journal); off by default")
 	slowSpan := flag.Duration("slow-span", 0,
 		"log spans slower than this threshold to stderr (0 = disabled)")
 	flag.Parse()
@@ -52,6 +54,9 @@ func main() {
 			os.Exit(1)
 		}
 		defer tsrv.Close()
+		if *debugRemote {
+			tsrv.AllowRemoteDebug()
+		}
 		fmt.Printf("iotsecd: telemetry on http://%s/metrics\n", taddr)
 	}
 

@@ -23,6 +23,8 @@ func main() {
 	state := flag.String("state", "", "snapshot file to load at start and save on shutdown/periodically")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"serve /metrics, /debug/telemetry and /debug/journal on this address (empty = disabled)")
+	debugRemote := flag.Bool("debug-remote", false,
+		"allow non-loopback clients to reach the unauthenticated /debug/ surfaces (pprof, journal); off by default")
 	flag.Parse()
 
 	s := *salt
@@ -69,6 +71,9 @@ func main() {
 			os.Exit(1)
 		}
 		defer tsrv.Close()
+		if *debugRemote {
+			tsrv.AllowRemoteDebug()
+		}
 		fmt.Printf("sigrepod: telemetry on http://%s/metrics\n", taddr)
 	}
 

@@ -51,6 +51,13 @@ type Steering struct {
 	// reprogram on every change.
 	endpoint *openflow.ControllerEndpoint
 	switches map[uint64][]uint16 // dpid → ports
+	// isolated holds the quarantine set (device name → MAC). It is the
+	// source of truth for which drop rules must exist on every switch:
+	// program() re-emits them after any table rebuild, and a switch
+	// that connects (or reconnects) mid-quarantine receives them
+	// immediately — AddDevice or an agent reconnect can never silently
+	// lift a quarantine.
+	isolated map[string]packet.MACAddress
 	logger   *log.Logger
 }
 
@@ -60,7 +67,11 @@ func NewSteering(logger *log.Logger) *Steering {
 	if logger == nil {
 		logger = log.New(discardWriter{}, "", 0)
 	}
-	s := &Steering{switches: make(map[uint64][]uint16), logger: logger}
+	s := &Steering{
+		switches: make(map[uint64][]uint16),
+		isolated: make(map[string]packet.MACAddress),
+		logger:   logger,
+	}
 	s.endpoint = openflow.NewControllerEndpoint(s, logger)
 	return s
 }
@@ -161,20 +172,49 @@ func (s *Steering) send(ctx context.Context, dpid uint64, fm *openflow.FlowMod, 
 // its existing table until steering actually has something to steer.
 func (s *Steering) program(ctx context.Context, dpid uint64) {
 	s.mu.Lock()
-	ports := s.switches[dpid]
+	ports, connected := s.switches[dpid]
 	devices := append([]SteeredDevice(nil), s.devices...)
+	quarantined := make(map[string]packet.MACAddress, len(s.isolated))
+	for name, mac := range s.isolated {
+		quarantined[name] = mac
+	}
 	s.mu.Unlock()
-	if ports == nil || len(devices) == 0 {
+	if !connected || (len(devices) == 0 && len(quarantined) == 0) {
 		return
 	}
 	ctx, span := telemetry.StartSpan(ctx, "controller.steer.program")
 	span.SetAttr("dpid", fmt.Sprintf("%d", dpid))
 	defer span.End()
 	defer telemetry.Time(mProgramSeconds)()
+
+	// With steered devices the table is rebuilt from scratch; with only
+	// quarantines the existing table is kept and the drop rules are
+	// (re-)inserted on top (Insert replaces identical match+priority
+	// entries, so this is idempotent).
+	if len(devices) > 0 {
+		s.programSteering(ctx, dpid, ports, devices)
+	}
+
+	// Quarantine rules last, so a table wipe above can never leave a
+	// window where they are re-issued "eventually": every reprogram and
+	// every switch (re)connect restores the full quarantine set.
+	for name, mac := range quarantined {
+		s.sendQuarantine(ctx, dpid, name, mac)
+	}
+
+	if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
+		s.logger.Printf("steering: barrier to %d: %v", dpid, err)
+	}
+}
+
+// programSteering pushes the tunnel rule set for the registered
+// devices to one switch, starting from a clean table.
+func (s *Steering) programSteering(ctx context.Context, dpid uint64, ports []uint16, devices []SteeredDevice) {
 	hosts := hostPorts(ports, devices)
 
-	// Start from a clean table (quarantine rules included; they are
-	// re-issued by the posture loop if still warranted).
+	// Start from a clean table. Quarantine drop rules are wiped too,
+	// but program() unconditionally re-emits them right after this
+	// returns, before the fencing barrier.
 	s.send(ctx, dpid, &openflow.FlowMod{Command: openflow.FlowDelete, Match: openflow.MatchAll()}, "")
 
 	outputsTo := func(ports []uint16) []openflow.Action {
@@ -242,10 +282,6 @@ func (s *Steering) program(ctx context.Context, dpid uint64) {
 		Actions:  defaults,
 		Cookie:   dpid,
 	}, "")
-
-	if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
-		s.logger.Printf("steering: barrier to %d: %v", dpid, err)
-	}
 }
 
 // quarantineCookie derives a stable per-device cookie from its MAC so
@@ -259,41 +295,55 @@ func quarantineCookie(mac packet.MACAddress) uint64 {
 	return c
 }
 
-// Isolate installs quarantine drop rules for one device MAC on every
-// connected switch: priority-400 rules matching eth_src and eth_dst
-// with an empty action list (= drop), fenced by a barrier. The rules
-// carry the context's trace ID, so the forensic journal links them to
-// the anomaly that triggered the posture change.
+// sendQuarantine emits the two priority-400 drop rules (eth_src and
+// eth_dst on the device MAC, empty action list = drop) to one switch.
+func (s *Steering) sendQuarantine(ctx context.Context, dpid uint64, name string, mac packet.MACAddress) {
+	cookie := quarantineCookie(mac)
+	s.send(ctx, dpid, &openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Match:    openflow.MatchAll().WithEthSrc(mac),
+		Priority: 400,
+		Cookie:   cookie,
+	}, name)
+	s.send(ctx, dpid, &openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Match:    openflow.MatchAll().WithEthDst(mac),
+		Priority: 400,
+		Cookie:   cookie,
+	}, name)
+}
+
+// Isolate puts one device MAC under quarantine: priority-400 drop
+// rules on every connected switch, fenced by a barrier. The quarantine
+// persists in the steering state, so table reprograms (AddDevice) and
+// switches that connect later re-receive the rules until Release. The
+// rules carry the context's trace ID, so the forensic journal links
+// them to the anomaly that triggered the posture change.
 func (s *Steering) Isolate(ctx context.Context, name string, mac packet.MACAddress) {
 	ctx, span := telemetry.StartSpan(ctx, "controller.steer.isolate")
 	span.SetAttr("device", name)
 	defer span.End()
-	cookie := quarantineCookie(mac)
+	s.mu.Lock()
+	s.isolated[name] = mac
+	s.mu.Unlock()
 	for _, dpid := range s.dpids() {
-		s.send(ctx, dpid, &openflow.FlowMod{
-			Command:  openflow.FlowAdd,
-			Match:    openflow.MatchAll().WithEthSrc(mac),
-			Priority: 400,
-			Cookie:   cookie,
-		}, name)
-		s.send(ctx, dpid, &openflow.FlowMod{
-			Command:  openflow.FlowAdd,
-			Match:    openflow.MatchAll().WithEthDst(mac),
-			Priority: 400,
-			Cookie:   cookie,
-		}, name)
+		s.sendQuarantine(ctx, dpid, name, mac)
 		if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
 			s.logger.Printf("steering: isolate barrier to %d: %v", dpid, err)
 		}
 	}
 }
 
-// Release removes the quarantine rules Isolate installed for mac on
-// every connected switch (delete-by-cookie), barrier-fenced.
+// Release lifts the quarantine: the device leaves the persisted set
+// and the rules Isolate installed are removed from every connected
+// switch (delete-by-cookie), barrier-fenced.
 func (s *Steering) Release(ctx context.Context, name string, mac packet.MACAddress) {
 	ctx, span := telemetry.StartSpan(ctx, "controller.steer.release")
 	span.SetAttr("device", name)
 	defer span.End()
+	s.mu.Lock()
+	delete(s.isolated, name)
+	s.mu.Unlock()
 	cookie := quarantineCookie(mac)
 	for _, dpid := range s.dpids() {
 		s.send(ctx, dpid, &openflow.FlowMod{
@@ -305,6 +355,14 @@ func (s *Steering) Release(ctx context.Context, name string, mac packet.MACAddre
 			s.logger.Printf("steering: release barrier to %d: %v", dpid, err)
 		}
 	}
+}
+
+// Isolated reports whether the named device is currently quarantined.
+func (s *Steering) Isolated(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.isolated[name]
+	return ok
 }
 
 // dpids snapshots the connected switch IDs.
@@ -322,5 +380,6 @@ func (s *Steering) dpids() []uint64 {
 func (s *Steering) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return fmt.Sprintf("steering: %d devices, %d switches", len(s.devices), len(s.switches))
+	return fmt.Sprintf("steering: %d devices, %d switches, %d quarantined",
+		len(s.devices), len(s.switches), len(s.isolated))
 }

@@ -292,8 +292,15 @@ func (p *Platform) applyPosture(ctx context.Context, deviceName string, posture 
 	}
 	m.CurrentPosture = posture
 	wasIsolated := m.isolated
-	m.isolated = posture.Isolate
 	steering := p.steering
+	// m.isolated mirrors the quarantine rules actually on the wire, so
+	// it only advances when a steering app is attached to receive them.
+	// Otherwise a posture that isolates before UseSteering would mark
+	// the device isolated without any rules existing, and the real
+	// enforcement would never be emitted.
+	if steering != nil {
+		m.isolated = posture.Isolate
+	}
 	p.reconfigures++
 	p.lastVersion = version
 	p.mu.Unlock()
@@ -330,11 +337,34 @@ func (p *Platform) applyPosture(ctx context.Context, deviceName string, posture 
 // UseSteering attaches an SDN steering application: posture changes
 // that isolate (or release) a device are additionally enforced as
 // quarantine FLOW_MODs on every switch the steering app controls,
-// carrying the causal trace ID across the southbound wire.
+// carrying the causal trace ID across the southbound wire. Devices
+// whose current posture already isolates are quarantined immediately,
+// so attaching steering after an isolation decision still enforces it.
 func (p *Platform) UseSteering(s *controller.Steering) {
+	type pending struct {
+		name string
+		mac  packet.MACAddress
+	}
+	var toIsolate []pending
 	p.mu.Lock()
 	p.steering = s
+	if s != nil {
+		for name, m := range p.devices {
+			if m.CurrentPosture.Isolate && !m.isolated {
+				m.isolated = true
+				toIsolate = append(toIsolate, pending{name, m.Device.MAC()})
+			}
+		}
+	}
 	p.mu.Unlock()
+	for _, q := range toIsolate {
+		ctx, span := telemetry.StartSpan(context.Background(), "core.use_steering")
+		span.SetAttr("device", q.name)
+		journal.Record(ctx, journal.TypePosture, journal.Warn, q.name,
+			"steering attached: re-applying standing quarantine")
+		s.Isolate(ctx, q.name, q.mac)
+		span.End()
+	}
 }
 
 // ReportDeviceEvent feeds one device event into the view as a fresh

@@ -213,3 +213,88 @@ func TestReleaseFollowsIsolation(t *testing.T) {
 		t.Errorf("no quarantine release FLOW_MOD journaled; flow-mod events: %+v", events)
 	}
 }
+
+// TestUseSteeringAfterIsolationEnforcesQuarantine is the regression
+// test for a standing-quarantine hole: when a posture isolated a
+// device before any steering app was attached, the isolation mirror
+// used to advance anyway, so attaching steering later never emitted
+// the quarantine FLOW_MODs. Now the mirror only tracks rules actually
+// sent, and UseSteering re-applies standing isolation postures.
+func TestUseSteeringAfterIsolationEnforcesQuarantine(t *testing.T) {
+	d := policy.NewDomain()
+	d.AddDevice("wemo", policy.ContextNormal, policy.ContextSuspicious)
+	f := policy.NewFSM(d)
+	f.AddRule(policy.Rule{
+		Name:       "quarantine-wemo-suspicious",
+		Conditions: []policy.Condition{policy.DeviceIs("wemo", policy.ContextSuspicious)},
+		Device:     "wemo",
+		Posture:    policy.Posture{Isolate: true},
+		Priority:   100,
+	})
+	p, err := New(Options{Policy: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plug := device.NewCamera("wemo", packet.MustParseIPv4("10.0.0.32")).Device
+	if _, err := p.AddDevice(plug); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	t.Cleanup(p.Stop)
+
+	// Device turns suspicious while NO steering app is attached: the
+	// posture isolates, but no quarantine rules can exist yet.
+	p.ReportAnomaly(ids.Anomaly{Device: "wemo", Kind: ids.AnomalyRate, Detail: "synthetic burst", Score: 0.95})
+	m, _ := p.Device("wemo")
+	if !m.CurrentPosture.Isolate {
+		t.Fatal("posture did not isolate")
+	}
+
+	// Steering arrives after the fact, with a live switch behind it.
+	s := controller.NewSteering(nil)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	agent, err := netsim.ConnectAgent(p.Switch, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Stop)
+	deadline := time.Now().Add(3 * time.Second)
+	for !strings.Contains(s.String(), "1 switches") {
+		if time.Now().After(deadline) {
+			t.Fatalf("switch never registered: %s", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	p.UseSteering(s)
+	if !s.Isolated("wemo") {
+		t.Fatal("UseSteering did not re-apply the standing quarantine")
+	}
+	// The drop rules land on the switch (agent application is async).
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		n := 0
+		for _, e := range p.Switch.Table().Entries() {
+			if e.Priority == 400 {
+				n++
+			}
+		}
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quarantine rules never reached the switch (have %d)", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Calming the device down releases the late-applied quarantine.
+	p.Global.View.SetDeviceContext(context.Background(), "wemo", policy.ContextNormal, "operator cleared")
+	if s.Isolated("wemo") {
+		t.Error("release after late attach did not clear the quarantine")
+	}
+}

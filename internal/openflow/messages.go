@@ -293,18 +293,36 @@ func (f *FlowMod) decodeBody(src []byte) error {
 		return err
 	}
 	f.Match = m
-	if len(rest) < 26 {
+	// Fixed fields are priority(2) idle(4) hard(4) cookie(8) followed
+	// by TraceID(8) on the current wire. Peers that predate TraceID
+	// encode only the first 18 bytes, so the decoder accepts both
+	// layouts for mixed-version deployments: try the current offset
+	// first and fall back to the legacy body with TraceID = 0. The two
+	// layouts never collide because an encoded action list is exactly
+	// 2+9n bytes with no trailer, so at most one offset consumes the
+	// body completely.
+	if len(rest) < 18 {
 		return fmt.Errorf("%w: flow-mod fields truncated", ErrBadMessage)
 	}
 	f.Priority = binary.BigEndian.Uint16(rest[0:2])
 	f.IdleTimeout = time.Duration(binary.BigEndian.Uint32(rest[2:6])) * time.Millisecond
 	f.HardTimeout = time.Duration(binary.BigEndian.Uint32(rest[6:10])) * time.Millisecond
 	f.Cookie = binary.BigEndian.Uint64(rest[10:18])
-	f.TraceID = binary.BigEndian.Uint64(rest[18:26])
-	actions, _, err := decodeActions(rest[26:])
+	if len(rest) >= 26 {
+		if actions, tail, err := decodeActions(rest[26:]); err == nil && len(tail) == 0 {
+			f.TraceID = binary.BigEndian.Uint64(rest[18:26])
+			f.Actions = actions
+			return nil
+		}
+	}
+	actions, tail, err := decodeActions(rest[18:])
 	if err != nil {
 		return err
 	}
+	if len(tail) != 0 {
+		return fmt.Errorf("%w: flow-mod trailing bytes", ErrBadMessage)
+	}
+	f.TraceID = 0
 	f.Actions = actions
 	return nil
 }

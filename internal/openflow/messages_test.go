@@ -2,6 +2,7 @@ package openflow
 
 import (
 	"bytes"
+	"encoding/binary"
 	"net"
 	"reflect"
 	"testing"
@@ -87,6 +88,52 @@ func TestMatchCodecProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// encodeLegacyFlowModBody reproduces the pre-TraceID wire layout:
+// command, match, then only the 18 fixed bytes (priority, idle, hard,
+// cookie) before the action list.
+func encodeLegacyFlowModBody(f *FlowMod) []byte {
+	body := []byte{uint8(f.Command)}
+	body = encodeMatch(body, f.Match)
+	body = binary.BigEndian.AppendUint16(body, f.Priority)
+	body = binary.BigEndian.AppendUint32(body, uint32(f.IdleTimeout/time.Millisecond))
+	body = binary.BigEndian.AppendUint32(body, uint32(f.HardTimeout/time.Millisecond))
+	body = binary.BigEndian.AppendUint64(body, f.Cookie)
+	return encodeActions(body, f.Actions)
+}
+
+// TestFlowModDecodesLegacyBodyWithoutTraceID checks wire compatibility
+// with peers that predate the TraceID field: their shorter body must
+// decode with TraceID = 0 instead of erroring (or misparsing).
+func TestFlowModDecodesLegacyBodyWithoutTraceID(t *testing.T) {
+	cases := []*FlowMod{
+		{
+			Command:     FlowAdd,
+			Match:       MatchIPv4().WithDstIP(ipB, 24).WithProto(packet.IPProtocolTCP).WithTpDst(80),
+			Priority:    1000,
+			Actions:     []Action{SetEthDst(macB), Output(3)},
+			IdleTimeout: 5 * time.Second,
+			HardTimeout: time.Minute,
+			Cookie:      0xabc,
+		},
+		// Drop rule with an empty action list (the quarantine shape).
+		{Command: FlowAdd, Match: MatchAll().WithEthSrc(macB), Priority: 400, Actions: []Action{}, Cookie: 0x51abc},
+		{Command: FlowDeleteByCookie, Match: MatchAll(), Actions: []Action{}, Cookie: 7},
+	}
+	for i, want := range cases {
+		var got FlowMod
+		if err := got.decodeBody(encodeLegacyFlowModBody(want)); err != nil {
+			t.Fatalf("case %d: legacy body rejected: %v", i, err)
+		}
+		if got.TraceID != 0 {
+			t.Errorf("case %d: legacy body decoded TraceID %#x, want 0", i, got.TraceID)
+		}
+		got.TraceID = want.TraceID // compare everything else
+		if !reflect.DeepEqual(&got, want) {
+			t.Errorf("case %d: legacy decode:\n got  %#v\n want %#v", i, &got, want)
+		}
 	}
 }
 

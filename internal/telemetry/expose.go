@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -116,9 +117,44 @@ type Server struct {
 	srv *http.Server
 	ln  net.Listener
 
+	// debugOpen, when set, disables the loopback-only guard on the
+	// /debug/ surfaces (pprof, telemetry snapshot, journal mounts).
+	debugOpen atomic.Bool
+
 	mu     sync.Mutex
 	closed bool
 	done   chan struct{}
+}
+
+// AllowRemoteDebug opens the /debug/ surfaces (pprof profiles, span
+// snapshots, forensic journal mounts) to non-loopback clients. By
+// default they answer only to loopback peers, because profiling and
+// forensic event data are served unauthenticated: binding the
+// telemetry address to a routable interface must not expose them.
+// /metrics is always open (scrapers are expected to be remote).
+func (s *Server) AllowRemoteDebug() { s.debugOpen.Store(true) }
+
+// isLoopback reports whether an http RemoteAddr is a loopback peer.
+// Unparseable addresses count as non-loopback (fail closed).
+func isLoopback(remoteAddr string) bool {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		host = remoteAddr
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+// guardDebug wraps a /debug/ handler in the loopback-only policy.
+func (s *Server) guardDebug(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if !s.debugOpen.Load() && !isLoopback(req.RemoteAddr) {
+			http.Error(w, "debug endpoints are loopback-only (enable remote debug to open them)",
+				http.StatusForbidden)
+			return
+		}
+		h.ServeHTTP(w, req)
+	})
 }
 
 // Mount adds an extra handler to a telemetry server's mux — how the
@@ -134,28 +170,34 @@ type Mount struct {
 // /debug/telemetry the mux carries the net/http/pprof surface under
 // /debug/pprof/ and any extra mounts; the runtime-stats collector is
 // registered so every scrape includes iotsec_runtime_* gauges.
+//
+// Everything under /debug/ (pprof, telemetry snapshot, and mounts)
+// is restricted to loopback clients unless AllowRemoteDebug is called
+// on the returned server — binding addr to a routable interface must
+// not expose unauthenticated profiling or forensic data. /metrics
+// stays open for remote scrapers.
 func (r *Registry) Serve(addr string, mounts ...Mount) (*Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen: %w", err)
 	}
 	r.RegisterRuntimeStats()
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/debug/telemetry", r.DebugHandler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	for _, m := range mounts {
-		mux.Handle(m.Pattern, m.Handler)
-	}
 	s := &Server{
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		ln:   ln,
 		done: make(chan struct{}),
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/telemetry", s.guardDebug(r.DebugHandler()))
+	mux.Handle("/debug/pprof/", s.guardDebug(http.HandlerFunc(pprof.Index)))
+	mux.Handle("/debug/pprof/cmdline", s.guardDebug(http.HandlerFunc(pprof.Cmdline)))
+	mux.Handle("/debug/pprof/profile", s.guardDebug(http.HandlerFunc(pprof.Profile)))
+	mux.Handle("/debug/pprof/symbol", s.guardDebug(http.HandlerFunc(pprof.Symbol)))
+	mux.Handle("/debug/pprof/trace", s.guardDebug(http.HandlerFunc(pprof.Trace)))
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, s.guardDebug(m.Handler))
+	}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		defer close(s.done)
 		_ = s.srv.Serve(ln) // returns on Close

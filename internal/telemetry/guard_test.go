@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDebugSurfacesLoopbackOnly verifies the default access policy on
+// a telemetry server: /metrics answers any client, but the /debug/
+// surfaces (pprof, snapshot, mounts such as the forensic journal) are
+// loopback-only until AllowRemoteDebug opts in.
+func TestDebugSurfacesLoopbackOnly(t *testing.T) {
+	r := NewRegistry()
+	mounted := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "journal")
+	})
+	srv, addr, err := r.Serve("127.0.0.1:0", Mount{Pattern: "/debug/journal", Handler: mounted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Over the real listener the client is loopback: everything works.
+	for _, path := range []string{"/metrics", "/debug/telemetry", "/debug/journal", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("loopback GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// Simulate a routable client against the same mux.
+	remote := func(path string) int {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.RemoteAddr = "203.0.113.9:40000"
+		rec := httptest.NewRecorder()
+		srv.srv.Handler.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := remote("/metrics"); code != http.StatusOK {
+		t.Errorf("remote /metrics: status %d, want 200 (scrapers must stay remote-reachable)", code)
+	}
+	for _, path := range []string{"/debug/telemetry", "/debug/journal", "/debug/pprof/"} {
+		if code := remote(path); code != http.StatusForbidden {
+			t.Errorf("remote %s: status %d, want 403", path, code)
+		}
+	}
+
+	// Opting in opens the debug surfaces.
+	srv.AllowRemoteDebug()
+	for _, path := range []string{"/debug/telemetry", "/debug/journal"} {
+		if code := remote(path); code != http.StatusOK {
+			t.Errorf("remote %s after AllowRemoteDebug: status %d, want 200", path, code)
+		}
+	}
+}
+
+// TestIsLoopback pins the guard's address parsing, including the
+// fail-closed path for unparseable peers.
+func TestIsLoopback(t *testing.T) {
+	cases := map[string]bool{
+		"127.0.0.1:5000":  true,
+		"[::1]:5000":      true,
+		"127.8.9.10:1":    true,
+		"10.0.0.4:5000":   false,
+		"203.0.113.9:80":  false,
+		"[2001:db8::1]:1": false,
+		"not-an-addr":     false,
+		"":                false,
+	}
+	for addr, want := range cases {
+		if got := isLoopback(addr); got != want {
+			t.Errorf("isLoopback(%q) = %v, want %v", addr, got, want)
+		}
+	}
+}

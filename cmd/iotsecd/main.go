@@ -17,6 +17,9 @@ import (
 	"iotsec/internal/controller"
 	"iotsec/internal/core"
 	"iotsec/internal/journal"
+	"iotsec/internal/netsim"
+	"iotsec/internal/openflow"
+	"iotsec/internal/resilience"
 	"iotsec/internal/telemetry"
 )
 
@@ -29,7 +32,21 @@ func main() {
 		"allow non-loopback clients to reach the unauthenticated /debug/ surfaces (pprof, journal); off by default")
 	slowSpan := flag.Duration("slow-span", 0,
 		"log spans slower than this threshold to stderr (0 = disabled)")
+	sbAddr := flag.String("sb-addr", "127.0.0.1:0",
+		"southbound (switch control) listen address; empty = southbound disabled")
+	sbHeartbeat := flag.Duration("sb-heartbeat", openflow.DefaultHeartbeatInterval,
+		"southbound heartbeat probe interval (<=0 disables liveness probing)")
+	sbReconnectMax := flag.Duration("sb-reconnect-max", 5*time.Second,
+		"cap on the switch agent's exponential reconnect backoff")
+	sbFailMode := flag.String("sb-fail-mode", "static",
+		"southbound degradation while disconnected: static (serve installed table, buffer events) or closed (drop table-miss traffic)")
 	flag.Parse()
+
+	failMode, err := netsim.ParseFailMode(*sbFailMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotsecd: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *slowSpan > 0 {
 		telemetry.Default.Spans().SetSlowThreshold(*slowSpan, func(fs telemetry.FinishedSpan) {
@@ -44,6 +61,23 @@ func main() {
 	}
 	p.Start()
 	defer p.Stop()
+
+	if *sbAddr != "" {
+		sb, err := p.AttachSouthbound(core.SouthboundOptions{
+			Addr:              *sbAddr,
+			HeartbeatInterval: *sbHeartbeat,
+			Agent: netsim.AgentOptions{
+				FailMode: failMode,
+				Backoff:  resilience.BackoffOptions{Cap: *sbReconnectMax},
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iotsecd: southbound: %v\n", err)
+			os.Exit(1)
+		}
+		defer sb.Close()
+		fmt.Printf("iotsecd: southbound on %s (heartbeat %s, fail-%s)\n", sb.Addr, *sbHeartbeat, failMode)
+	}
 
 	if *telemetryAddr != "" {
 		p.Switch.ExportTelemetry(telemetry.Default)

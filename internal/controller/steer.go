@@ -81,9 +81,24 @@ type discardWriter struct{}
 func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
 
 // Listen starts the southbound listener, returning the bound address.
+// After Interrupt it may be called again to resume accepting.
 func (s *Steering) Listen(addr string) (string, error) {
 	return s.endpoint.Listen(addr)
 }
+
+// SetHeartbeat tunes the southbound liveness probe (an ECHO every
+// interval, reap after misses unanswered beats; interval <= 0
+// disables). Call before Listen.
+func (s *Steering) SetHeartbeat(interval time.Duration, misses int) {
+	s.endpoint.SetHeartbeat(interval, misses)
+}
+
+// Interrupt models a controller crash: every southbound session and
+// the listener drop, but the steering state (devices, standing
+// quarantines) survives, so switches reconnecting after a later
+// Listen are re-programmed and re-quarantined through the normal
+// SwitchConnected path.
+func (s *Steering) Interrupt() { s.endpoint.Interrupt() }
 
 // Close tears down the southbound endpoint.
 func (s *Steering) Close() error { return s.endpoint.Close() }

@@ -55,6 +55,15 @@ const (
 	TypeSigPublish Type = "sig-publish"
 	// TypeSigVote is a community vote on a signature.
 	TypeSigVote Type = "sig-vote"
+	// TypeSouthDown is a southbound session loss (either side of the
+	// wire: an agent losing its controller, or the controller reaping
+	// a dead switch session).
+	TypeSouthDown Type = "southbound-down"
+	// TypeSouthUp is a southbound session (re-)establishment.
+	TypeSouthUp Type = "southbound-up"
+	// TypeSouthReplay is an agent replaying events buffered while
+	// disconnected (fail-static degradation) after a re-handshake.
+	TypeSouthReplay Type = "southbound-replay"
 )
 
 // Severity ranks events for filtering.

@@ -120,8 +120,12 @@ func ExtractModel(tb *Testbed, class string, commands []string) (*Model, error) 
 			m.Effects[state] = append(m.Effects[state], Effect{Var: varName, Level: level})
 		}
 	}
-	// Wait a beat for in-flight device events to quiesce before the
-	// caller reuses the fabric.
-	time.Sleep(5 * time.Millisecond)
+	// Drain in-flight device events before the caller reuses the
+	// fabric: an explicit quiescence barrier, not a guessed sleep.
+	if tb.Client != nil && tb.Client.Stack != nil {
+		if n := tb.Client.Stack.Network(); n != nil {
+			n.Quiesce(time.Second)
+		}
+	}
 	return m, m.Validate()
 }

@@ -2,21 +2,107 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iotsec/internal/journal"
 	"iotsec/internal/openflow"
+	"iotsec/internal/resilience"
 )
+
+// FailMode selects how a SwitchAgent degrades while its southbound
+// session is down — the fail-safe policy §5.1 requires the
+// enforcement layer to have.
+type FailMode int
+
+// Degradation policies.
+const (
+	// FailStatic keeps serving the installed flow table (quarantine
+	// drop rules always survive locally, since they live in the table)
+	// and buffers punted PACKET_INs and FLOW_REMOVED notifications in
+	// a bounded ring, replaying them after the re-handshake.
+	FailStatic FailMode = iota
+	// FailClosed drops table-miss traffic while disconnected: punts
+	// are discarded (and counted) instead of buffered. FLOW_REMOVED
+	// notifications are still buffered — they report state the
+	// controller must eventually learn.
+	FailClosed
+)
+
+// String names the mode for logs and flags.
+func (m FailMode) String() string {
+	switch m {
+	case FailStatic:
+		return "static"
+	case FailClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("failmode(%d)", int(m))
+	}
+}
+
+// ParseFailMode maps a flag value to a FailMode.
+func ParseFailMode(s string) (FailMode, error) {
+	switch s {
+	case "static", "":
+		return FailStatic, nil
+	case "closed":
+		return FailClosed, nil
+	}
+	return FailStatic, fmt.Errorf("netsim: unknown fail mode %q (want static|closed)", s)
+}
+
+// AgentOptions configure the supervised southbound channel.
+type AgentOptions struct {
+	// FailMode selects degradation while disconnected (default
+	// FailStatic).
+	FailMode FailMode
+	// BufferCap bounds the degradation ring (default 1024 events).
+	BufferCap int
+	// Backoff parameterizes the reconnect schedule (full jitter,
+	// capped; zero fields take resilience defaults). MaxElapsed, if
+	// set, makes the supervisor give up for good once a single outage
+	// exceeds the budget.
+	Backoff resilience.BackoffOptions
+	// Dial overrides the transport dial (fault-injection hook);
+	// nil uses net.DialTimeout("tcp", addr, 2s).
+	Dial func(addr string) (net.Conn, error)
+	// DisableReconnect reproduces the legacy one-shot behaviour: the
+	// agent dies when the first session drops (used by a few
+	// experiments that measure a single session).
+	DisableReconnect bool
+}
 
 // SwitchAgent connects a Switch to a controller over the southbound
 // wire protocol: it punts table misses as PACKET_IN, applies FLOW_MOD
 // and PACKET_OUT, answers FEATURES/ECHO/BARRIER/STATS, and reports
 // expired entries as FLOW_REMOVED.
+//
+// The connection is supervised: when the session drops, a supervisor
+// goroutine redials with jittered exponential backoff, re-runs the
+// (controller-driven) handshake, and replays events buffered while
+// disconnected. Degradation while down follows AgentOptions.FailMode.
 type SwitchAgent struct {
 	sw   *Switch
-	conn *openflow.Conn
+	addr string
+	opts AgentOptions
+
+	mu   sync.Mutex
+	conn *openflow.Conn // nil while disconnected
+
+	// buffer holds events that could not be sent; replayed on
+	// re-handshake (fail-static) or drained-and-dropped (fail-closed
+	// punts are never buffered in the first place).
+	buffer *resilience.Ring[openflow.Message]
+
+	connected  atomic.Bool
+	reconnects atomic.Uint64
+	replayed   atomic.Uint64
+	puntsDrop  atomic.Uint64
+	outageWarn atomic.Bool // Warn journaled once per outage
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -25,78 +111,320 @@ type SwitchAgent struct {
 
 // ConnectAgent dials the controller at addr, runs the handshake
 // passively (the controller drives it) and starts the agent loops.
+// The first dial is synchronous — an unreachable controller is
+// reported immediately — but the session is supervised from then on:
+// later disconnects trigger backoff-paced reconnects with default
+// options. Use SuperviseAgent for custom options or a fully
+// asynchronous start.
 func ConnectAgent(sw *Switch, addr string) (*SwitchAgent, error) {
-	raw, err := net.Dial("tcp", addr)
+	a := newAgent(sw, addr, AgentOptions{})
+	raw, err := a.dial()
 	if err != nil {
 		return nil, fmt.Errorf("netsim: agent dial controller: %w", err)
 	}
-	a := &SwitchAgent{
-		sw:      sw,
-		conn:    openflow.NewConn(raw),
-		stopped: make(chan struct{}),
-	}
-	sw.SetPacketInHandler(a.onPacketIn)
-	a.wg.Add(2)
-	go a.readLoop()
-	go a.expiryLoop()
+	a.start(openflow.NewConn(raw))
 	return a, nil
 }
 
-// onPacketIn relays a punted frame to the controller.
+// SuperviseAgent starts a supervised agent without waiting for the
+// first dial to succeed: if the controller is down, the supervisor
+// keeps retrying on the backoff schedule. It never returns an error;
+// inspect Connected to observe session state.
+func SuperviseAgent(sw *Switch, addr string, opts AgentOptions) *SwitchAgent {
+	a := newAgent(sw, addr, opts)
+	a.start(nil)
+	return a
+}
+
+func newAgent(sw *Switch, addr string, opts AgentOptions) *SwitchAgent {
+	if opts.BufferCap < 1 {
+		opts.BufferCap = 1024
+	}
+	return &SwitchAgent{
+		sw:      sw,
+		addr:    addr,
+		opts:    opts,
+		buffer:  resilience.NewRing[openflow.Message](opts.BufferCap),
+		stopped: make(chan struct{}),
+	}
+}
+
+// start wires the switch and launches the supervisor + expiry loops.
+func (a *SwitchAgent) start(initial *openflow.Conn) {
+	a.sw.SetPacketInHandler(a.onPacketIn)
+	a.wg.Add(2)
+	go a.supervise(initial)
+	go a.expiryLoop()
+}
+
+// dial opens the raw transport.
+func (a *SwitchAgent) dial() (net.Conn, error) {
+	if a.opts.Dial != nil {
+		return a.opts.Dial(a.addr)
+	}
+	return net.DialTimeout("tcp", a.addr, 2*time.Second)
+}
+
+// supervise owns the connection lifecycle: (re)dial with backoff,
+// serve the session until it drops, degrade, repeat.
+func (a *SwitchAgent) supervise(conn *openflow.Conn) {
+	defer a.wg.Done()
+	bo := resilience.NewBackoff(a.opts.Backoff)
+	first := true
+	for {
+		if conn == nil {
+			conn = a.redial(bo)
+			if conn == nil {
+				return // stopped or reconnect budget exhausted
+			}
+		}
+		bo.Reset() // reset-on-success: the next outage starts from Base
+		a.sessionUp(conn, first)
+		first = false
+		a.serve(conn)
+		a.sessionDown()
+		conn = nil
+		select {
+		case <-a.stopped:
+			return
+		default:
+		}
+		if a.opts.DisableReconnect {
+			a.Stop()
+			return
+		}
+	}
+}
+
+// redial retries the dial on the backoff schedule until success, stop
+// or budget exhaustion.
+func (a *SwitchAgent) redial(bo *resilience.Backoff) *openflow.Conn {
+	for {
+		select {
+		case <-a.stopped:
+			return nil
+		default:
+		}
+		raw, err := a.dial()
+		if err == nil {
+			return openflow.NewConn(raw)
+		}
+		delay, ok := bo.Next()
+		if !ok {
+			journal.RecordTrace(0, journal.TypeSouthDown, journal.Critical, "",
+				fmt.Sprintf("dpid %d: reconnect budget exhausted after %d attempts; agent giving up",
+					a.sw.DatapathID(), bo.Attempt()))
+			a.Stop()
+			return nil
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-a.stopped:
+			t.Stop()
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// sessionUp installs the live conn and journals the transition.
+func (a *SwitchAgent) sessionUp(conn *openflow.Conn, first bool) {
+	a.mu.Lock()
+	a.conn = conn
+	a.mu.Unlock()
+	a.connected.Store(true)
+	a.outageWarn.Store(false)
+	if !first {
+		a.reconnects.Add(1)
+		mAgentReconnects.Inc()
+		journal.RecordTrace(0, journal.TypeSouthUp, journal.Info, "",
+			fmt.Sprintf("dpid %d: southbound session re-established (reconnect #%d, %d events buffered)",
+				a.sw.DatapathID(), a.reconnects.Load(), a.buffer.Len()))
+	}
+}
+
+// sessionDown clears the conn and engages the degradation policy.
+func (a *SwitchAgent) sessionDown() {
+	a.mu.Lock()
+	conn := a.conn
+	a.conn = nil
+	a.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	a.connected.Store(false)
+	select {
+	case <-a.stopped:
+		return // deliberate teardown, not an outage
+	default:
+	}
+	if a.outageWarn.CompareAndSwap(false, true) {
+		journal.RecordTrace(0, journal.TypeSouthDown, journal.Warn, "",
+			fmt.Sprintf("dpid %d: southbound session lost; degrading fail-%s (table served locally, quarantine rules intact)",
+				a.sw.DatapathID(), a.opts.FailMode))
+	}
+}
+
+// current returns the live conn, or nil while disconnected.
+func (a *SwitchAgent) current() *openflow.Conn {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.conn
+}
+
+// Connected reports whether a southbound session is currently live.
+func (a *SwitchAgent) Connected() bool { return a.connected.Load() }
+
+// Reconnects reports how many times the supervisor re-established the
+// session.
+func (a *SwitchAgent) Reconnects() uint64 { return a.reconnects.Load() }
+
+// BufferedEvents reports the degradation ring depth.
+func (a *SwitchAgent) BufferedEvents() int { return a.buffer.Len() }
+
+// Replayed reports how many buffered events were replayed across all
+// reconnects.
+func (a *SwitchAgent) Replayed() uint64 { return a.replayed.Load() }
+
+// PuntsDropped reports punts discarded under fail-closed degradation.
+func (a *SwitchAgent) PuntsDropped() uint64 { return a.puntsDrop.Load() }
+
+// onPacketIn relays a punted frame to the controller, routing it into
+// the degradation path when the session is down. Send errors are no
+// longer discarded: a failed send tears the conn down (waking the
+// supervisor) and the event enters the buffer or the drop counter.
 func (a *SwitchAgent) onPacketIn(inPort uint16, reason uint8, frame Frame) {
-	_, _ = a.conn.Send(&openflow.PacketIn{
+	a.deliver(&openflow.PacketIn{
 		DatapathID: a.sw.DatapathID(),
 		InPort:     inPort,
 		Reason:     reason,
 		Data:       frame,
-	})
+	}, true)
 }
 
-// readLoop serves controller requests until the connection drops.
-func (a *SwitchAgent) readLoop() {
-	defer a.wg.Done()
+// deliver sends m on the live session or degrades. isPunt
+// distinguishes PACKET_IN (droppable under fail-closed) from
+// FLOW_REMOVED (always buffered: the controller must eventually learn
+// about expired state).
+func (a *SwitchAgent) deliver(m openflow.Message, isPunt bool) {
+	if conn := a.current(); conn != nil {
+		if _, err := conn.Send(m); err == nil {
+			return
+		}
+		// The session is half-dead: close it so the supervisor's
+		// Receive unblocks and the reconnect loop engages, then treat
+		// this event as disconnected-era.
+		mAgentSendErrors.Inc()
+		_ = conn.Close()
+	}
+	a.degrade(m, isPunt)
+}
+
+// degrade applies the fail-mode policy to one undeliverable event.
+func (a *SwitchAgent) degrade(m openflow.Message, isPunt bool) {
+	if isPunt && a.opts.FailMode == FailClosed {
+		a.puntsDrop.Add(1)
+		mPuntsDropped.Inc()
+		return
+	}
+	if a.buffer.Push(m) {
+		// Ring full: the oldest event was evicted to make room.
+		mBufferEvictions.Inc()
+		if isPunt {
+			mPuntsDropped.Inc()
+		}
+	} else {
+		mReplayDepth.Inc()
+	}
+}
+
+// replay drains the degradation buffer onto a fresh session. Called
+// from serve after the feature handshake completes, so the controller
+// has already registered the switch. Events arrive exactly once: the
+// ring is drained atomically and unsent remainders are re-buffered
+// only if the session dies mid-replay.
+func (a *SwitchAgent) replay(conn *openflow.Conn) {
+	events := a.buffer.Drain()
+	if len(events) == 0 {
+		return
+	}
+	mReplayDepth.Add(-int64(len(events)))
+	sent := 0
+	for i, m := range events {
+		if _, err := conn.Send(m); err != nil {
+			// Session died mid-replay: re-buffer the unsent tail (the
+			// failed event's delivery is unknown; re-buffering it risks
+			// a duplicate, dropping it risks a loss — we re-buffer,
+			// preferring at-least-once for security state).
+			for _, rest := range events[i:] {
+				a.degrade(rest, false)
+			}
+			_ = conn.Close()
+			break
+		}
+		sent++
+	}
+	a.replayed.Add(uint64(sent))
+	mAgentReplayed.Add(uint64(sent))
+	journal.RecordTrace(0, journal.TypeSouthReplay, journal.Info, "",
+		fmt.Sprintf("dpid %d: replayed %d/%d buffered events after re-handshake (%d evicted during outage)",
+			a.sw.DatapathID(), sent, len(events), a.buffer.Evicted()))
+}
+
+// serve answers controller requests on one session until it drops.
+func (a *SwitchAgent) serve(conn *openflow.Conn) {
 	for {
-		m, xid, err := a.conn.Receive()
+		m, xid, err := conn.Receive()
 		if err != nil {
-			a.Stop()
 			return
 		}
 		switch msg := m.(type) {
 		case *openflow.Hello:
-			_ = a.conn.SendWithXID(&openflow.Hello{}, xid)
+			_ = conn.SendWithXID(&openflow.Hello{}, xid)
 		case *openflow.FeaturesRequest:
-			_ = a.conn.SendWithXID(&openflow.FeaturesReply{
+			_ = conn.SendWithXID(&openflow.FeaturesReply{
 				DatapathID: a.sw.DatapathID(),
 				Ports:      a.sw.PortIDs(),
 			}, xid)
+			// The feature reply completes the (re-)handshake: the
+			// controller now knows this switch, so buffered events from
+			// the outage can follow.
+			a.replay(conn)
 		case *openflow.Echo:
 			if !msg.Reply {
-				_ = a.conn.SendWithXID(&openflow.Echo{Reply: true, Payload: msg.Payload}, xid)
+				_ = conn.SendWithXID(&openflow.Echo{Reply: true, Payload: msg.Payload}, xid)
 			}
 		case *openflow.FlowMod:
-			a.applyFlowMod(msg, xid)
+			a.applyFlowMod(conn, msg, xid)
 		case *openflow.PacketOut:
 			a.sw.ApplyActions(msg.Actions, msg.InPort, Frame(msg.Data))
 		case *openflow.BarrierRequest:
 			// Messages are processed in order on this single loop, so
 			// everything before the barrier has already been applied.
-			_ = a.conn.SendWithXID(&openflow.BarrierReply{}, xid)
+			_ = conn.SendWithXID(&openflow.BarrierReply{}, xid)
 		case *openflow.StatsRequest:
 			in, out, miss, flows := a.sw.Stats()
-			_ = a.conn.SendWithXID(&openflow.StatsReply{
+			// Clamp instead of silently truncating a table larger than
+			// 2^32 entries (absurd today, but silent wraparound in a
+			// security telemetry path is how absurdities hide).
+			fc := uint32(math.MaxUint32)
+			if flows >= 0 && uint64(flows) < math.MaxUint32 {
+				fc = uint32(flows)
+			}
+			_ = conn.SendWithXID(&openflow.StatsReply{
 				DatapathID: a.sw.DatapathID(),
-				FlowCount:  uint32(flows),
+				FlowCount:  fc,
 				PacketsIn:  in,
 				PacketsOut: out,
 				TableMiss:  miss,
 			}, xid)
 		default:
-			_ = a.conn.SendWithXID(&openflow.ErrorMsg{Code: 1, Text: "unsupported " + m.Type().String()}, xid)
+			_ = conn.SendWithXID(&openflow.ErrorMsg{Code: 1, Text: "unsupported " + m.Type().String()}, xid)
 		}
 	}
 }
 
-func (a *SwitchAgent) applyFlowMod(fm *openflow.FlowMod, xid uint32) {
+func (a *SwitchAgent) applyFlowMod(conn *openflow.Conn, fm *openflow.FlowMod, xid uint32) {
 	switch fm.Command {
 	case openflow.FlowAdd:
 		a.sw.Table().Insert(openflow.FlowEntry{
@@ -112,7 +440,14 @@ func (a *SwitchAgent) applyFlowMod(fm *openflow.FlowMod, xid uint32) {
 	case openflow.FlowDeleteByCookie:
 		a.sw.Table().DeleteByCookie(fm.Cookie)
 	default:
-		_ = a.conn.SendWithXID(&openflow.ErrorMsg{Code: 2, Text: "unknown flow-mod command"}, xid)
+		// Carry the offending cookie and trace ID so the forensic
+		// timeline on the controller side can attribute the rejected
+		// mod to the causal chain that emitted it.
+		_ = conn.SendWithXID(&openflow.ErrorMsg{
+			Code: 2,
+			Text: fmt.Sprintf("unknown flow-mod command %d (cookie %#x trace %d)",
+				uint8(fm.Command), fm.Cookie, fm.TraceID),
+		}, xid)
 		return
 	}
 	// Journal the application on the switch side of the wire; the
@@ -123,7 +458,9 @@ func (a *SwitchAgent) applyFlowMod(fm *openflow.FlowMod, xid uint32) {
 }
 
 // expiryLoop periodically evicts timed-out flows and notifies the
-// controller.
+// controller. It runs for the agent's lifetime (across sessions);
+// FLOW_REMOVED notifications raised while disconnected enter the
+// degradation buffer and are replayed on reconnect.
 func (a *SwitchAgent) expiryLoop() {
 	defer a.wg.Done()
 	ticker := time.NewTicker(50 * time.Millisecond)
@@ -135,24 +472,27 @@ func (a *SwitchAgent) expiryLoop() {
 		case now := <-ticker.C:
 			for _, e := range a.sw.ExpireFlows(now) {
 				pkts, bytes := e.Stats()
-				_, _ = a.conn.Send(&openflow.FlowRemoved{
+				a.deliver(&openflow.FlowRemoved{
 					DatapathID: a.sw.DatapathID(),
 					Match:      e.Match,
 					Priority:   e.Priority,
 					Cookie:     e.Cookie,
 					Packets:    pkts,
 					Bytes:      bytes,
-				})
+				}, false)
 			}
 		}
 	}
 }
 
-// Stop tears the agent down and closes the southbound connection.
+// Stop tears the agent down: the supervisor quits, the session (if
+// any) closes, and the loops exit.
 func (a *SwitchAgent) Stop() {
 	a.stopOnce.Do(func() {
 		close(a.stopped)
-		_ = a.conn.Close()
+		if conn := a.current(); conn != nil {
+			_ = conn.Close()
+		}
 	})
 }
 

@@ -36,15 +36,16 @@ type Link struct {
 	nextFreeBA time.Time // b → a
 
 	taps *tapSet
+	act  *activity
 }
 
 // newLink wires two ports together.
-func newLink(a, b *Port, opts LinkOptions, taps *tapSet) *Link {
+func newLink(a, b *Port, opts LinkOptions, taps *tapSet, act *activity) *Link {
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 0x10c5ec
 	}
-	l := &Link{a: a, b: b, opts: opts, rng: rand.New(rand.NewSource(seed)), taps: taps}
+	l := &Link{a: a, b: b, opts: opts, rng: rand.New(rand.NewSource(seed)), taps: taps, act: act}
 	a.link.Store(l)
 	b.link.Store(l)
 	return l
@@ -96,7 +97,17 @@ func (l *Link) deliver(src, dst *Port, frame Frame) {
 		delay += done.Sub(now)
 	}
 	if delay > 0 {
-		time.AfterFunc(delay, func() { dst.enqueue(cp) })
+		// Count the frame as in flight for the duration of the
+		// latency/serialization timer so Network.Quiesce sees it.
+		if l.act != nil {
+			l.act.add(1)
+		}
+		time.AfterFunc(delay, func() {
+			dst.enqueue(cp)
+			if l.act != nil {
+				l.act.add(-1)
+			}
+		})
 		return
 	}
 	dst.enqueue(cp)

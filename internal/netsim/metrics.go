@@ -38,6 +38,29 @@ var (
 		"Ports currently attached to fabrics (delivery goroutines).")
 )
 
+// Southbound-channel resilience metrics (agent side). Aggregated
+// across every supervised agent in the process.
+var (
+	mAgentReconnects = telemetry.NewCounter(
+		"iotsec_southbound_reconnects_total",
+		"Southbound sessions re-established by agent supervisors.")
+	mAgentSendErrors = telemetry.NewCounter(
+		"iotsec_southbound_send_errors_total",
+		"Southbound sends that failed on a live session (tears the session down).")
+	mPuntsDropped = telemetry.NewCounter(
+		"iotsec_southbound_punts_dropped_total",
+		"Punted frames dropped while disconnected (fail-closed mode or buffer eviction).")
+	mBufferEvictions = telemetry.NewCounter(
+		"iotsec_southbound_buffer_evictions_total",
+		"Oldest buffered events evicted from full degradation rings.")
+	mAgentReplayed = telemetry.NewCounter(
+		"iotsec_southbound_replayed_total",
+		"Buffered events replayed to the controller after re-handshake.")
+	mReplayDepth = telemetry.NewGauge(
+		"iotsec_southbound_replay_depth",
+		"Events currently buffered in degradation rings awaiting replay.")
+)
+
 // ExportTelemetry registers a scrape-time collector on reg exposing
 // this switch's per-port statistics as
 // iotsec_netsim_port_{tx,rx}_{frames,bytes} and

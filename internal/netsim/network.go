@@ -3,7 +3,22 @@ package netsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// activity counts fabric work in flight: frames queued on port
+// inboxes, frames delayed on link latency/bandwidth timers, and
+// frames currently inside a HandleFrame call. Because every frame a
+// handler emits is counted before the handler's own frame is
+// released, the counter only reaches zero when the whole causal
+// cascade has drained — which is exactly the barrier Quiesce needs.
+type activity struct {
+	n atomic.Int64
+}
+
+func (a *activity) add(d int64) { a.n.Add(d) }
+func (a *activity) idle() bool  { return a.n.Load() == 0 }
 
 // Tap observes every frame crossing a link, before loss is applied.
 // Taps must be fast and must not modify the frame.
@@ -33,6 +48,7 @@ type Network struct {
 	links   []*Link
 	started bool
 	taps    tapSet
+	act     activity
 }
 
 // NewNetwork returns an empty fabric.
@@ -61,6 +77,7 @@ func (n *Network) NewPort(owner Node, id uint16) *Port {
 
 func (n *Network) newPortOpts(owner Node, id uint16, queueLen int) *Port {
 	p := newPort(owner, id, queueLen)
+	p.act = &n.act
 	n.mu.Lock()
 	n.ports = append(n.ports, p)
 	started := n.started
@@ -73,7 +90,7 @@ func (n *Network) newPortOpts(owner Node, id uint16, queueLen int) *Port {
 
 // Connect wires two ports with the given link options.
 func (n *Network) Connect(a, b *Port, opts LinkOptions) *Link {
-	l := newLink(a, b, opts, &n.taps)
+	l := newLink(a, b, opts, &n.taps, &n.act)
 	n.mu.Lock()
 	n.links = append(n.links, l)
 	n.mu.Unlock()
@@ -109,6 +126,35 @@ func (n *Network) Stop() {
 		p.close()
 	}
 	n.started = false
+}
+
+// Quiesce blocks until the fabric is idle — no frames queued on port
+// inboxes, none pending on link latency/bandwidth timers, and no
+// handler mid-frame — or the timeout expires, reporting whether
+// idleness was reached. It is the explicit drain barrier callers use
+// instead of sleeping "long enough" for in-flight traffic: because a
+// handler's emissions are counted before its own frame is released,
+// Quiesce only returns true once the entire causal cascade has
+// drained. Only meaningful while the network is running (after Stop,
+// undelivered frames may keep the fabric counted as busy).
+func (n *Network) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	wait := 50 * time.Microsecond
+	for {
+		if n.act.idle() {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		// Event-free backoff wait (timer channel, not a sleep) so the
+		// barrier costs nothing when the fabric drains quickly.
+		t := time.NewTimer(wait)
+		<-t.C
+		if wait < 2*time.Millisecond {
+			wait *= 2
+		}
+	}
 }
 
 // Node looks a node up by name.

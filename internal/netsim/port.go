@@ -44,6 +44,10 @@ type Port struct {
 	// happen while the fabric is live.
 	link atomic.Pointer[Link]
 
+	// act, when set, is the owning network's in-flight accounting used
+	// by Network.Quiesce (nil for ports built outside a Network).
+	act *activity
+
 	inbox chan Frame
 	stats struct {
 		txFrames, txBytes     atomic.Uint64
@@ -102,13 +106,24 @@ func (p *Port) Send(frame Frame) {
 	l.deliver(p, peer, frame)
 }
 
-// enqueue places a frame in the inbox, dropping on overflow.
+// enqueue places a frame in the inbox, dropping on overflow. The
+// frame is accounted as in-flight until the owner handles it (or it
+// is dropped), so Network.Quiesce sees queued work.
 func (p *Port) enqueue(frame Frame) {
+	if p.act != nil {
+		p.act.add(1)
+	}
 	select {
 	case <-p.closed:
+		if p.act != nil {
+			p.act.add(-1)
+		}
 	case p.inbox <- frame:
 		return
 	default:
+		if p.act != nil {
+			p.act.add(-1)
+		}
 		p.stats.dropsQueue.Add(1)
 		mQueueDrops.Inc()
 	}
@@ -121,11 +136,25 @@ func (p *Port) run() {
 	for {
 		select {
 		case <-p.closed:
-			return
+			// Frames already queued will never be delivered; release
+			// their in-flight accounting.
+			for {
+				select {
+				case <-p.inbox:
+					if p.act != nil {
+						p.act.add(-1)
+					}
+				default:
+					return
+				}
+			}
 		case f := <-p.inbox:
 			p.stats.rxFrames.Add(1)
 			p.stats.rxBytes.Add(uint64(len(f)))
 			p.owner.HandleFrame(p, f)
+			if p.act != nil {
+				p.act.add(-1)
+			}
 		}
 	}
 }

@@ -33,6 +33,7 @@ type Stack struct {
 	mac  packet.MACAddress
 	ip   packet.IPv4Address
 	port *Port
+	net  *Network
 
 	arpMu      sync.Mutex
 	arpTable   map[packet.IPv4Address]packet.MACAddress
@@ -90,8 +91,13 @@ func NewStack(name string, mac packet.MACAddress, ip packet.IPv4Address) *Stack 
 func (s *Stack) Attach(n *Network) *Port {
 	p := n.NewPort(s, 1)
 	s.port = p
+	s.net = n
 	return p
 }
+
+// Network reports the fabric this stack is attached to (nil before
+// Attach); callers use it to reach Network.Quiesce.
+func (s *Stack) Network() *Network { return s.net }
 
 // NodeName implements Node.
 func (s *Stack) NodeName() string { return s.name }

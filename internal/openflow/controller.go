@@ -6,7 +6,11 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"iotsec/internal/journal"
+	"iotsec/internal/resilience"
 )
 
 // ErrUnknownDatapath reports a send to a switch that never connected or
@@ -30,13 +34,23 @@ type SwitchHandler interface {
 // ControllerEndpoint is the southbound listener of an SDN controller.
 // It accepts switch connections, performs the Hello/Features handshake
 // and routes events to the handler.
+//
+// Sessions are actively probed: a per-session heartbeat loop sends
+// ECHO requests on a configurable interval and reaps the session once
+// the missed-beat threshold is crossed, so half-dead connections
+// (one-way partitions, silently dropped peers) surface as
+// SwitchDisconnected instead of lingering forever.
 type ControllerEndpoint struct {
 	handler SwitchHandler
 	logger  *log.Logger
 
-	ln net.Listener
+	// Heartbeat configuration; set before Listen.
+	hbInterval time.Duration
+	hbMisses   int
+	clock      resilience.Clock
 
 	mu       sync.RWMutex
+	ln       net.Listener
 	switches map[uint64]*switchSession
 	closed   bool
 	wg       sync.WaitGroup
@@ -47,9 +61,22 @@ type switchSession struct {
 	dpid  uint64
 	ports []uint16
 
+	// pending counts heartbeat ECHOs sent since the last reply; the
+	// read loop zeroes it on every ECHO_REPLY.
+	pending atomic.Int32
+	// done closes when the session's read loop exits, stopping the
+	// heartbeat goroutine.
+	done chan struct{}
+
 	barrierMu sync.Mutex
 	barriers  map[uint32]chan struct{}
 }
+
+// Heartbeat defaults: probe every 5s, reap after 3 unanswered beats.
+const (
+	DefaultHeartbeatInterval = 5 * time.Second
+	DefaultHeartbeatMisses   = 3
+)
 
 // NewControllerEndpoint creates an endpoint dispatching to handler.
 // logger may be nil to discard diagnostics.
@@ -58,9 +85,12 @@ func NewControllerEndpoint(handler SwitchHandler, logger *log.Logger) *Controlle
 		logger = log.New(discard{}, "", 0)
 	}
 	return &ControllerEndpoint{
-		handler:  handler,
-		logger:   logger,
-		switches: make(map[uint64]*switchSession),
+		handler:    handler,
+		logger:     logger,
+		hbInterval: DefaultHeartbeatInterval,
+		hbMisses:   DefaultHeartbeatMisses,
+		clock:      resilience.System,
+		switches:   make(map[uint64]*switchSession),
 	}
 }
 
@@ -68,14 +98,45 @@ type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
+// SetHeartbeat tunes the liveness probe: an ECHO every interval,
+// reaping the session after misses consecutive unanswered beats.
+// interval <= 0 disables probing. Call before Listen.
+func (c *ControllerEndpoint) SetHeartbeat(interval time.Duration, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hbInterval = interval
+	if misses < 1 {
+		misses = 1
+	}
+	c.hbMisses = misses
+}
+
+// SetClock substitutes the time source driving heartbeats (frozen
+// clocks in tests). Call before Listen.
+func (c *ControllerEndpoint) SetClock(clk resilience.Clock) {
+	if clk == nil {
+		clk = resilience.System
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clk
+}
+
 // Listen starts accepting switch connections on addr ("host:port";
 // use port 0 for an ephemeral port) and returns the bound address.
+// After an Interrupt, Listen may be called again (typically on the
+// previously bound address) to resume accepting.
 func (c *ControllerEndpoint) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("openflow: listen: %w", err)
 	}
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("openflow: endpoint closed")
+	}
 	c.ln = ln
 	c.mu.Unlock()
 	c.wg.Add(1)
@@ -125,6 +186,7 @@ func (c *ControllerEndpoint) serveSwitch(conn *Conn) {
 		conn:     conn,
 		dpid:     feats.DatapathID,
 		ports:    feats.Ports,
+		done:     make(chan struct{}),
 		barriers: make(map[uint32]chan struct{}),
 	}
 	c.mu.Lock()
@@ -132,17 +194,41 @@ func (c *ControllerEndpoint) serveSwitch(conn *Conn) {
 		c.mu.Unlock()
 		return
 	}
+	// A reconnecting switch can race its own half-dead predecessor:
+	// replace the registration and kill the stale conn so its reader
+	// exits (its deferred cleanup sees it is no longer current and
+	// does NOT fire SwitchDisconnected for the live dpid).
+	stale := c.switches[sess.dpid]
 	c.switches[sess.dpid] = sess
+	hbInterval, hbMisses, clock := c.hbInterval, c.hbMisses, c.clock
 	c.mu.Unlock()
+	if stale != nil {
+		_ = stale.conn.Close()
+	}
+	mSessions.Inc()
+	journal.RecordTrace(0, journal.TypeSouthUp, journal.Info, "",
+		fmt.Sprintf("controller: switch dpid %d session established (%d ports)", sess.dpid, len(sess.ports)))
+
+	if hbInterval > 0 {
+		c.wg.Add(1)
+		go c.heartbeat(sess, hbInterval, hbMisses, clock)
+	}
 
 	c.handler.SwitchConnected(sess.dpid, sess.ports)
 	defer func() {
+		close(sess.done)
 		c.mu.Lock()
-		if c.switches[sess.dpid] == sess {
+		current := c.switches[sess.dpid] == sess
+		if current {
 			delete(c.switches, sess.dpid)
 		}
 		c.mu.Unlock()
-		c.handler.SwitchDisconnected(sess.dpid)
+		mSessions.Dec()
+		if current {
+			journal.RecordTrace(0, journal.TypeSouthDown, journal.Warn, "",
+				fmt.Sprintf("controller: switch dpid %d session lost", sess.dpid))
+			c.handler.SwitchDisconnected(sess.dpid)
+		}
 	}()
 
 	for {
@@ -156,7 +242,10 @@ func (c *ControllerEndpoint) serveSwitch(conn *Conn) {
 		case *FlowRemoved:
 			c.handler.HandleFlowRemoved(msg)
 		case *Echo:
-			if !msg.Reply {
+			if msg.Reply {
+				// Pong: the peer is alive; reset the missed-beat count.
+				sess.pending.Store(0)
+			} else {
 				_ = conn.SendWithXID(&Echo{Reply: true, Payload: msg.Payload}, xid)
 			}
 		case *BarrierReply:
@@ -170,6 +259,42 @@ func (c *ControllerEndpoint) serveSwitch(conn *Conn) {
 			c.logger.Printf("openflow: switch %d error %d: %s", sess.dpid, msg.Code, msg.Text)
 		default:
 			c.logger.Printf("openflow: unexpected %s from switch %d", m.Type(), sess.dpid)
+		}
+	}
+}
+
+// heartbeat probes one session with periodic ECHO requests, reaping
+// it once the missed-beat threshold is crossed. Closing the conn
+// unblocks the session's read loop, which performs the normal
+// disconnect path (journal + SwitchDisconnected), so a reaped session
+// is indistinguishable from a dropped one downstream.
+func (c *ControllerEndpoint) heartbeat(sess *switchSession, interval time.Duration, misses int, clock resilience.Clock) {
+	defer c.wg.Done()
+	t := clock.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sess.done:
+			return
+		case <-t.C():
+			outstanding := sess.pending.Load()
+			if outstanding > 0 {
+				// The previous beat went unanswered.
+				mHeartbeatMisses.Inc()
+			}
+			if int(outstanding) >= misses {
+				mSessionsReaped.Inc()
+				journal.RecordTrace(0, journal.TypeSouthDown, journal.Warn, "",
+					fmt.Sprintf("controller: switch dpid %d reaped after %d missed heartbeats", sess.dpid, outstanding))
+				c.logger.Printf("openflow: reaping switch %d after %d missed heartbeats", sess.dpid, outstanding)
+				_ = sess.conn.Close()
+				return
+			}
+			sess.pending.Add(1)
+			if _, err := sess.conn.Send(&Echo{Payload: []byte("hb")}); err != nil {
+				_ = sess.conn.Close()
+				return
+			}
 		}
 	}
 }
@@ -250,12 +375,36 @@ func (c *ControllerEndpoint) Switches() []uint64 {
 	return out
 }
 
+// Interrupt models a controller crash for chaos tests and rolling
+// restarts: it drops the listener and every switch connection but
+// leaves the endpoint reusable — a subsequent Listen (normally on the
+// same address) resumes accepting, and reconnecting switches re-run
+// the handshake, triggering the handler's SwitchConnected re-sync
+// path (full table + standing quarantine re-push).
+func (c *ControllerEndpoint) Interrupt() {
+	c.mu.Lock()
+	ln := c.ln
+	c.ln = nil
+	sessions := make([]*switchSession, 0, len(c.switches))
+	for _, s := range c.switches {
+		sessions = append(sessions, s)
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, s := range sessions {
+		_ = s.conn.Close()
+	}
+}
+
 // Close stops the listener and drops all switch connections, waiting
 // for the serving goroutines to exit.
 func (c *ControllerEndpoint) Close() error {
 	c.mu.Lock()
 	c.closed = true
 	ln := c.ln
+	c.ln = nil
 	sessions := make([]*switchSession, 0, len(c.switches))
 	for _, s := range c.switches {
 		sessions = append(sessions, s)

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock time and tickers so liveness machinery
+// (heartbeat loops, reapers) can be driven by a frozen clock in tests.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// NewTicker delivers a tick roughly every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the minimal ticker surface behind Clock.
+type Ticker interface {
+	// C is the tick channel.
+	C() <-chan time.Time
+	// Stop releases the ticker.
+	Stop()
+}
+
+// System is the real-time clock.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) NewTicker(d time.Duration) Ticker {
+	return systemTicker{time.NewTicker(d)}
+}
+
+type systemTicker struct{ t *time.Ticker }
+
+func (t systemTicker) C() <-chan time.Time { return t.t.C }
+func (t systemTicker) Stop()               { t.t.Stop() }
+
+// FakeClock is a manually advanced clock: time only moves when
+// Advance is called, firing any tickers that come due. Ticks are
+// delivered on buffered channels with non-blocking sends, matching
+// time.Ticker's coalescing behaviour for slow receivers.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*fakeTicker
+}
+
+// NewFakeClock builds a frozen clock starting at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// NewTicker implements Clock.
+func (c *FakeClock) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTicker{clock: c, period: d, next: c.now.Add(d), ch: make(chan time.Time, 1)}
+	c.tickers = append(c.tickers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing due tickers in
+// chronological order. A ticker more than one period overdue fires
+// once per elapsed period (coalesced by the channel buffer, like
+// time.Ticker).
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		// Fire the earliest due ticker until none are due.
+		due := make([]*fakeTicker, 0, len(c.tickers))
+		for _, t := range c.tickers {
+			if !t.stopped && !t.next.After(target) {
+				due = append(due, t)
+			}
+		}
+		if len(due) == 0 {
+			break
+		}
+		sort.Slice(due, func(i, j int) bool { return due[i].next.Before(due[j].next) })
+		t := due[0]
+		c.now = t.next
+		t.next = t.next.Add(t.period)
+		select {
+		case t.ch <- c.now:
+		default:
+		}
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+type fakeTicker struct {
+	clock   *FakeClock
+	period  time.Duration
+	next    time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTicker) Stop() {
+	t.clock.mu.Lock()
+	t.stopped = true
+	t.clock.mu.Unlock()
+}

@@ -20,6 +20,7 @@ import (
 	"iotsec/internal/netsim"
 	"iotsec/internal/openflow"
 	"iotsec/internal/resilience"
+	"iotsec/internal/sigrepo"
 	"iotsec/internal/telemetry"
 )
 
@@ -40,6 +41,14 @@ func main() {
 		"cap on the switch agent's exponential reconnect backoff")
 	sbFailMode := flag.String("sb-fail-mode", "static",
 		"southbound degradation while disconnected: static (serve installed table, buffer events) or closed (drop table-miss traffic)")
+	sigrepoAddr := flag.String("sigrepo-addr", "",
+		"crowdsourced signature repository address (empty = crowd learning disabled)")
+	sigrepoIdentity := flag.String("sigrepo-identity", "gateway",
+		"identity presented to the signature repository (pseudonymized server-side)")
+	sigrepoOutbox := flag.String("sigrepo-outbox", "",
+		"durable outbox file for publishes/votes queued while the repository is unreachable (empty = in-memory only)")
+	sigrepoReconnectMax := flag.Duration("sigrepo-reconnect-max", 5*time.Second,
+		"cap on the sigrepo link's exponential reconnect backoff")
 	flag.Parse()
 
 	failMode, err := netsim.ParseFailMode(*sbFailMode)
@@ -77,6 +86,23 @@ func main() {
 		}
 		defer sb.Close()
 		fmt.Printf("iotsecd: southbound on %s (heartbeat %s, fail-%s)\n", sb.Addr, *sbHeartbeat, failMode)
+	}
+
+	if *sigrepoAddr != "" {
+		link, err := p.ConnectSigrepoOpts(*sigrepoAddr, *sigrepoIdentity, sigrepo.ManagedOptions{
+			Backoff:    resilience.BackoffOptions{Cap: *sigrepoReconnectMax},
+			OutboxPath: *sigrepoOutbox,
+			OnStateChange: func(s sigrepo.LinkState) {
+				fmt.Printf("iotsecd: sigrepo link %s\n", s)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iotsecd: sigrepo: %v\n", err)
+			os.Exit(1)
+		}
+		defer link.Close()
+		fmt.Printf("iotsecd: crowd learning via %s as %q (reconnect cap %s)\n",
+			*sigrepoAddr, *sigrepoIdentity, *sigrepoReconnectMax)
 	}
 
 	if *telemetryAddr != "" {

@@ -8,13 +8,16 @@
 //	mboxctl [-addr host:port] set-env <var> <value>
 //	mboxctl [-addr host:port] set-context <device> <context>
 //	mboxctl [-telemetry-addr host:port] stats
+//	mboxctl [-telemetry-addr host:port] crowd
 //	mboxctl [-telemetry-addr host:port] trace <id>
 //	mboxctl [-telemetry-addr host:port] journal [-trace N] [-device D] [-type T] [-since 5m] [-sev warn] [-limit N] [-follow]
 //
-// stats, trace and journal talk to the daemon's telemetry listener
-// (iotsecd -telemetry-addr), not the admin API. trace renders the
-// forensic timeline of one causal chain; journal dumps (or, with
-// -follow, live-tails) the event journal.
+// stats, crowd, trace and journal talk to the daemon's telemetry
+// listener (iotsecd -telemetry-addr), not the admin API. crowd shows
+// the health of the northbound signature-repository link (state,
+// per-SKU replay cursors, outbox depth, reconnect/replay/dedup
+// counters). trace renders the forensic timeline of one causal chain;
+// journal dumps (or, with -follow, live-tails) the event journal.
 package main
 
 import (
@@ -50,6 +53,12 @@ func main() {
 	case "stats":
 		if err := printStats(*telemetryAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "mboxctl: stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "crowd":
+		if err := printCrowd(*telemetryAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: crowd: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -163,6 +172,138 @@ func printStats(addr string) error {
 	return nil
 }
 
+// crowdLink aggregates the iotsec_sigrepo_link_* samples for one
+// northbound link.
+type crowdLink struct {
+	state, outboxDepth                     float64
+	reconnects, replayed, dedup, delivered float64
+	cursors                                map[string]float64
+}
+
+func labelValue(ls telemetry.Labels, key string) string {
+	for _, l := range ls {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+func linkStateName(v float64) string {
+	switch int(v) {
+	case 2:
+		return "up"
+	case 1:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// printCrowd renders the health of every northbound sigrepo link plus
+// the process-global crowd-learning counters.
+func printCrowd(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/telemetry")
+	if err != nil {
+		return fmt.Errorf("%w (is iotsecd running with -telemetry-addr %s?)", err, addr)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.SnapshotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding snapshot: %w", err)
+	}
+
+	links := map[string]*crowdLink{}
+	get := func(ls telemetry.Labels) *crowdLink {
+		name := labelValue(ls, "link")
+		l := links[name]
+		if l == nil {
+			l = &crowdLink{cursors: map[string]float64{}}
+			links[name] = l
+		}
+		return l
+	}
+	var global []string
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "iotsec_sigrepo_link_state":
+			for _, s := range m.Samples {
+				l := get(s.Labels)
+				l.state = s.Value
+			}
+		case "iotsec_sigrepo_link_outbox_depth":
+			for _, s := range m.Samples {
+				l := get(s.Labels)
+				l.outboxDepth = s.Value
+			}
+		case "iotsec_sigrepo_link_reconnects_total":
+			for _, s := range m.Samples {
+				l := get(s.Labels)
+				l.reconnects = s.Value
+			}
+		case "iotsec_sigrepo_link_replayed_total":
+			for _, s := range m.Samples {
+				l := get(s.Labels)
+				l.replayed = s.Value
+			}
+		case "iotsec_sigrepo_link_dedup_total":
+			for _, s := range m.Samples {
+				l := get(s.Labels)
+				l.dedup = s.Value
+			}
+		case "iotsec_sigrepo_link_outbox_delivered_total":
+			for _, s := range m.Samples {
+				l := get(s.Labels)
+				l.delivered = s.Value
+			}
+		case "iotsec_sigrepo_link_cursor":
+			for _, s := range m.Samples {
+				get(s.Labels).cursors[labelValue(s.Labels, "sku")] = s.Value
+			}
+		default:
+			if strings.HasPrefix(m.Name, "iotsec_sigrepo_") {
+				for _, s := range m.Samples {
+					global = append(global,
+						fmt.Sprintf("%-44s %g", m.Name+s.Labels.String(), s.Value))
+				}
+			}
+		}
+	}
+
+	if len(links) == 0 {
+		fmt.Println("no sigrepo links (run iotsecd with -sigrepo-addr)")
+	}
+	names := make([]string, 0, len(links))
+	for n := range links {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		l := links[n]
+		fmt.Printf("link %q: %s\n", n, linkStateName(l.state))
+		fmt.Printf("  outbox depth:  %g (delivered %g)\n", l.outboxDepth, l.delivered)
+		fmt.Printf("  reconnects:    %g\n", l.reconnects)
+		fmt.Printf("  replayed:      %g (deduped %g)\n", l.replayed, l.dedup)
+		skus := make([]string, 0, len(l.cursors))
+		for s := range l.cursors {
+			skus = append(skus, s)
+		}
+		sort.Strings(skus)
+		for _, s := range skus {
+			fmt.Printf("  cursor[%s]: %g\n", s, l.cursors[s])
+		}
+	}
+	if len(global) > 0 {
+		fmt.Println("\ncrowd-learning globals:")
+		sort.Strings(global)
+		for _, g := range global {
+			fmt.Printf("  %s\n", g)
+		}
+	}
+	return nil
+}
+
 // fetchJournal pulls a filtered snapshot from /debug/journal.
 func fetchJournal(addr string, query url.Values) (*journal.SnapshotJSON, error) {
 	client := &http.Client{Timeout: 5 * time.Second}
@@ -270,6 +411,6 @@ func printEvent(e journal.Event) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>
-       mboxctl [-telemetry-addr host:port] stats|trace <id>|journal [flags]`)
+       mboxctl [-telemetry-addr host:port] stats|crowd|trace <id>|journal [flags]`)
 	os.Exit(2)
 }

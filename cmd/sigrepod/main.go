@@ -21,6 +21,12 @@ func main() {
 	salt := flag.String("salt", "", "pseudonymization salt (default: random per run)")
 	lag := flag.Duration("priority-lag", 30*time.Second, "notification delay for non-contributors")
 	state := flag.String("state", "", "snapshot file to load at start and save on shutdown/periodically")
+	eventLog := flag.Int("event-log", 0,
+		"per-SKU cleared-event log depth for cursor replay (0 = default 1024)")
+	writeTimeout := flag.Duration("write-timeout", 0,
+		"per-connection wire write deadline (0 = default 5s)")
+	notifyBuffer := flag.Int("notify-buffer", 0,
+		"per-connection pending-notification ring size; slow subscribers lose oldest and recover by replay (0 = default)")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"serve /metrics, /debug/telemetry and /debug/journal on this address (empty = disabled)")
 	debugRemote := flag.Bool("debug-remote", false,
@@ -33,6 +39,9 @@ func main() {
 	}
 	repo := sigrepo.NewRepository(s)
 	repo.PriorityLag = *lag
+	if *eventLog > 0 {
+		repo.EventLogCap = *eventLog
+	}
 	if *state != "" {
 		if err := repo.LoadFile(*state); err != nil {
 			if !os.IsNotExist(err) {
@@ -55,6 +64,8 @@ func main() {
 	}
 	defer persist()
 	srv := sigrepo.NewServer(repo)
+	srv.WriteTimeout = *writeTimeout
+	srv.NotifyBuffer = *notifyBuffer
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sigrepod: %v\n", err)

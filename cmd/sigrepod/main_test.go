@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"iotsec/internal/sigrepo"
+)
+
+// buildSigrepod compiles the daemon once per test binary.
+func buildSigrepod(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sigrepod")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon wraps one running sigrepod process, scanning its stdout.
+type daemon struct {
+	cmd  *exec.Cmd
+	mu   sync.Mutex
+	out  []string
+	addr string
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{cmd: exec.Command(bin, args...)}
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = d.cmd.Stdout
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.out = append(d.out, line)
+			if strings.Contains(line, "listening on ") {
+				d.addr = strings.TrimSpace(strings.Split(
+					strings.SplitN(line, "listening on ", 2)[1], " ")[0])
+			}
+			d.mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		_ = d.cmd.Process.Kill()
+		_, _ = d.cmd.Process.Wait()
+	})
+	return d
+}
+
+func (d *daemon) waitAddr(t *testing.T) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		d.mu.Lock()
+		addr := d.addr
+		d.mu.Unlock()
+		if addr != "" {
+			return addr
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon never reported a listen address; output:\n%s", d.dump())
+	return ""
+}
+
+func (d *daemon) dump() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return strings.Join(d.out, "\n")
+}
+
+func (d *daemon) sawLine(substr string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, l := range d.out {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = d.cmd.Process.Kill()
+		t.Fatalf("daemon did not exit on SIGTERM; output:\n%s", d.dump())
+	}
+}
+
+// TestSigrepodRestartFromSnapshot is the operational smoke test for
+// the resilience work: a real sigrepod process restores a snapshot
+// (including per-SKU cursors), serves cursor replay to a client that
+// subscribes with since=0, persists on SIGTERM, and restores again on
+// the next start.
+func TestSigrepodRestartFromSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildSigrepod(t)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "sigrepo.json")
+
+	// Seed a snapshot with three cleared signatures from a trusted
+	// publisher, using the same library the daemon links.
+	seed := sigrepo.NewRepository("smoke-salt")
+	pseudo := seed.Pseudonym("publisher")
+	for i := 0; i < 20; i++ {
+		seed.Reputation().RecordOutcome(pseudo, true)
+	}
+	for i := 1; i <= 3; i++ {
+		rule := fmt.Sprintf(`block tcp any any -> any 80 (msg:"m%d"; content:"tok%d"; sid:%d;)`, i, i, i)
+		if _, err := seed.Publish(context.Background(), "publisher", "sku-a", rule, "seed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: restore the snapshot, replay history to a client.
+	d := startDaemon(t, bin, "-listen", "127.0.0.1:0", "-state", snap,
+		"-salt", "smoke-salt", "-event-log", "64")
+	addr := d.waitAddr(t)
+	if !d.sawLine("restored 3 signatures") {
+		t.Fatalf("daemon did not report snapshot restore; output:\n%s", d.dump())
+	}
+
+	c, err := sigrepo.DialClient(addr, "gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmu sync.Mutex
+	replayed := 0
+	c.OnPush = func(p sigrepo.Push) {
+		cmu.Lock()
+		if p.Replay {
+			replayed++
+		}
+		cmu.Unlock()
+	}
+	head, err := c.SubscribeSince("sku-a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != 3 {
+		t.Errorf("restored head cursor = %d, want 3", head)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cmu.Lock()
+		n := replayed
+		cmu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replayed %d of 3 after restart", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.Close()
+
+	// SIGTERM persists; remove the seed to prove the daemon rewrote it.
+	if err := os.Remove(snap); err != nil {
+		t.Fatal(err)
+	}
+	d.stop(t)
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("daemon did not persist snapshot on SIGTERM: %v\noutput:\n%s", err, d.dump())
+	}
+
+	// Second run restores the daemon-written snapshot.
+	d2 := startDaemon(t, bin, "-listen", "127.0.0.1:0", "-state", snap, "-salt", "smoke-salt")
+	d2.waitAddr(t)
+	deadline = time.Now().Add(5 * time.Second)
+	for !d2.sawLine("restored 3 signatures") {
+		if time.Now().After(deadline) {
+			t.Fatalf("second run did not restore; output:\n%s", d2.dump())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	d2.stop(t)
+}

@@ -7,47 +7,51 @@ import (
 	"iotsec/internal/learn"
 	"iotsec/internal/packet"
 	"iotsec/internal/sigrepo"
+	"iotsec/internal/telemetry"
 )
 
-// CrowdLink connects a platform to a signature repository: cleared
-// signatures for any managed SKU flow into the running IDS µmboxes,
-// and the platform can share what it observes.
+// CrowdLink connects a platform to a signature repository through a
+// supervised session (sigrepo.ManagedClient): cleared signatures for
+// any managed SKU flow into the running IDS µmboxes, the platform can
+// share what it observes, and the link survives repository outages —
+// reconnecting under backoff, resuming each SKU feed from its cursor,
+// and queueing publishes/votes in a durable outbox meanwhile. Rule
+// installation is idempotent, so replayed notifications never
+// duplicate IDS state.
 type CrowdLink struct {
 	platform *Platform
-	client   *sigrepo.Client
+	mc       *sigrepo.ManagedClient
 }
 
 // ConnectSigrepo dials the repository as the given identity and
-// subscribes to every SKU currently under management. Pushed
-// signatures are installed live.
+// subscribes to every SKU currently under management, with default
+// resilience options. Pushed and replayed signatures are installed
+// live and idempotently.
 func (p *Platform) ConnectSigrepo(addr, identity string) (*CrowdLink, error) {
-	client, err := sigrepo.DialClient(addr, identity)
-	if err != nil {
-		return nil, fmt.Errorf("core: sigrepo: %w", err)
-	}
-	link := &CrowdLink{platform: p, client: client}
-	client.OnNotify = func(sig sigrepo.Signature, priority bool) {
-		// Installation failures (malformed community rules) must not
-		// kill the notification loop.
-		_ = p.AddSignatureRule(sig.SKU, sig.Rule)
-	}
+	return p.ConnectSigrepoOpts(addr, identity, sigrepo.ManagedOptions{})
+}
 
-	for _, sku := range p.managedSKUs() {
-		if err := client.Subscribe(sku); err != nil {
-			client.Close()
-			return nil, fmt.Errorf("core: sigrepo subscribe %s: %w", sku, err)
-		}
-		// Backfill already-cleared signatures.
-		sigs, err := client.Fetch(sku)
-		if err != nil {
-			client.Close()
-			return nil, fmt.Errorf("core: sigrepo fetch %s: %w", sku, err)
-		}
-		for _, sig := range sigs {
+// ConnectSigrepoOpts is ConnectSigrepo with explicit resilience
+// options (backoff schedule, outbox capacity/path, custom dialer for
+// fault injection). The platform fills SKUs and OnInstall unless the
+// caller overrides them.
+func (p *Platform) ConnectSigrepoOpts(addr, identity string, opts sigrepo.ManagedOptions) (*CrowdLink, error) {
+	if opts.SKUs == nil {
+		opts.SKUs = p.managedSKUs
+	}
+	if opts.OnInstall == nil {
+		opts.OnInstall = func(sig sigrepo.Signature, replayed bool) {
+			// Installation failures (malformed community rules) must not
+			// kill the push loop; AddSignatureRule dedupes replays.
 			_ = p.AddSignatureRule(sig.SKU, sig.Rule)
 		}
 	}
-	return link, nil
+	mc, err := sigrepo.DialManaged(addr, identity, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: sigrepo: %w", err)
+	}
+	mc.ExportTelemetry(telemetry.Default, identity)
+	return &CrowdLink{platform: p, mc: mc}, nil
 }
 
 // managedSKUs lists distinct SKUs under management, sorted.
@@ -89,15 +93,26 @@ func (p *Platform) DistillSignature(deviceName string, attackerIP packet.IPv4Add
 }
 
 // Publish shares a locally observed signature with the community.
+// While the link is degraded the signature is queued in the outbox
+// and delivered on reconnect; the return is then (nil, nil).
 func (l *CrowdLink) Publish(sku, rule, description string) (*sigrepo.Signature, error) {
-	return l.client.Publish(sku, rule, description)
+	return l.mc.Publish(sku, rule, description)
 }
 
-// Vote casts this deployment's verdict on a community signature.
+// Vote casts this deployment's verdict on a community signature
+// (queued while degraded, like Publish).
 func (l *CrowdLink) Vote(sigID string, up bool) error {
-	_, err := l.client.Vote(sigID, up)
+	_, err := l.mc.Vote(sigID, up)
 	return err
 }
 
-// Close drops the repository connection.
-func (l *CrowdLink) Close() { l.client.Close() }
+// Watch subscribes an additional SKU (e.g. a device class onboarded
+// after connect); the feed backfills from cursor 0.
+func (l *CrowdLink) Watch(sku string) error { return l.mc.Watch(sku) }
+
+// Managed exposes the underlying supervised client (link state,
+// cursors, outbox depth).
+func (l *CrowdLink) Managed() *sigrepo.ManagedClient { return l.mc }
+
+// Close stops the supervised session and persists any queued work.
+func (l *CrowdLink) Close() { l.mc.Close() }

@@ -20,4 +20,7 @@ var (
 	mSigRulesAdded = telemetry.NewCounter(
 		"iotsec_core_signature_rules_total",
 		"Signature rules installed from repositories or operators.")
+	mSigRulesDup = telemetry.NewCounter(
+		"iotsec_core_signature_rules_dup_total",
+		"Already-installed signature rules skipped (idempotent installs).")
 )

@@ -11,7 +11,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,8 +68,11 @@ type Platform struct {
 	mu      sync.Mutex
 	devices map[string]*Managed
 	// skuRules accumulates per-SKU signature rules (from the
-	// crowdsourced repository or local additions).
-	skuRules map[string][]*ids.Rule
+	// crowdsourced repository or local additions); skuRuleTexts
+	// remembers the normalized rule texts already installed so
+	// replayed/backfilled community signatures install idempotently.
+	skuRules     map[string][]*ids.Rule
+	skuRuleTexts map[string]map[string]bool
 	// profiles holds per-device anomaly profiles.
 	profiles map[string]*ids.Profile
 
@@ -127,6 +132,7 @@ func New(opts Options) (*Platform, error) {
 		fsm:            opts.Policy,
 		devices:        make(map[string]*Managed),
 		skuRules:       make(map[string][]*ids.Rule),
+		skuRuleTexts:   make(map[string]map[string]bool),
 		profiles:       make(map[string]*ids.Profile),
 		nextSwitchPort: 1,
 	}
@@ -251,7 +257,10 @@ func (p *Platform) Stop() {
 
 // AddSignatureRule installs a detection rule for a SKU (what a
 // sigrepo subscription delivers) and re-applies postures of affected
-// devices so running IDS elements pick it up.
+// devices so running IDS elements pick it up. Installing a rule that
+// is already present for the SKU is a no-op (idempotent), so cursor
+// replays and reconnect backfills from the repository never duplicate
+// IDS rules or trigger spurious reconfigurations.
 func (p *Platform) AddSignatureRule(sku, ruleText string) error {
 	r, err := ids.ParseRule(ruleText)
 	if err != nil {
@@ -260,8 +269,18 @@ func (p *Platform) AddSignatureRule(sku, ruleText string) error {
 	if r == nil {
 		return fmt.Errorf("core: empty rule for %s", sku)
 	}
-	mSigRulesAdded.Inc()
+	norm := strings.TrimSpace(ruleText)
 	p.mu.Lock()
+	if p.skuRuleTexts[sku][norm] {
+		p.mu.Unlock()
+		mSigRulesDup.Inc()
+		return nil
+	}
+	if p.skuRuleTexts[sku] == nil {
+		p.skuRuleTexts[sku] = make(map[string]bool)
+	}
+	p.skuRuleTexts[sku][norm] = true
+	mSigRulesAdded.Inc()
 	p.skuRules[sku] = append(p.skuRules[sku], r)
 	affected := make([]*Managed, 0)
 	for _, m := range p.devices {
@@ -274,6 +293,19 @@ func (p *Platform) AddSignatureRule(sku, ruleText string) error {
 		p.applyPosture(context.Background(), m.Device.Name, m.CurrentPosture, p.Global.View.Version())
 	}
 	return nil
+}
+
+// SignatureRules reports the normalized rule texts installed for a
+// SKU, sorted (diagnostics and convergence tests).
+func (p *Platform) SignatureRules(sku string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.skuRuleTexts[sku]))
+	for text := range p.skuRuleTexts[sku] {
+		out = append(out, text)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // applyPosture is the PostureSink: translate the posture into an

@@ -64,6 +64,19 @@ const (
 	// TypeSouthReplay is an agent replaying events buffered while
 	// disconnected (fail-static degradation) after a re-handshake.
 	TypeSouthReplay Type = "southbound-replay"
+	// TypeSigrepoDown is a northbound (signature repository) session
+	// loss on the gateway side.
+	TypeSigrepoDown Type = "sigrepo-down"
+	// TypeSigrepoUp is a northbound session (re-)establishment.
+	TypeSigrepoUp Type = "sigrepo-up"
+	// TypeSigrepoReplay covers northbound catch-up after a reconnect:
+	// cursor-based re-delivery of cleared signatures missed during the
+	// outage, and the durable publish/vote outbox draining.
+	TypeSigrepoReplay Type = "sigrepo-replay"
+	// TypeMboxPanic is a µmbox pipeline element panicking on a frame;
+	// the pipeline recovered and applied its fail-mode instead of
+	// crashing the gateway.
+	TypeMboxPanic Type = "mbox-panic"
 )
 
 // Severity ranks events for filtering.

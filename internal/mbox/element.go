@@ -6,10 +6,12 @@
 package mbox
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"iotsec/internal/journal"
 	"iotsec/internal/packet"
 	"iotsec/internal/telemetry"
 )
@@ -72,6 +74,7 @@ type elementStats struct {
 	processed atomic.Uint64
 	dropped   atomic.Uint64
 	consumed  atomic.Uint64
+	panics    atomic.Uint64
 }
 
 // ElementStats is a snapshot of an element's counters.
@@ -80,6 +83,31 @@ type ElementStats struct {
 	Processed uint64
 	Dropped   uint64
 	Consumed  uint64
+	Panics    uint64
+}
+
+// FailMode selects what a pipeline does with the in-flight frame when
+// an element panics on it: a panicking security function must never
+// take the gateway down, so the pipeline recovers and applies one of
+// the paper's two degradation stances instead.
+type FailMode int32
+
+// Fail modes.
+const (
+	// FailClosed drops the frame (default: a broken security function
+	// must not let traffic through uninspected).
+	FailClosed FailMode = iota
+	// FailStatic forwards the frame unmodified (availability-first:
+	// keep the device usable while the element misbehaves).
+	FailStatic
+)
+
+// String renders the mode.
+func (m FailMode) String() string {
+	if m == FailStatic {
+		return "static"
+	}
+	return "closed"
 }
 
 // stage is one precomputed pipeline step: the element plus its
@@ -93,6 +121,7 @@ type stage struct {
 	mProcessed *telemetry.Counter
 	mDropped   *telemetry.Counter
 	mConsumed  *telemetry.Counter
+	mPanics    *telemetry.Counter
 }
 
 // Pipeline is an ordered element chain supporting live reconfiguration:
@@ -107,6 +136,7 @@ type Pipeline struct {
 
 	reconfigs  atomic.Uint64
 	instrument atomic.Bool
+	failMode   atomic.Int32
 }
 
 // NewPipeline builds a pipeline from the given stages with telemetry
@@ -145,6 +175,7 @@ func (p *Pipeline) install(elements []Element) {
 			mProcessed: mElemProcessed.With(name),
 			mDropped:   mElemDropped.With(name),
 			mConsumed:  mElemConsumed.With(name),
+			mPanics:    mElemPanics.With(name),
 		}
 	}
 	p.chain.Store(&chain)
@@ -172,7 +203,7 @@ func (p *Pipeline) Process(ctx *Context) Verdict {
 			ctx.Packet = packet.Decode(ctx.Frame, packet.LayerTypeEthernet)
 			ctx.Reparse = false
 		}
-		v := st.elem.Process(ctx)
+		v := p.runStage(st, ctx)
 		st.stats.processed.Add(1)
 		if instr {
 			st.mProcessed.Inc()
@@ -199,6 +230,36 @@ func (p *Pipeline) Process(ctx *Context) Verdict {
 	}
 	return verdict
 }
+
+// runStage executes one element with fault containment: a panic in
+// an element is recovered, counted (per element), journaled, and
+// converted into the pipeline's fail-mode verdict — fail-closed drops
+// the frame, fail-static forwards it — instead of unwinding the
+// gateway's forwarding goroutine.
+func (p *Pipeline) runStage(st *stage, ctx *Context) (v Verdict) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.stats.panics.Add(1)
+			st.mPanics.Inc()
+			mode := FailMode(p.failMode.Load())
+			journal.RecordTrace(0, journal.TypeMboxPanic, journal.Critical, "",
+				fmt.Sprintf("element %s panicked: %v (fail-%s applied)", st.elem.Name(), r, mode))
+			if mode == FailStatic {
+				v = Forward
+			} else {
+				v = Drop
+			}
+		}
+	}()
+	return st.elem.Process(ctx)
+}
+
+// SetFailMode selects the panic-containment stance (default
+// FailClosed).
+func (p *Pipeline) SetFailMode(m FailMode) { p.failMode.Store(int32(m)) }
+
+// FailMode reports the panic-containment stance.
+func (p *Pipeline) FailMode() FailMode { return FailMode(p.failMode.Load()) }
 
 // Elements lists the current stage names in order.
 func (p *Pipeline) Elements() []string {
@@ -278,6 +339,7 @@ func (p *Pipeline) Stats() []ElementStats {
 			Processed: s.processed.Load(),
 			Dropped:   s.dropped.Load(),
 			Consumed:  s.consumed.Load(),
+			Panics:    s.panics.Load(),
 		})
 	}
 	return out

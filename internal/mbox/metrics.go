@@ -18,6 +18,9 @@ var (
 	mElemConsumed = telemetry.NewCounterVec(
 		"iotsec_mbox_element_consumed_total",
 		"Frames consumed (answered inline) per pipeline element.", "element")
+	mElemPanics = telemetry.NewCounterVec(
+		"iotsec_mbox_element_panics_total",
+		"Panics recovered per pipeline element (fail-mode applied).", "element")
 	mPipelineSeconds = telemetry.NewHistogram(
 		"iotsec_mbox_pipeline_seconds",
 		"Sampled wall time for one frame through an element chain.",

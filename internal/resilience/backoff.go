@@ -170,6 +170,19 @@ func (r *Ring[T]) Drain() []T {
 	return out
 }
 
+// Snapshot returns a copy of the buffered elements, oldest first,
+// without consuming them. Durable outboxes use it to persist their
+// pending entries without disturbing delivery order.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
 // Len reports the buffered element count.
 func (r *Ring[T]) Len() int {
 	r.mu.Lock()

@@ -1,0 +1,604 @@
+package sigrepo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotsec/internal/journal"
+	"iotsec/internal/resilience"
+	"iotsec/internal/telemetry"
+)
+
+// LinkState is the managed northbound link's health.
+type LinkState int32
+
+// Link states, in ascending health order.
+const (
+	// LinkDown: the supervisor has stopped (Close called or the
+	// reconnect budget exhausted). Nothing will be delivered.
+	LinkDown LinkState = iota
+	// LinkDegraded: the session is lost and the supervisor is
+	// redialing; publishes/votes queue in the outbox, pushed
+	// signatures will be recovered by cursor replay on reconnect.
+	LinkDegraded
+	// LinkUp: live session; pushes stream and the outbox is empty or
+	// draining.
+	LinkUp
+)
+
+// String renders the state.
+func (s LinkState) String() string {
+	switch s {
+	case LinkUp:
+		return "up"
+	case LinkDegraded:
+		return "degraded"
+	case LinkDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// OutboxOp is one queued repository mutation, durable across restarts
+// when ManagedOptions.OutboxPath is set.
+type OutboxOp struct {
+	Op          string `json:"op"` // publish | vote
+	SKU         string `json:"sku,omitempty"`
+	Rule        string `json:"rule,omitempty"`
+	Description string `json:"description,omitempty"`
+	SigID       string `json:"sig_id,omitempty"`
+	Up          bool   `json:"up,omitempty"`
+}
+
+// ManagedOptions configure a ManagedClient.
+type ManagedOptions struct {
+	// Backoff parameterizes the reconnect schedule. MaxElapsed bounds
+	// how long the supervisor keeps redialing before declaring the
+	// link down (0 = forever).
+	Backoff resilience.BackoffOptions
+	// Dial overrides the transport dial (fault-injection tests wrap
+	// conns here). Default: net.DialTimeout("tcp", addr, 5s).
+	Dial func(addr string) (net.Conn, error)
+	// OutboxCap bounds the publish/vote outbox (default 256,
+	// drop-oldest).
+	OutboxCap int
+	// OutboxPath, when set, persists the outbox as JSON so queued
+	// submissions survive gateway restarts.
+	OutboxPath string
+	// SKUs, when set, is consulted at every (re)connect for the SKU
+	// set to subscribe — so devices added during an outage get their
+	// feeds on the next session without extra bookkeeping.
+	SKUs func() []string
+	// OnInstall receives each newly seen cleared signature exactly
+	// once (live pushes and replays alike, after dedupe).
+	OnInstall func(sig Signature, replayed bool)
+	// OnStateChange observes link-state transitions.
+	OnStateChange func(LinkState)
+}
+
+// ManagedClient is the supervised northbound session of §4.1: it owns
+// dial/handshake/resubscribe-with-cursor under exponential backoff,
+// dedupes replayed notifications by signature ID so installs are
+// idempotent, and queues publishes/votes in a bounded durable outbox
+// while the link is down — the northbound mirror of the southbound
+// SwitchAgent supervision from PR 3. A gateway that crashes, loses
+// its uplink, or watches sigrepod restart converges back to the exact
+// cleared-signature set with no loss and no duplicate installs.
+type ManagedClient struct {
+	addr     string
+	identity string
+	opts     ManagedOptions
+
+	mu      sync.Mutex
+	client  *Client           // live session, nil while degraded
+	cursors map[string]uint64 // sku → highest processed clear seq
+	seen    map[string]bool   // installed signature IDs (dedupe)
+	subs    map[string]bool   // SKUs subscribed at least once
+	state   LinkState
+
+	outbox *resilience.Ring[OutboxOp]
+
+	stopped  chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	reconnects  atomic.Uint64
+	replayed    atomic.Uint64
+	deduped     atomic.Uint64
+	delivered   atomic.Uint64 // outbox ops delivered
+	outageWarn  atomic.Bool   // journal sigrepo-down once per outage
+	replayNote  atomic.Bool   // journal sigrepo-replay once per session
+	linkUpGauge atomic.Bool   // mirrors the mLinkUp contribution
+}
+
+// DialManaged establishes a supervised session with the repository.
+// The first dial is synchronous so an unreachable repository surfaces
+// immediately; after that, every disconnect is retried under the
+// backoff schedule with cursor-based resubscription.
+func DialManaged(addr, identity string, opts ManagedOptions) (*ManagedClient, error) {
+	if opts.OutboxCap < 1 {
+		opts.OutboxCap = 256
+	}
+	m := &ManagedClient{
+		addr:     addr,
+		identity: identity,
+		opts:     opts,
+		cursors:  make(map[string]uint64),
+		seen:     make(map[string]bool),
+		subs:     make(map[string]bool),
+		state:    LinkDegraded,
+		outbox:   resilience.NewRing[OutboxOp](opts.OutboxCap),
+		stopped:  make(chan struct{}),
+	}
+	m.loadOutbox()
+	conn, err := m.dial()
+	if err != nil {
+		return nil, fmt.Errorf("sigrepo: dial %s: %w", addr, err)
+	}
+	first := NewClient(conn, identity)
+	// The first session comes up synchronously so callers can publish
+	// and fetch immediately after a successful dial (and so an
+	// unreachable SKU feed surfaces in tests deterministically).
+	m.sessionUp(first, 0)
+	m.wg.Add(1)
+	go m.supervise(first)
+	return m, nil
+}
+
+func (m *ManagedClient) dial() (net.Conn, error) {
+	if m.opts.Dial != nil {
+		return m.opts.Dial(m.addr)
+	}
+	return net.DialTimeout("tcp", m.addr, 5*time.Second)
+}
+
+// supervise is the session lifecycle loop: run the session until it
+// dies, journal the outage, redial under backoff, resubscribe with
+// cursors, drain the outbox, repeat. The entry session is already up
+// (DialManaged brought it up synchronously).
+func (m *ManagedClient) supervise(c *Client) {
+	defer m.wg.Done()
+	bo := resilience.NewBackoff(m.opts.Backoff)
+	for {
+		select {
+		case <-m.stopped:
+			c.Close()
+			<-c.Done()
+			return
+		case <-c.Done():
+		}
+		m.sessionDown(c)
+		c = nil
+		for c == nil {
+			delay, ok := bo.Next()
+			if !ok {
+				journal.RecordTrace(0, journal.TypeSigrepoDown, journal.Critical, "",
+					fmt.Sprintf("%s: northbound reconnect budget exhausted after %d attempts; link down",
+						m.identity, bo.Attempt()))
+				m.setState(LinkDown)
+				return
+			}
+			select {
+			case <-m.stopped:
+				return
+			case <-time.After(delay):
+			}
+			conn, err := m.dial()
+			if err != nil {
+				continue
+			}
+			c = NewClient(conn, m.identity)
+		}
+		m.sessionUp(c, bo.Attempt())
+		bo.Reset()
+	}
+}
+
+// sessionUp installs the new session: journal + state first (so the
+// replay events that follow are ordered after sigrepo-up), then
+// resubscribe every known SKU from its cursor, then drain the outbox.
+func (m *ManagedClient) sessionUp(c *Client, attempt int) {
+	c.OnPush = m.handlePush
+	m.mu.Lock()
+	m.client = c
+	skus := make(map[string]bool, len(m.subs))
+	for sku := range m.subs {
+		skus[sku] = true
+	}
+	m.mu.Unlock()
+	if m.opts.SKUs != nil {
+		for _, sku := range m.opts.SKUs() {
+			if sku != "" {
+				skus[sku] = true
+			}
+		}
+	}
+	m.reconnects.Add(1)
+	mLinkReconnects.Inc()
+	m.outageWarn.Store(false)
+	m.replayNote.Store(false)
+	journal.RecordTrace(0, journal.TypeSigrepoUp, journal.Info, "",
+		fmt.Sprintf("%s: northbound session up (attempt %d, %d SKUs, outbox %d)",
+			m.identity, attempt, len(skus), m.outbox.Len()))
+	m.setState(LinkUp)
+
+	ordered := make([]string, 0, len(skus))
+	for sku := range skus {
+		ordered = append(ordered, sku)
+	}
+	sort.Strings(ordered)
+	for _, sku := range ordered {
+		m.mu.Lock()
+		since := m.cursors[sku] // 0 for a never-seen SKU → full backfill
+		m.mu.Unlock()
+		if _, err := c.SubscribeSince(sku, since); err != nil {
+			if errors.Is(err, ErrRemote) {
+				continue // repository rejected the SKU; not a link problem
+			}
+			c.Close() // transport death: supervisor redials
+			return
+		}
+		m.mu.Lock()
+		m.subs[sku] = true
+		m.mu.Unlock()
+	}
+	m.drainOutbox(c)
+}
+
+// sessionDown records the loss (once per outage) and flips to
+// degraded; queued work and cursors carry over to the next session.
+func (m *ManagedClient) sessionDown(c *Client) {
+	m.mu.Lock()
+	m.client = nil
+	m.mu.Unlock()
+	if m.outageWarn.CompareAndSwap(false, true) {
+		journal.RecordTrace(0, journal.TypeSigrepoDown, journal.Warn, "",
+			fmt.Sprintf("%s: northbound session lost: %v (outbox %d queued)",
+				m.identity, c.Err(), m.outbox.Len()))
+	}
+	select {
+	case <-m.stopped:
+		// Close() owns the final state transition.
+	default:
+		m.setState(LinkDegraded)
+	}
+}
+
+// handlePush advances the SKU cursor, dedupes by signature ID, and
+// hands genuinely new signatures to OnInstall. Runs on the session's
+// read goroutine.
+func (m *ManagedClient) handlePush(p Push) {
+	m.mu.Lock()
+	if p.Seq > m.cursors[p.Signature.SKU] {
+		m.cursors[p.Signature.SKU] = p.Seq
+	}
+	dup := m.seen[p.Signature.ID]
+	if !dup {
+		m.seen[p.Signature.ID] = true
+	}
+	m.mu.Unlock()
+	if p.Replay {
+		m.replayed.Add(1)
+		mLinkReplayed.Inc()
+		if m.replayNote.CompareAndSwap(false, true) {
+			journal.RecordTrace(0, journal.TypeSigrepoReplay, journal.Info, p.Signature.SKU,
+				fmt.Sprintf("%s: cursor replay resumed at seq %d (%s)", m.identity, p.Seq, p.Signature.ID))
+		}
+	}
+	if dup {
+		m.deduped.Add(1)
+		mLinkDeduped.Inc()
+		return
+	}
+	if m.opts.OnInstall != nil {
+		m.opts.OnInstall(p.Signature, p.Replay)
+	}
+}
+
+// drainOutbox redelivers queued mutations in FIFO order. Repository
+// rejections (ErrRemote — e.g. a duplicate vote whose first attempt
+// did land before the connection died) are final and dropped; a
+// transport failure requeues the undelivered tail for the next
+// session. Publishes are exactly-once end to end because the
+// repository dedupes identical (contributor, SKU, rule) resubmissions.
+func (m *ManagedClient) drainOutbox(c *Client) {
+	ops := m.outbox.Drain()
+	if len(ops) == 0 {
+		m.syncOutboxState()
+		return
+	}
+	deliveredN := 0
+	for i, op := range ops {
+		err := m.deliverOp(c, op)
+		if err != nil && !errors.Is(err, ErrRemote) {
+			// Transport failure: keep order, requeue the rest.
+			for _, rest := range ops[i:] {
+				if m.outbox.Push(rest) {
+					mOutboxEvict.Inc()
+				}
+			}
+			m.syncOutboxState()
+			return
+		}
+		if err != nil {
+			journal.RecordTrace(0, journal.TypeSigrepoReplay, journal.Warn, op.SKU,
+				fmt.Sprintf("%s: outbox %s rejected by repository: %v", m.identity, op.Op, err))
+			continue
+		}
+		deliveredN++
+		m.delivered.Add(1)
+		mOutboxDelivered.Inc()
+	}
+	m.syncOutboxState()
+	if deliveredN > 0 {
+		journal.RecordTrace(0, journal.TypeSigrepoReplay, journal.Info, "",
+			fmt.Sprintf("%s: outbox drained, %d op(s) delivered", m.identity, deliveredN))
+	}
+}
+
+func (m *ManagedClient) deliverOp(c *Client, op OutboxOp) error {
+	switch op.Op {
+	case "publish":
+		_, err := c.Publish(op.SKU, op.Rule, op.Description)
+		return err
+	case "vote":
+		_, err := c.Vote(op.SigID, op.Up)
+		return err
+	default:
+		return nil // unknown op in a stale outbox file: drop
+	}
+}
+
+// Publish shares a signature. With the link up it is delivered
+// immediately; otherwise (or on a transport failure mid-call) it is
+// queued in the outbox and delivered on reconnect, in which case the
+// returned signature is nil with a nil error.
+func (m *ManagedClient) Publish(sku, rule, description string) (*Signature, error) {
+	if err := Validate(sku, rule); err != nil {
+		return nil, err
+	}
+	if c := m.liveClient(); c != nil {
+		sig, err := c.Publish(sku, rule, description)
+		if err == nil {
+			return sig, nil
+		}
+		if errors.Is(err, ErrRemote) {
+			return nil, err
+		}
+		// Transport failure: ambiguous whether the publish landed; the
+		// repository's idempotent-republish dedup makes the retry safe.
+	}
+	m.enqueue(OutboxOp{Op: "publish", SKU: sku, Rule: rule, Description: description})
+	return nil, nil
+}
+
+// Vote casts a verdict. Queued like Publish when the link is down; a
+// redelivered vote whose first attempt landed is rejected by the
+// repository as a duplicate and dropped, preserving effect-once.
+func (m *ManagedClient) Vote(sigID string, up bool) (*Signature, error) {
+	if c := m.liveClient(); c != nil {
+		sig, err := c.Vote(sigID, up)
+		if err == nil {
+			return sig, nil
+		}
+		if errors.Is(err, ErrRemote) {
+			return nil, err
+		}
+	}
+	m.enqueue(OutboxOp{Op: "vote", SigID: sigID, Up: up})
+	return nil, nil
+}
+
+// Fetch proxies to the live session (errors while degraded).
+func (m *ManagedClient) Fetch(sku string) ([]Signature, error) {
+	c := m.liveClient()
+	if c == nil {
+		return nil, ErrClosed
+	}
+	return c.Fetch(sku)
+}
+
+// Watch adds a SKU to the subscription set. With the link up it
+// subscribes immediately (from cursor 0 → full backfill); while
+// degraded the SKU is picked up by the next session.
+func (m *ManagedClient) Watch(sku string) error {
+	m.mu.Lock()
+	already := m.subs[sku]
+	m.subs[sku] = true
+	c := m.client
+	m.mu.Unlock()
+	if already || c == nil {
+		return nil
+	}
+	m.mu.Lock()
+	since := m.cursors[sku]
+	m.mu.Unlock()
+	_, err := c.SubscribeSince(sku, since)
+	if err != nil && !errors.Is(err, ErrRemote) {
+		c.Close() // supervisor will resubscribe everything on reconnect
+	}
+	return err
+}
+
+func (m *ManagedClient) liveClient() *Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == LinkUp {
+		return m.client
+	}
+	return nil
+}
+
+func (m *ManagedClient) enqueue(op OutboxOp) {
+	if m.outbox.Push(op) {
+		mOutboxEvict.Inc()
+	}
+	m.syncOutboxState()
+}
+
+// syncOutboxState refreshes the depth gauge and the durable file.
+func (m *ManagedClient) syncOutboxState() {
+	mOutboxDepth.Set(int64(m.outbox.Len()))
+	m.persistOutbox()
+}
+
+// persistOutbox writes the pending ops to OutboxPath (tmp + rename).
+func (m *ManagedClient) persistOutbox() {
+	if m.opts.OutboxPath == "" {
+		return
+	}
+	ops := m.outbox.Snapshot()
+	data, err := json.MarshalIndent(ops, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := m.opts.OutboxPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, m.opts.OutboxPath)
+}
+
+// loadOutbox restores queued ops from a previous run.
+func (m *ManagedClient) loadOutbox() {
+	if m.opts.OutboxPath == "" {
+		return
+	}
+	data, err := os.ReadFile(m.opts.OutboxPath)
+	if err != nil {
+		return
+	}
+	var ops []OutboxOp
+	if err := json.Unmarshal(data, &ops); err != nil {
+		return
+	}
+	for _, op := range ops {
+		if m.outbox.Push(op) {
+			mOutboxEvict.Inc()
+		}
+	}
+	mOutboxDepth.Set(int64(m.outbox.Len()))
+}
+
+// setState publishes a state transition.
+func (m *ManagedClient) setState(s LinkState) {
+	m.mu.Lock()
+	if m.state == s {
+		m.mu.Unlock()
+		return
+	}
+	m.state = s
+	m.mu.Unlock()
+	if s == LinkUp {
+		if m.linkUpGauge.CompareAndSwap(false, true) {
+			mLinkUp.Inc()
+		}
+	} else {
+		if m.linkUpGauge.CompareAndSwap(true, false) {
+			mLinkUp.Dec()
+		}
+	}
+	if m.opts.OnStateChange != nil {
+		m.opts.OnStateChange(s)
+	}
+}
+
+// State reports the link's current health.
+func (m *ManagedClient) State() LinkState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Cursor reports the highest processed clear sequence for a SKU.
+func (m *ManagedClient) Cursor(sku string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cursors[sku]
+}
+
+// Cursors returns a copy of every SKU cursor.
+func (m *ManagedClient) Cursors() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.cursors))
+	for k, v := range m.cursors {
+		out[k] = v
+	}
+	return out
+}
+
+// OutboxDepth reports queued, undelivered mutations.
+func (m *ManagedClient) OutboxDepth() int { return m.outbox.Len() }
+
+// Reconnects reports session establishments (including the first).
+func (m *ManagedClient) Reconnects() uint64 { return m.reconnects.Load() }
+
+// Replayed reports cursor-replayed notifications received.
+func (m *ManagedClient) Replayed() uint64 { return m.replayed.Load() }
+
+// Deduped reports duplicate notifications suppressed.
+func (m *ManagedClient) Deduped() uint64 { return m.deduped.Load() }
+
+// OutboxDelivered reports outbox ops delivered after reconnects.
+func (m *ManagedClient) OutboxDelivered() uint64 { return m.delivered.Load() }
+
+// Close stops the supervisor, persists the outbox, and marks the
+// link down. Idempotent.
+func (m *ManagedClient) Close() {
+	m.stopOnce.Do(func() { close(m.stopped) })
+	m.mu.Lock()
+	c := m.client
+	m.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	m.wg.Wait()
+	m.persistOutbox()
+	m.setState(LinkDown)
+}
+
+// ExportTelemetry registers a scrape-time collector exposing the
+// link's state, cursors, and outbox under iotsec_sigrepo_link_*
+// gauges labeled by link name (re-registering for the same link
+// replaces the previous collector).
+func (m *ManagedClient) ExportTelemetry(reg *telemetry.Registry, link string) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	reg.RegisterCollector("sigrepo-link:"+link, func(emit func(string, telemetry.Kind, string, telemetry.Labels, float64)) {
+		base := telemetry.Labels{{Key: "link", Value: link}}
+		emit("iotsec_sigrepo_link_state", telemetry.KindGauge,
+			"Managed link state (0 down, 1 degraded, 2 up).", base, float64(m.State()))
+		emit("iotsec_sigrepo_link_outbox_depth", telemetry.KindGauge,
+			"Queued publish/vote operations awaiting delivery.", base, float64(m.OutboxDepth()))
+		emit("iotsec_sigrepo_link_reconnects_total", telemetry.KindCounter,
+			"Session establishments for this link.", base, float64(m.Reconnects()))
+		emit("iotsec_sigrepo_link_replayed_total", telemetry.KindCounter,
+			"Cursor-replayed notifications received on this link.", base, float64(m.Replayed()))
+		emit("iotsec_sigrepo_link_dedup_total", telemetry.KindCounter,
+			"Duplicate notifications suppressed on this link.", base, float64(m.Deduped()))
+		emit("iotsec_sigrepo_link_outbox_delivered_total", telemetry.KindCounter,
+			"Outbox operations delivered on this link.", base, float64(m.OutboxDelivered()))
+		cursors := m.Cursors()
+		skus := make([]string, 0, len(cursors))
+		for sku := range cursors {
+			skus = append(skus, sku)
+		}
+		sort.Strings(skus)
+		for _, sku := range skus {
+			emit("iotsec_sigrepo_link_cursor", telemetry.KindGauge,
+				"Highest processed cleared-event sequence per SKU.",
+				telemetry.Labels{{Key: "link", Value: link}, {Key: "sku", Value: sku}},
+				float64(cursors[sku]))
+		}
+	})
+}

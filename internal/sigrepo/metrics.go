@@ -29,4 +29,36 @@ var (
 	mServerRequests = telemetry.NewCounter(
 		"iotsec_sigrepo_server_requests_total",
 		"Wire requests handled by sigrepo servers.")
+	mPublishDedup = telemetry.NewCounter(
+		"iotsec_sigrepo_publish_dedup_total",
+		"Idempotent publish retries answered with the existing signature.")
+	mNotifyEvictions = telemetry.NewCounter(
+		"iotsec_sigrepo_notify_evictions_total",
+		"Notifications evicted from slow subscribers' send rings.")
+)
+
+// Managed-link (client-side) telemetry: supervised northbound session
+// health, replay/dedupe volumes, and the durable outbox.
+var (
+	mLinkReconnects = telemetry.NewCounter(
+		"iotsec_sigrepo_reconnects_total",
+		"Northbound sigrepo session (re-)establishments by managed clients.")
+	mLinkReplayed = telemetry.NewCounter(
+		"iotsec_sigrepo_replayed_total",
+		"Replayed cleared-signature notifications received after reconnect.")
+	mLinkDeduped = telemetry.NewCounter(
+		"iotsec_sigrepo_dedup_total",
+		"Duplicate notifications suppressed by managed-client dedupe.")
+	mOutboxDepth = telemetry.NewGauge(
+		"iotsec_sigrepo_outbox_depth",
+		"Publish/vote operations queued in managed-client outboxes.")
+	mOutboxEvict = telemetry.NewCounter(
+		"iotsec_sigrepo_outbox_evictions_total",
+		"Outbox operations dropped (oldest-first) to bounded capacity.")
+	mOutboxDelivered = telemetry.NewCounter(
+		"iotsec_sigrepo_outbox_delivered_total",
+		"Outbox operations delivered to the repository after reconnect.")
+	mLinkUp = telemetry.NewGauge(
+		"iotsec_sigrepo_link_up",
+		"Managed northbound links currently in the up state.")
 )

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // snapshotState is the on-disk form of a repository.
@@ -13,6 +14,12 @@ type snapshotState struct {
 	Signatures []Signature                `json:"signatures"`
 	Votes      map[string]map[string]bool `json:"votes"`
 	Reputation map[string]float64         `json:"reputation"`
+	// Seqs is the per-SKU cleared-event sequence head; Events the
+	// bounded replay log. Persisting both means subscriber cursors
+	// remain valid across repository restarts (the tentpole's
+	// restart-from-snapshot requirement).
+	Seqs   map[string]uint64         `json:"seqs,omitempty"`
+	Events map[string][]clearedEvent `json:"events,omitempty"`
 }
 
 // ExportJSON writes the repository's full state (signatures including
@@ -35,6 +42,14 @@ func (r *Repository) ExportJSON(w io.Writer) error {
 			cp[k] = v
 		}
 		state.Votes[id] = cp
+	}
+	state.Seqs = make(map[string]uint64, len(r.seqs))
+	for sku, seq := range r.seqs {
+		state.Seqs[sku] = seq
+	}
+	state.Events = make(map[string][]clearedEvent, len(r.events))
+	for sku, log := range r.events {
+		state.Events[sku] = append([]clearedEvent(nil), log...)
 	}
 	r.mu.Unlock()
 
@@ -84,6 +99,59 @@ func (r *Repository) ImportJSON(rd io.Reader) error {
 	for id := range r.byID {
 		if r.votes[id] == nil {
 			r.votes[id] = make(map[string]bool)
+		}
+	}
+	// Restore (or, for pre-cursor snapshots, rebuild) the cleared-event
+	// sequences and replay log.
+	r.seqs = make(map[string]uint64, len(state.Seqs))
+	for sku, seq := range state.Seqs {
+		r.seqs[sku] = seq
+	}
+	r.events = make(map[string][]clearedEvent, len(state.Events))
+	for sku, log := range state.Events {
+		r.events[sku] = append([]clearedEvent(nil), log...)
+	}
+	// Legacy upgrade: snapshots written before cursors existed carry
+	// cleared signatures with ClearSeq 0 and no Seqs/Events. Assign
+	// sequences in submission order so replays are deterministic, and
+	// floor each SKU head at its highest recorded ClearSeq.
+	for sku, sigs := range r.bySKU {
+		var unseq []*Signature
+		for _, s := range sigs {
+			if s.Quarantined {
+				continue
+			}
+			if s.ClearSeq > r.seqs[sku] {
+				r.seqs[sku] = s.ClearSeq
+			}
+			if s.ClearSeq == 0 {
+				unseq = append(unseq, s)
+			}
+		}
+		sort.Slice(unseq, func(i, j int) bool { return unseq[i].Submitted.Before(unseq[j].Submitted) })
+		for _, s := range unseq {
+			r.seqs[sku]++
+			s.ClearSeq = r.seqs[sku]
+		}
+		if len(r.events[sku]) == 0 {
+			// Rebuild the replay log from the cleared set.
+			var cleared []*Signature
+			for _, s := range sigs {
+				if !s.Quarantined && s.ClearSeq > 0 {
+					cleared = append(cleared, s)
+				}
+			}
+			sort.Slice(cleared, func(i, j int) bool { return cleared[i].ClearSeq < cleared[j].ClearSeq })
+			log := make([]clearedEvent, 0, len(cleared))
+			for _, s := range cleared {
+				log = append(log, clearedEvent{Seq: s.ClearSeq, SigID: s.ID})
+			}
+			if bound := r.eventLogCap(); len(log) > bound {
+				log = log[len(log)-bound:]
+			}
+			if len(log) > 0 {
+				r.events[sku] = log
+			}
 		}
 	}
 	r.mu.Unlock()

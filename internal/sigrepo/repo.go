@@ -14,9 +14,25 @@ import (
 // Notification announces a newly cleared signature to a subscriber.
 type Notification struct {
 	Signature Signature
+	// Seq is the per-SKU monotonic event sequence of the clearing.
+	// Subscribers persist the highest Seq they have processed and
+	// resume from it (SubscribeSince) after an outage.
+	Seq uint64
 	// Priority is true for contributors (the paper's incentive:
 	// those who share get told first).
 	Priority bool
+	// Replay marks a cursor-replayed event (the subscriber may have
+	// seen it before the outage; consumers dedupe by signature ID).
+	Replay bool
+}
+
+// clearedEvent is one entry of the per-SKU cleared-signature event
+// log: the sequence plus the signature it cleared. The log is the
+// bounded replay source behind SubscribeSince; it is persisted with
+// the snapshot so cursors survive repository restarts.
+type clearedEvent struct {
+	Seq   uint64 `json:"seq"`
+	SigID string `json:"sig_id"`
 }
 
 // Subscriber receives notifications for a SKU. Must not block.
@@ -30,13 +46,19 @@ type Repository struct {
 	anon *Anonymizer
 	rep  *ReputationSystem
 
-	mu      sync.Mutex
-	nextID  int
-	bySKU   map[string][]*Signature
-	byID    map[string]*Signature
-	votes   map[string]map[string]bool // sigID → pseudonym → voted up?
-	subs    map[string][]subscription
-	contrib map[string]bool // pseudonyms that have ever contributed
+	mu        sync.Mutex
+	nextID    int
+	nextSubID uint64
+	bySKU     map[string][]*Signature
+	byID      map[string]*Signature
+	votes     map[string]map[string]bool // sigID → pseudonym → voted up?
+	subs      map[string][]subscription
+	contrib   map[string]bool // pseudonyms that have ever contributed
+
+	// seqs is the per-SKU monotonic cleared-event sequence; events is
+	// the bounded per-SKU event log backing cursor replay.
+	seqs   map[string]uint64
+	events map[string][]clearedEvent
 
 	// ClearScore releases a quarantined signature at/above this
 	// weighted score (default 1.0 ≈ two average-trust upvotes).
@@ -47,9 +69,15 @@ type Repository struct {
 	// mechanism); contributors get them immediately. Default 0 in
 	// process-level use; the server sets a real lag.
 	PriorityLag time.Duration
+	// EventLogCap bounds the per-SKU cleared-event log (default
+	// 1024). Cursors older than the retained window fall back to a
+	// full cleared-set replay, so bounding the log never loses
+	// signatures — only replay granularity.
+	EventLogCap int
 }
 
 type subscription struct {
+	id        uint64
 	pseudonym string
 	fn        Subscriber
 }
@@ -64,9 +92,42 @@ func NewRepository(salt string) *Repository {
 		votes:       make(map[string]map[string]bool),
 		subs:        make(map[string][]subscription),
 		contrib:     make(map[string]bool),
+		seqs:        make(map[string]uint64),
+		events:      make(map[string][]clearedEvent),
 		ClearScore:  1.0,
 		RejectScore: -1.0,
 	}
+}
+
+// eventLogCap returns the effective bound for the per-SKU event log.
+func (r *Repository) eventLogCap() int {
+	if r.EventLogCap < 1 {
+		return 1024
+	}
+	return r.EventLogCap
+}
+
+// recordClearLocked assigns the next per-SKU sequence to a freshly
+// cleared signature and appends it to the bounded event log. Caller
+// holds r.mu.
+func (r *Repository) recordClearLocked(sig *Signature) uint64 {
+	r.seqs[sig.SKU]++
+	seq := r.seqs[sig.SKU]
+	sig.ClearSeq = seq
+	log := append(r.events[sig.SKU], clearedEvent{Seq: seq, SigID: sig.ID})
+	if bound := r.eventLogCap(); len(log) > bound {
+		log = append([]clearedEvent(nil), log[len(log)-bound:]...)
+	}
+	r.events[sig.SKU] = log
+	return seq
+}
+
+// Head reports the current cleared-event sequence for a SKU — the
+// cursor a fully caught-up subscriber holds.
+func (r *Repository) Head(sku string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seqs[sku]
 }
 
 // Reputation exposes the reputation system (for experiments).
@@ -92,6 +153,20 @@ func (r *Repository) Publish(ctx context.Context, identity, sku, ruleText, descr
 	pseudo := r.anon.Pseudonym(identity)
 
 	r.mu.Lock()
+	// Idempotent republish: a contributor resubmitting the exact rule
+	// for the same SKU (an outbox retry after an ambiguous connection
+	// loss) gets the existing signature back instead of a duplicate —
+	// the server-side half of exactly-once publish delivery.
+	for _, existing := range r.bySKU[sku] {
+		if existing.Contributor == pseudo && existing.Rule == scrubbed {
+			cp := *existing
+			r.mu.Unlock()
+			mPublishDedup.Inc()
+			journal.Record(ctx, journal.TypeSigPublish, journal.Debug, sku,
+				fmt.Sprintf("%s republished by %s (idempotent retry)", cp.ID, pseudo))
+			return &cp, nil
+		}
+	}
 	r.nextID++
 	sig := &Signature{
 		ID:          fmt.Sprintf("sig-%06d", r.nextID),
@@ -112,6 +187,10 @@ func (r *Repository) Publish(ctx context.Context, identity, sku, ruleText, descr
 	r.votes[sig.ID] = make(map[string]bool)
 	r.contrib[pseudo] = true
 	cleared := !sig.Quarantined
+	var seq uint64
+	if cleared {
+		seq = r.recordClearLocked(sig)
+	}
 	cp := *sig
 	r.mu.Unlock()
 
@@ -120,7 +199,7 @@ func (r *Repository) Publish(ctx context.Context, identity, sku, ruleText, descr
 		fmt.Sprintf("%s by %s (quarantined=%v)", cp.ID, pseudo, cp.Quarantined))
 	if cleared {
 		mCleared.Inc()
-		r.notify(cp)
+		r.notify(cp, seq)
 	}
 	return &cp, nil
 }
@@ -158,10 +237,12 @@ func (r *Repository) Vote(ctx context.Context, identity, sigID string, up bool) 
 	}
 
 	var clearedCopy *Signature
+	var clearedSeq uint64
 	var outcome *bool
 	switch {
 	case sig.Quarantined && sig.Score >= r.ClearScore:
 		sig.Quarantined = false
+		clearedSeq = r.recordClearLocked(sig)
 		cp := *sig
 		clearedCopy = &cp
 		v := true
@@ -213,33 +294,82 @@ func (r *Repository) Vote(ctx context.Context, identity, sigID string, up bool) 
 		}
 	}
 	if clearedCopy != nil {
-		r.notify(*clearedCopy)
+		r.notify(*clearedCopy, clearedSeq)
 	}
 	return &cp, nil
 }
 
-// Subscribe registers for cleared signatures on a SKU. The returned
-// cancel removes the subscription.
+// Subscribe registers for cleared signatures on a SKU, starting from
+// "now" (no replay). The returned cancel removes the subscription.
 func (r *Repository) Subscribe(identity, sku string, fn Subscriber) (cancel func()) {
+	cancel, _, _ = r.SubscribeSince(identity, sku, ^uint64(0), fn)
+	return cancel
+}
+
+// SubscribeSince registers for cleared signatures on a SKU and
+// returns, atomically with the registration, every cleared event
+// after the `since` cursor — so there is no window in which a
+// clearing can be neither replayed nor streamed. Passing since=0
+// replays the SKU's full cleared history; passing the previously
+// observed head resumes loss-free after an outage; passing ^uint64(0)
+// (or the current head) replays nothing. head is the SKU's current
+// event sequence at registration time.
+func (r *Repository) SubscribeSince(identity, sku string, since uint64, fn Subscriber) (cancel func(), replay []Notification, head uint64) {
 	pseudo := r.anon.Pseudonym(identity)
-	sub := subscription{pseudonym: pseudo, fn: fn}
 	r.mu.Lock()
-	r.subs[sku] = append(r.subs[sku], sub)
-	idx := len(r.subs[sku]) - 1
+	r.nextSubID++
+	id := r.nextSubID
+	r.subs[sku] = append(r.subs[sku], subscription{id: id, pseudonym: pseudo, fn: fn})
+	head = r.seqs[sku]
+	if since < head {
+		replay = r.replayLocked(sku, since, r.contrib[pseudo])
+	}
 	r.mu.Unlock()
 	return func() {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		subs := r.subs[sku]
-		if idx < len(subs) && subs[idx].pseudonym == pseudo {
-			r.subs[sku] = append(subs[:idx], subs[idx+1:]...)
+		for i := range subs {
+			if subs[i].id == id {
+				r.subs[sku] = append(subs[:i], subs[i+1:]...)
+				return
+			}
+		}
+	}, replay, head
+}
+
+// replayLocked builds the catch-up notifications for a cursor. When
+// the bounded event log still covers (since, head] it is walked
+// directly; when eviction has truncated past the cursor, the full
+// cleared set with ClearSeq > since is replayed instead (over-
+// delivery is safe: subscribers dedupe by signature ID). Caller
+// holds r.mu.
+func (r *Repository) replayLocked(sku string, since uint64, priority bool) []Notification {
+	var out []Notification
+	log := r.events[sku]
+	if len(log) > 0 && log[0].Seq <= since+1 {
+		for _, ev := range log {
+			if ev.Seq <= since {
+				continue
+			}
+			if s, ok := r.byID[ev.SigID]; ok && !s.Quarantined {
+				out = append(out, Notification{Signature: *s, Seq: ev.Seq, Priority: priority, Replay: true})
+			}
+		}
+		return out
+	}
+	for _, s := range r.bySKU[sku] {
+		if !s.Quarantined && s.ClearSeq > since {
+			out = append(out, Notification{Signature: *s, Seq: s.ClearSeq, Priority: priority, Replay: true})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // notify fans a cleared signature out: contributors first, others
 // after PriorityLag.
-func (r *Repository) notify(sig Signature) {
+func (r *Repository) notify(sig Signature, seq uint64) {
 	r.mu.Lock()
 	subs := append([]subscription(nil), r.subs[sig.SKU]...)
 	lag := r.PriorityLag
@@ -251,7 +381,7 @@ func (r *Repository) notify(sig Signature) {
 
 	for _, s := range subs {
 		isContrib := contrib[s.pseudonym]
-		n := Notification{Signature: sig, Priority: isContrib}
+		n := Notification{Signature: sig, Seq: seq, Priority: isContrib}
 		mNotifies.Inc()
 		if isContrib || lag == 0 {
 			s.fn(n)

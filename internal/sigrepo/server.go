@@ -4,16 +4,36 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"iotsec/internal/resilience"
 	"iotsec/internal/telemetry"
 )
 
 // Wire protocol: newline-delimited JSON messages over TCP. Clients
 // send requests; the server answers each with one response and pushes
-// "notify" messages asynchronously for subscriptions.
+// "notify" messages asynchronously for subscriptions. Subscriptions
+// carry a cursor (`since`): the server replays every cleared-signature
+// event after it before streaming live pushes, so a reconnecting
+// gateway resumes loss-free.
+
+// NoReplay is the subscribe cursor meaning "live events only" — the
+// semantics of the original cursor-less Subscribe.
+const NoReplay = ^uint64(0)
+
+// ErrRemote wraps errors the repository itself returned (validation
+// failures, duplicate votes, unknown IDs). Callers use errors.Is to
+// distinguish these application-level rejections — which retrying will
+// never fix — from transport failures, which a supervised session
+// retries after reconnecting.
+var ErrRemote = errors.New("sigrepo: remote error")
+
+// ErrClosed reports a client whose connection has terminated.
+var ErrClosed = errors.New("sigrepo: connection closed")
 
 // wireRequest is a client → server message.
 type wireRequest struct {
@@ -24,6 +44,10 @@ type wireRequest struct {
 	Description string `json:"description,omitempty"`
 	SigID       string `json:"sig_id,omitempty"`
 	Up          bool   `json:"up,omitempty"`
+	// Since is the subscribe cursor: replay cleared events after this
+	// per-SKU sequence. 0 replays the full cleared history; NoReplay
+	// streams live events only.
+	Since uint64 `json:"since,omitempty"`
 }
 
 // wireResponse is a server → client message.
@@ -35,11 +59,29 @@ type wireResponse struct {
 	Signatures []Signature `json:"signatures,omitempty"`
 	SKUs       []string    `json:"skus,omitempty"`
 	Priority   bool        `json:"priority,omitempty"`
+	// Seq is the cleared-event sequence: on a subscribe reply, the
+	// SKU's head at registration; on a notify, the event's sequence
+	// (the cursor value the client persists).
+	Seq uint64 `json:"seq,omitempty"`
+	// Replay marks a cursor-replayed notify (the client may have seen
+	// it before the outage; consumers dedupe by signature ID).
+	Replay bool `json:"replay,omitempty"`
 }
 
 // Server exposes a Repository over TCP.
 type Server struct {
 	repo *Repository
+
+	// WriteTimeout bounds each wire write (default 5s). A subscriber
+	// that stops reading for longer is reaped rather than allowed to
+	// stall the connection's writer.
+	WriteTimeout time.Duration
+	// NotifyBuffer bounds each connection's pending-notification ring
+	// (default 256). When a slow subscriber falls further behind, the
+	// oldest pending notifies are evicted (counted in
+	// iotsec_sigrepo_notify_evictions_total) — the subscriber recovers
+	// the gap on its next cursor resubscribe.
+	NotifyBuffer int
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -51,6 +93,20 @@ type Server struct {
 // NewServer wraps the repository.
 func NewServer(repo *Repository) *Server {
 	return &Server{repo: repo, conns: make(map[net.Conn]bool)}
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return s.WriteTimeout
+}
+
+func (s *Server) notifyBuffer() int {
+	if s.NotifyBuffer < 1 {
+		return 256
+	}
+	return s.NotifyBuffer
 }
 
 // Listen binds and serves on addr, returning the bound address.
@@ -100,10 +156,55 @@ func (s *Server) serve(conn net.Conn) {
 
 	var writeMu sync.Mutex
 	enc := json.NewEncoder(conn)
-	send := func(resp wireResponse) {
+	send := func(resp wireResponse) error {
 		writeMu.Lock()
 		defer writeMu.Unlock()
-		_ = enc.Encode(resp)
+		// A write deadline bounds how long a dead or stalled subscriber
+		// can hold the connection's writer; on expiry the conn errors
+		// out and the session is reaped.
+		_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+		err := enc.Encode(resp)
+		_ = conn.SetWriteDeadline(time.Time{})
+		return err
+	}
+
+	// Notification path: repository callbacks must never block (they
+	// run under the broadcast fan-out), so they push into a bounded
+	// drop-oldest ring and nudge a per-connection writer goroutine.
+	// One slow or dead subscriber therefore costs evictions on its own
+	// ring, never a stall of the repository or of other subscribers.
+	notifyQ := resilience.NewRing[wireResponse](s.notifyBuffer())
+	wake := make(chan struct{}, 1)
+	writerDone := make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-writerDone:
+				return
+			case <-wake:
+			}
+			for _, resp := range notifyQ.Drain() {
+				if err := send(resp); err != nil {
+					// Dead subscriber: drop the conn; serve's read loop
+					// unwinds and cancels the subscriptions.
+					conn.Close()
+					return
+				}
+			}
+		}
+	}()
+	enqueueNotify := func(n Notification) {
+		sig := n.Signature
+		if notifyQ.Push(wireResponse{Kind: "notify", OK: true, Signature: &sig,
+			Seq: n.Seq, Priority: n.Priority, Replay: n.Replay}) {
+			mNotifyEvictions.Inc()
+		}
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
 	}
 
 	var cancels []func()
@@ -111,6 +212,7 @@ func (s *Server) serve(conn net.Conn) {
 		for _, c := range cancels {
 			c()
 		}
+		close(writerDone)
 	}()
 
 	scanner := bufio.NewScanner(conn)
@@ -118,7 +220,7 @@ func (s *Server) serve(conn net.Conn) {
 	for scanner.Scan() {
 		var req wireRequest
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			send(wireResponse{Kind: "reply", Error: "bad request: " + err.Error()})
+			_ = send(wireResponse{Kind: "reply", Error: "bad request: " + err.Error()})
 			continue
 		}
 		mServerRequests.Inc()
@@ -130,32 +232,37 @@ func (s *Server) serve(conn net.Conn) {
 		case "publish":
 			sig, err := s.repo.Publish(ctx, req.Identity, req.SKU, req.Rule, req.Description)
 			if err != nil {
-				send(wireResponse{Kind: "reply", Error: err.Error()})
+				_ = send(wireResponse{Kind: "reply", Error: err.Error()})
 				span.End()
 				continue
 			}
-			send(wireResponse{Kind: "reply", OK: true, Signature: sig})
+			_ = send(wireResponse{Kind: "reply", OK: true, Signature: sig})
 		case "vote":
 			sig, err := s.repo.Vote(ctx, req.Identity, req.SigID, req.Up)
 			if err != nil {
-				send(wireResponse{Kind: "reply", Error: err.Error()})
+				_ = send(wireResponse{Kind: "reply", Error: err.Error()})
 				span.End()
 				continue
 			}
-			send(wireResponse{Kind: "reply", OK: true, Signature: sig})
+			_ = send(wireResponse{Kind: "reply", OK: true, Signature: sig})
 		case "fetch":
-			send(wireResponse{Kind: "reply", OK: true, Signatures: s.repo.Fetch(req.SKU)})
+			_ = send(wireResponse{Kind: "reply", OK: true, Signatures: s.repo.Fetch(req.SKU)})
 		case "skus":
-			send(wireResponse{Kind: "reply", OK: true, SKUs: s.repo.SKUs()})
+			_ = send(wireResponse{Kind: "reply", OK: true, SKUs: s.repo.SKUs()})
 		case "subscribe":
-			cancel := s.repo.Subscribe(req.Identity, req.SKU, func(n Notification) {
-				sig := n.Signature
-				send(wireResponse{Kind: "notify", OK: true, Signature: &sig, Priority: n.Priority})
-			})
+			// Registration + replay snapshot are atomic in the
+			// repository, so no clearing can fall between the replayed
+			// backlog and the live stream. The reply carries the SKU
+			// head; replayed events follow as notify messages so the
+			// client's single push path handles both.
+			cancel, replays, head := s.repo.SubscribeSince(req.Identity, req.SKU, req.Since, enqueueNotify)
 			cancels = append(cancels, cancel)
-			send(wireResponse{Kind: "reply", OK: true})
+			_ = send(wireResponse{Kind: "reply", OK: true, Seq: head})
+			for _, n := range replays {
+				enqueueNotify(n)
+			}
 		default:
-			send(wireResponse{Kind: "reply", Error: "unknown op " + req.Op})
+			_ = send(wireResponse{Kind: "reply", Error: "unknown op " + req.Op})
 		}
 		span.End()
 	}
@@ -175,19 +282,42 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Client talks to a sigrepo Server. Safe for sequential use; one
-// request in flight at a time, with asynchronous notifications
-// delivered to OnNotify.
+// Push is one asynchronous server → client notification: the cleared
+// signature plus the cursor to persist.
+type Push struct {
+	Signature Signature
+	// Seq is the per-SKU cleared-event sequence; the highest Seq a
+	// client has processed is the cursor it resubscribes with.
+	Seq uint64
+	// Priority marks contributor-priority delivery.
+	Priority bool
+	// Replay marks a cursor-replayed event (dedupe by Signature.ID).
+	Replay bool
+}
+
+// Client talks to a sigrepo Server over one connection. Requests are
+// serialized (one in flight at a time); asynchronous notifications are
+// delivered to OnPush (or the legacy OnNotify). When the connection
+// dies, Done() closes, Err() reports why, and every in-flight and
+// subsequent call fails fast with ErrClosed — the hooks ManagedClient
+// supervises reconnection with.
 type Client struct {
 	identity string
 	conn     net.Conn
 	enc      *json.Encoder
 
-	// OnNotify receives pushed signatures; set before Subscribe.
+	// OnPush receives pushed signatures with cursor metadata; set
+	// before Subscribe/SubscribeSince.
+	OnPush func(p Push)
+	// OnNotify is the legacy push hook (no cursor); used only when
+	// OnPush is nil.
 	OnNotify func(sig Signature, priority bool)
 
-	replies chan wireResponse
-	done    chan struct{}
+	reqMu     sync.Mutex // serializes call()
+	replies   chan wireResponse
+	done      chan struct{}
+	err       error // set before done closes
+	closeOnce sync.Once
 }
 
 // DialClient connects to the repository as the given identity.
@@ -196,6 +326,12 @@ func DialClient(addr, identity string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sigrepo: dial: %w", err)
 	}
+	return NewClient(conn, identity), nil
+}
+
+// NewClient wraps an established connection (ManagedClient dials
+// through fault-injection wrappers and hands the conn here).
+func NewClient(conn net.Conn, identity string) *Client {
 	c := &Client{
 		identity: identity,
 		conn:     conn,
@@ -204,11 +340,10 @@ func DialClient(addr, identity string) (*Client, error) {
 		done:     make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 func (c *Client) readLoop() {
-	defer close(c.done)
 	scanner := bufio.NewScanner(c.conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for scanner.Scan() {
@@ -217,7 +352,13 @@ func (c *Client) readLoop() {
 			continue
 		}
 		if resp.Kind == "notify" {
-			if c.OnNotify != nil && resp.Signature != nil {
+			if resp.Signature == nil {
+				continue
+			}
+			if c.OnPush != nil {
+				c.OnPush(Push{Signature: *resp.Signature, Seq: resp.Seq,
+					Priority: resp.Priority, Replay: resp.Replay})
+			} else if c.OnNotify != nil {
 				c.OnNotify(*resp.Signature, resp.Priority)
 			}
 			continue
@@ -227,22 +368,57 @@ func (c *Client) readLoop() {
 		default:
 		}
 	}
+	// Surface why the session ended instead of exiting silently: the
+	// write to c.err happens before close(c.done), so any goroutine
+	// that observes Done() closed reads it safely.
+	err := scanner.Err()
+	if err == nil {
+		err = ErrClosed // clean EOF: peer closed or Close() was called
+	} else {
+		err = fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	c.err = err
+	close(c.done)
 }
 
-// call sends one request and waits for its reply.
+// Done closes when the connection terminates (either direction).
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err reports why the connection terminated; nil while it is live.
+func (c *Client) Err() error {
+	select {
+	case <-c.done:
+		return c.err
+	default:
+		return nil
+	}
+}
+
+// call sends one request and waits for its reply. Once the connection
+// is dead it fails fast rather than hanging.
 func (c *Client) call(req wireRequest) (wireResponse, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	select {
+	case <-c.done:
+		return wireResponse{}, c.err
+	default:
+	}
 	req.Identity = c.identity
 	if err := c.enc.Encode(req); err != nil {
-		return wireResponse{}, err
+		// A failed write means the conn is unusable; tear it down so
+		// the readLoop terminates and Done() observers fire.
+		c.Close()
+		return wireResponse{}, fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	select {
 	case resp := <-c.replies:
 		if resp.Error != "" {
-			return resp, fmt.Errorf("sigrepo: %s", resp.Error)
+			return resp, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
 		}
 		return resp, nil
 	case <-c.done:
-		return wireResponse{}, fmt.Errorf("sigrepo: connection closed")
+		return wireResponse{}, c.err
 	}
 }
 
@@ -282,11 +458,25 @@ func (c *Client) SKUs() ([]string, error) {
 	return resp.SKUs, nil
 }
 
-// Subscribe registers for pushed signatures on a SKU.
+// Subscribe registers for pushed signatures on a SKU, live events
+// only (no replay).
 func (c *Client) Subscribe(sku string) error {
-	_, err := c.call(wireRequest{Op: "subscribe", SKU: sku})
+	_, err := c.SubscribeSince(sku, NoReplay)
 	return err
 }
 
-// Close drops the connection.
-func (c *Client) Close() { _ = c.conn.Close() }
+// SubscribeSince registers for pushed signatures on a SKU, replaying
+// every cleared event after the `since` cursor first. It returns the
+// SKU's event head at registration time.
+func (c *Client) SubscribeSince(sku string, since uint64) (head uint64, err error) {
+	resp, err := c.call(wireRequest{Op: "subscribe", SKU: sku, Since: since})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Seq, nil
+}
+
+// Close drops the connection (idempotent).
+func (c *Client) Close() {
+	c.closeOnce.Do(func() { _ = c.conn.Close() })
+}

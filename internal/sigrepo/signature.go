@@ -49,6 +49,10 @@ type Signature struct {
 	// Quarantined signatures are withheld from subscribers until
 	// their score clears the threshold.
 	Quarantined bool
+	// ClearSeq is the per-SKU monotonic event sequence assigned when
+	// the signature cleared quarantine (0 while quarantined). It is
+	// the cursor subscribers resume from after an outage.
+	ClearSeq uint64
 }
 
 // Validate checks that the signature parses and is not trivially

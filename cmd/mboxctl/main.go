@@ -175,9 +175,9 @@ func printStats(addr string) error {
 // crowdLink aggregates the iotsec_sigrepo_link_* samples for one
 // northbound link.
 type crowdLink struct {
-	state, outboxDepth                     float64
-	reconnects, replayed, dedup, delivered float64
-	cursors                                map[string]float64
+	state, outboxDepth                           float64
+	reconnects, replayed, dedup, delivered, gaps float64
+	cursors                                      map[string]float64
 }
 
 func labelValue(ls telemetry.Labels, key string) string {
@@ -257,6 +257,11 @@ func printCrowd(addr string) error {
 				l := get(s.Labels)
 				l.delivered = s.Value
 			}
+		case "iotsec_sigrepo_link_gaps_total":
+			for _, s := range m.Samples {
+				l := get(s.Labels)
+				l.gaps = s.Value
+			}
 		case "iotsec_sigrepo_link_cursor":
 			for _, s := range m.Samples {
 				get(s.Labels).cursors[labelValue(s.Labels, "sku")] = s.Value
@@ -285,6 +290,7 @@ func printCrowd(addr string) error {
 		fmt.Printf("  outbox depth:  %g (delivered %g)\n", l.outboxDepth, l.delivered)
 		fmt.Printf("  reconnects:    %g\n", l.reconnects)
 		fmt.Printf("  replayed:      %g (deduped %g)\n", l.replayed, l.dedup)
+		fmt.Printf("  gap resyncs:   %g\n", l.gaps)
 		skus := make([]string, 0, len(l.cursors))
 		for s := range l.cursors {
 			skus = append(skus, s)

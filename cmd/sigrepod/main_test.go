@@ -159,13 +159,13 @@ func TestSigrepodRestartFromSnapshot(t *testing.T) {
 	}
 	var cmu sync.Mutex
 	replayed := 0
-	c.OnPush = func(p sigrepo.Push) {
+	c.SetOnPush(func(p sigrepo.Push) {
 		cmu.Lock()
 		if p.Replay {
 			replayed++
 		}
 		cmu.Unlock()
-	}
+	})
 	head, err := c.SubscribeSince("sku-a", 0)
 	if err != nil {
 		t.Fatal(err)

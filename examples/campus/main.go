@@ -116,9 +116,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer subscriber.Close()
-	subscriber.OnNotify = func(sig sigrepo.Signature, priority bool) {
+	subscriber.SetOnNotify(func(sig sigrepo.Signature, priority bool) {
 		received <- sig
-	}
+	})
 	if err := subscriber.Subscribe(sku); err != nil {
 		log.Fatal(err)
 	}

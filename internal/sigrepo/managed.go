@@ -103,8 +103,28 @@ type ManagedClient struct {
 	seen    map[string]bool   // installed signature IDs (dedupe)
 	subs    map[string]bool   // SKUs subscribed at least once
 	state   LinkState
+	closing bool // Close() in progress: no new resync goroutines
 
-	outbox *resilience.Ring[OutboxOp]
+	// Live-stream gap tracking: the server's per-subscriber notify
+	// ring is drop-oldest, so a slow consumer can lose LIVE pushes
+	// (replays are delivered synchronously and cannot be evicted).
+	// liveNext is the next expected live sequence per SKU (head+1 at
+	// subscribe time); a live push jumping past it means events were
+	// evicted, and the SKU is marked dirty until a fetch resync
+	// recovers the missing signatures — the cursor alone cannot, since
+	// it advances to the highest seq seen.
+	liveNext  map[string]uint64
+	dirty     map[string]bool   // SKUs with unrecovered gaps
+	gapGen    map[string]uint64 // bumped per detected gap (resync staleness check)
+	resyncing map[string]bool   // per-SKU in-flight fetch resync
+
+	// persistMu serializes outbox persistence: enqueue (any caller
+	// goroutine), drainOutbox (the supervisor), and Close all persist,
+	// and unserialized writers could rename each other's half-written
+	// tmp file into place. Snapshotting under the same lock keeps
+	// rename order consistent with snapshot recency.
+	persistMu sync.Mutex
+	outbox    *resilience.Ring[OutboxOp]
 
 	stopped  chan struct{}
 	stopOnce sync.Once
@@ -114,6 +134,7 @@ type ManagedClient struct {
 	replayed    atomic.Uint64
 	deduped     atomic.Uint64
 	delivered   atomic.Uint64 // outbox ops delivered
+	gaps        atomic.Uint64 // live-stream gaps detected (fetch-resynced)
 	outageWarn  atomic.Bool   // journal sigrepo-down once per outage
 	replayNote  atomic.Bool   // journal sigrepo-replay once per session
 	linkUpGauge atomic.Bool   // mirrors the mLinkUp contribution
@@ -128,22 +149,26 @@ func DialManaged(addr, identity string, opts ManagedOptions) (*ManagedClient, er
 		opts.OutboxCap = 256
 	}
 	m := &ManagedClient{
-		addr:     addr,
-		identity: identity,
-		opts:     opts,
-		cursors:  make(map[string]uint64),
-		seen:     make(map[string]bool),
-		subs:     make(map[string]bool),
-		state:    LinkDegraded,
-		outbox:   resilience.NewRing[OutboxOp](opts.OutboxCap),
-		stopped:  make(chan struct{}),
+		addr:      addr,
+		identity:  identity,
+		opts:      opts,
+		cursors:   make(map[string]uint64),
+		seen:      make(map[string]bool),
+		subs:      make(map[string]bool),
+		state:     LinkDegraded,
+		liveNext:  make(map[string]uint64),
+		dirty:     make(map[string]bool),
+		gapGen:    make(map[string]uint64),
+		resyncing: make(map[string]bool),
+		outbox:    resilience.NewRing[OutboxOp](opts.OutboxCap),
+		stopped:   make(chan struct{}),
 	}
 	m.loadOutbox()
 	conn, err := m.dial()
 	if err != nil {
 		return nil, fmt.Errorf("sigrepo: dial %s: %w", addr, err)
 	}
-	first := NewClient(conn, identity)
+	first := NewClient(conn, identity, m.handlePush)
 	// The first session comes up synchronously so callers can publish
 	// and fetch immediately after a successful dial (and so an
 	// unreachable SKU feed surfaces in tests deterministically).
@@ -195,7 +220,7 @@ func (m *ManagedClient) supervise(c *Client) {
 			if err != nil {
 				continue
 			}
-			c = NewClient(conn, m.identity)
+			c = NewClient(conn, m.identity, m.handlePush)
 		}
 		m.sessionUp(c, bo.Attempt())
 		bo.Reset()
@@ -204,9 +229,11 @@ func (m *ManagedClient) supervise(c *Client) {
 
 // sessionUp installs the new session: journal + state first (so the
 // replay events that follow are ordered after sigrepo-up), then
-// resubscribe every known SKU from its cursor, then drain the outbox.
+// resubscribe every known SKU from its cursor, repair any SKU with an
+// unrecovered live-stream gap, then drain the outbox. The session's
+// push handler was pinned in NewClient, before its read goroutine
+// started.
 func (m *ManagedClient) sessionUp(c *Client, attempt int) {
-	c.OnPush = m.handlePush
 	m.mu.Lock()
 	m.client = c
 	skus := make(map[string]bool, len(m.subs))
@@ -239,7 +266,8 @@ func (m *ManagedClient) sessionUp(c *Client, attempt int) {
 		m.mu.Lock()
 		since := m.cursors[sku] // 0 for a never-seen SKU → full backfill
 		m.mu.Unlock()
-		if _, err := c.SubscribeSince(sku, since); err != nil {
+		head, err := c.SubscribeSince(sku, since)
+		if err != nil {
 			if errors.Is(err, ErrRemote) {
 				continue // repository rejected the SKU; not a link problem
 			}
@@ -248,7 +276,26 @@ func (m *ManagedClient) sessionUp(c *Client, attempt int) {
 		}
 		m.mu.Lock()
 		m.subs[sku] = true
+		// Live events for this session start at head+1; anything after
+		// that arriving out of sequence means the server evicted pushes.
+		m.liveNext[sku] = head + 1
 		m.mu.Unlock()
+	}
+	// SKUs whose gap resync never completed (the link died first) are
+	// repaired now, before the session is trusted: the cursor may have
+	// advanced past the evicted events, so only a fetch recovers them.
+	m.mu.Lock()
+	var dirty []string
+	for sku := range m.dirty {
+		dirty = append(dirty, sku)
+	}
+	m.mu.Unlock()
+	sort.Strings(dirty)
+	for _, sku := range dirty {
+		if err := m.resync(c, sku); err != nil && !errors.Is(err, ErrRemote) {
+			c.Close() // transport death mid-repair: SKU stays dirty, supervisor redials
+			return
+		}
 	}
 	m.drainOutbox(c)
 }
@@ -272,19 +319,45 @@ func (m *ManagedClient) sessionDown(c *Client) {
 	}
 }
 
-// handlePush advances the SKU cursor, dedupes by signature ID, and
+// handlePush advances the SKU cursor, dedupes by signature ID, checks
+// the live stream for sequence gaps (server-side ring evictions), and
 // hands genuinely new signatures to OnInstall. Runs on the session's
-// read goroutine.
+// read goroutine, so gap recovery is dispatched to a separate
+// goroutine (a Fetch here would deadlock against the reply reader).
 func (m *ManagedClient) handlePush(p Push) {
+	sku := p.Signature.SKU
 	m.mu.Lock()
-	if p.Seq > m.cursors[p.Signature.SKU] {
-		m.cursors[p.Signature.SKU] = p.Seq
+	if p.Seq > m.cursors[sku] {
+		m.cursors[sku] = p.Seq
+	}
+	gap := false
+	if want, tracked := m.liveNext[sku]; tracked && !p.Replay {
+		if p.Seq > want {
+			// Live pushes are per-SKU contiguous (every cleared event
+			// notifies); a jump means the server evicted pushes for
+			// this slow consumer. The cursor has already moved past
+			// them, so only a fetch resync can recover the signatures.
+			gap = true
+			m.dirty[sku] = true
+			m.gapGen[sku]++
+		}
+		if p.Seq >= want {
+			m.liveNext[sku] = p.Seq + 1
+		}
 	}
 	dup := m.seen[p.Signature.ID]
 	if !dup {
 		m.seen[p.Signature.ID] = true
 	}
 	m.mu.Unlock()
+	if gap {
+		m.gaps.Add(1)
+		mLinkGaps.Inc()
+		journal.RecordTrace(0, journal.TypeSigrepoReplay, journal.Warn, sku,
+			fmt.Sprintf("%s: live notify gap on %s (got seq %d); scheduling fetch resync",
+				m.identity, sku, p.Seq))
+		m.triggerResync(sku)
+	}
 	if p.Replay {
 		m.replayed.Add(1)
 		mLinkReplayed.Inc()
@@ -303,6 +376,86 @@ func (m *ManagedClient) handlePush(p Push) {
 	}
 }
 
+// triggerResync starts (at most one per SKU) a background fetch
+// resync for a gap detected on the live stream. Runs off the read
+// goroutine so the Fetch round-trip doesn't deadlock the reply path.
+func (m *ManagedClient) triggerResync(sku string) {
+	m.mu.Lock()
+	if m.closing || m.resyncing[sku] || m.client == nil {
+		// Already repairing, or no session: the SKU stays dirty and
+		// sessionUp repairs it on the next (re)connect.
+		m.mu.Unlock()
+		return
+	}
+	c := m.client
+	m.resyncing[sku] = true
+	m.wg.Add(1) // under mu, ordered against Close()'s closing=true
+	m.mu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		err := m.resync(c, sku)
+		m.mu.Lock()
+		delete(m.resyncing, sku)
+		// A gap detected after this resync's fetch snapshot re-marked
+		// the SKU dirty; pick it up rather than leaving it for the
+		// next reconnect.
+		again := err == nil && m.dirty[sku]
+		m.mu.Unlock()
+		if again {
+			m.triggerResync(sku)
+		}
+	}()
+}
+
+// resync repairs a live-stream gap by fetching the SKU's full cleared
+// set and installing whatever dedupe hasn't seen. Over-delivery is
+// safe (installs dedupe by signature ID); under-delivery is not, so
+// the SKU is cleared from the dirty set only once a fetch taken after
+// the last detected gap succeeds — if the link dies first, the next
+// sessionUp retries. Must not run on the session's read goroutine.
+func (m *ManagedClient) resync(c *Client, sku string) error {
+	for {
+		m.mu.Lock()
+		gen := m.gapGen[sku]
+		m.mu.Unlock()
+		sigs, err := c.Fetch(sku)
+		if err != nil {
+			return err
+		}
+		recovered := 0
+		for _, sig := range sigs {
+			m.mu.Lock()
+			if sig.ClearSeq > m.cursors[sku] {
+				m.cursors[sku] = sig.ClearSeq
+			}
+			dup := m.seen[sig.ID]
+			if !dup {
+				m.seen[sig.ID] = true
+			}
+			m.mu.Unlock()
+			if dup {
+				continue
+			}
+			recovered++
+			if m.opts.OnInstall != nil {
+				m.opts.OnInstall(sig, true)
+			}
+		}
+		m.mu.Lock()
+		done := m.gapGen[sku] == gen
+		if done {
+			delete(m.dirty, sku)
+		}
+		m.mu.Unlock()
+		journal.RecordTrace(0, journal.TypeSigrepoReplay, journal.Info, sku,
+			fmt.Sprintf("%s: gap resync on %s recovered %d signature(s)", m.identity, sku, recovered))
+		if done {
+			return nil
+		}
+		// Another gap landed while fetching; snapshot again.
+	}
+}
+
 // drainOutbox redelivers queued mutations in FIFO order. Repository
 // rejections (ErrRemote — e.g. a duplicate vote whose first attempt
 // did land before the connection died) are final and dropped; a
@@ -312,7 +465,7 @@ func (m *ManagedClient) handlePush(p Push) {
 func (m *ManagedClient) drainOutbox(c *Client) {
 	ops := m.outbox.Drain()
 	if len(ops) == 0 {
-		m.syncOutboxState()
+		m.persistOutbox()
 		return
 	}
 	deliveredN := 0
@@ -325,7 +478,7 @@ func (m *ManagedClient) drainOutbox(c *Client) {
 					mOutboxEvict.Inc()
 				}
 			}
-			m.syncOutboxState()
+			m.persistOutbox()
 			return
 		}
 		if err != nil {
@@ -337,7 +490,7 @@ func (m *ManagedClient) drainOutbox(c *Client) {
 		m.delivered.Add(1)
 		mOutboxDelivered.Inc()
 	}
-	m.syncOutboxState()
+	m.persistOutbox()
 	if deliveredN > 0 {
 		journal.RecordTrace(0, journal.TypeSigrepoReplay, journal.Info, "",
 			fmt.Sprintf("%s: outbox drained, %d op(s) delivered", m.identity, deliveredN))
@@ -421,9 +574,14 @@ func (m *ManagedClient) Watch(sku string) error {
 	m.mu.Lock()
 	since := m.cursors[sku]
 	m.mu.Unlock()
-	_, err := c.SubscribeSince(sku, since)
+	head, err := c.SubscribeSince(sku, since)
 	if err != nil && !errors.Is(err, ErrRemote) {
 		c.Close() // supervisor will resubscribe everything on reconnect
+	}
+	if err == nil {
+		m.mu.Lock()
+		m.liveNext[sku] = head + 1
+		m.mu.Unlock()
 	}
 	return err
 }
@@ -441,20 +599,23 @@ func (m *ManagedClient) enqueue(op OutboxOp) {
 	if m.outbox.Push(op) {
 		mOutboxEvict.Inc()
 	}
-	m.syncOutboxState()
-}
-
-// syncOutboxState refreshes the depth gauge and the durable file.
-func (m *ManagedClient) syncOutboxState() {
-	mOutboxDepth.Set(int64(m.outbox.Len()))
 	m.persistOutbox()
 }
 
 // persistOutbox writes the pending ops to OutboxPath (tmp + rename).
+// persistMu serializes concurrent persists (enqueue callers, the
+// supervisor's drain, Close): without it two writers share one tmp
+// path and can rename a partially written file into place, corrupting
+// the durable outbox. Snapshot-under-lock also guarantees the last
+// rename carries the newest state. The depth gauge lives in the
+// per-link ExportTelemetry collector, not here — a process-global
+// gauge Set() from several links would just overwrite itself.
 func (m *ManagedClient) persistOutbox() {
 	if m.opts.OutboxPath == "" {
 		return
 	}
+	m.persistMu.Lock()
+	defer m.persistMu.Unlock()
 	ops := m.outbox.Snapshot()
 	data, err := json.MarshalIndent(ops, "", "  ")
 	if err != nil {
@@ -485,7 +646,6 @@ func (m *ManagedClient) loadOutbox() {
 			mOutboxEvict.Inc()
 		}
 	}
-	mOutboxDepth.Set(int64(m.outbox.Len()))
 }
 
 // setState publishes a state transition.
@@ -551,11 +711,18 @@ func (m *ManagedClient) Deduped() uint64 { return m.deduped.Load() }
 // OutboxDelivered reports outbox ops delivered after reconnects.
 func (m *ManagedClient) OutboxDelivered() uint64 { return m.delivered.Load() }
 
+// Gaps reports live-stream sequence gaps detected (each repaired by a
+// fetch resync).
+func (m *ManagedClient) Gaps() uint64 { return m.gaps.Load() }
+
 // Close stops the supervisor, persists the outbox, and marks the
 // link down. Idempotent.
 func (m *ManagedClient) Close() {
 	m.stopOnce.Do(func() { close(m.stopped) })
 	m.mu.Lock()
+	// closing is ordered (under mu) against triggerResync's wg.Add, so
+	// no resync goroutine can start once Wait below has begun.
+	m.closing = true
 	c := m.client
 	m.mu.Unlock()
 	if c != nil {
@@ -588,6 +755,8 @@ func (m *ManagedClient) ExportTelemetry(reg *telemetry.Registry, link string) {
 			"Duplicate notifications suppressed on this link.", base, float64(m.Deduped()))
 		emit("iotsec_sigrepo_link_outbox_delivered_total", telemetry.KindCounter,
 			"Outbox operations delivered on this link.", base, float64(m.OutboxDelivered()))
+		emit("iotsec_sigrepo_link_gaps_total", telemetry.KindCounter,
+			"Live-stream sequence gaps detected on this link (fetch-resynced).", base, float64(m.Gaps()))
 		cursors := m.Cursors()
 		skus := make([]string, 0, len(cursors))
 		for sku := range cursors {

@@ -49,9 +49,12 @@ var (
 	mLinkDeduped = telemetry.NewCounter(
 		"iotsec_sigrepo_dedup_total",
 		"Duplicate notifications suppressed by managed-client dedupe.")
-	mOutboxDepth = telemetry.NewGauge(
-		"iotsec_sigrepo_outbox_depth",
-		"Publish/vote operations queued in managed-client outboxes.")
+	// Outbox depth is exported per link by ManagedClient.ExportTelemetry
+	// (iotsec_sigrepo_link_outbox_depth); a process-global gauge here
+	// would have multiple links overwriting each other's Set().
+	mLinkGaps = telemetry.NewCounter(
+		"iotsec_sigrepo_notify_gaps_total",
+		"Live notify stream sequence gaps detected by managed clients (server-side evictions), each repaired by a fetch resync.")
 	mOutboxEvict = telemetry.NewCounter(
 		"iotsec_sigrepo_outbox_evictions_total",
 		"Outbox operations dropped (oldest-first) to bounded capacity.")

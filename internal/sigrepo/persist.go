@@ -78,12 +78,16 @@ func (r *Repository) ImportJSON(rd io.Reader) error {
 	r.bySKU = make(map[string][]*Signature)
 	r.byID = make(map[string]*Signature)
 	r.votes = make(map[string]map[string]bool)
+	r.dedup = make(map[string]string)
 	for i := range state.Signatures {
 		s := state.Signatures[i]
 		cp := s
 		r.byID[s.ID] = &cp
 		r.bySKU[s.SKU] = append(r.bySKU[s.SKU], &cp)
 		r.contrib[s.Contributor] = true
+		// Rebuild the idempotent-republish index: only live rows are in
+		// the snapshot, so every one indexes.
+		r.dedup[dedupKey(s.Contributor, s.SKU, s.Rule)] = s.ID
 	}
 	for id, votes := range state.Votes {
 		if _, live := r.byID[id]; !live {

@@ -54,6 +54,11 @@ type Repository struct {
 	votes     map[string]map[string]bool // sigID → pseudonym → voted up?
 	subs      map[string][]subscription
 	contrib   map[string]bool // pseudonyms that have ever contributed
+	// dedup indexes live (non-retired) signatures by contributor+SKU+
+	// rule so idempotent republish is O(1) per call. Entries are
+	// removed when a signature is retired by down-votes, so a rejected
+	// rule CAN be resubmitted as a fresh signature.
+	dedup map[string]string // dedupKey → signature ID
 
 	// seqs is the per-SKU monotonic cleared-event sequence; events is
 	// the bounded per-SKU event log backing cursor replay.
@@ -92,11 +97,19 @@ func NewRepository(salt string) *Repository {
 		votes:       make(map[string]map[string]bool),
 		subs:        make(map[string][]subscription),
 		contrib:     make(map[string]bool),
+		dedup:       make(map[string]string),
 		seqs:        make(map[string]uint64),
 		events:      make(map[string][]clearedEvent),
 		ClearScore:  1.0,
 		RejectScore: -1.0,
 	}
+}
+
+// dedupKey indexes a live signature for idempotent republish.
+// Contributor pseudonyms are hash-derived (never contain NUL), so the
+// NUL joins keep distinct (contributor, sku, rule) triples distinct.
+func dedupKey(contributor, sku, rule string) string {
+	return contributor + "\x00" + sku + "\x00" + rule
 }
 
 // eventLogCap returns the effective bound for the per-SKU event log.
@@ -156,9 +169,13 @@ func (r *Repository) Publish(ctx context.Context, identity, sku, ruleText, descr
 	// Idempotent republish: a contributor resubmitting the exact rule
 	// for the same SKU (an outbox retry after an ambiguous connection
 	// loss) gets the existing signature back instead of a duplicate —
-	// the server-side half of exactly-once publish delivery.
-	for _, existing := range r.bySKU[sku] {
-		if existing.Contributor == pseudo && existing.Rule == scrubbed {
+	// the server-side half of exactly-once publish delivery. The index
+	// only holds live signatures (retired entries are unlinked), so a
+	// rule the community rejected can be resubmitted fresh; note the
+	// returned signature may still be quarantined — the retry observes
+	// the pending vote rather than forking a duplicate row.
+	if id, ok := r.dedup[dedupKey(pseudo, sku, scrubbed)]; ok {
+		if existing, live := r.byID[id]; live {
 			cp := *existing
 			r.mu.Unlock()
 			mPublishDedup.Inc()
@@ -186,6 +203,7 @@ func (r *Repository) Publish(ctx context.Context, identity, sku, ruleText, descr
 	r.byID[sig.ID] = sig
 	r.votes[sig.ID] = make(map[string]bool)
 	r.contrib[pseudo] = true
+	r.dedup[dedupKey(pseudo, sku, scrubbed)] = sig.ID
 	cleared := !sig.Quarantined
 	var seq uint64
 	if cleared {
@@ -248,7 +266,10 @@ func (r *Repository) Vote(ctx context.Context, identity, sigID string, up bool) 
 		v := true
 		outcome = &v
 	case sig.Score <= r.RejectScore:
-		// Retire: remove from the SKU feed.
+		// Retire: remove from the SKU feed and unlink the republish
+		// index, so the contributor may submit the rule anew (as a
+		// fresh quarantined signature) rather than being answered with
+		// the rejected one forever.
 		skuSigs := r.bySKU[sig.SKU]
 		for i, s := range skuSigs {
 			if s.ID == sigID {
@@ -257,6 +278,7 @@ func (r *Repository) Vote(ctx context.Context, identity, sigID string, up bool) 
 			}
 		}
 		delete(r.byID, sigID)
+		delete(r.dedup, dedupKey(sig.Contributor, sig.SKU, sig.Rule))
 		v := false
 		outcome = &v
 	}

@@ -76,11 +76,13 @@ type Server struct {
 	// that stops reading for longer is reaped rather than allowed to
 	// stall the connection's writer.
 	WriteTimeout time.Duration
-	// NotifyBuffer bounds each connection's pending-notification ring
-	// (default 256). When a slow subscriber falls further behind, the
-	// oldest pending notifies are evicted (counted in
-	// iotsec_sigrepo_notify_evictions_total) — the subscriber recovers
-	// the gap on its next cursor resubscribe.
+	// NotifyBuffer bounds each connection's pending LIVE-notification
+	// ring (default 256). Cursor-replay backlogs never pass through
+	// this ring — they are written synchronously on the subscribe
+	// request path — so only live pushes to a slow subscriber can be
+	// evicted (counted in iotsec_sigrepo_notify_evictions_total). An
+	// eviction leaves a sequence gap in the live stream, which the
+	// managed client detects and repairs with a fetch resync.
 	NotifyBuffer int
 
 	mu     sync.Mutex
@@ -255,11 +257,27 @@ func (s *Server) serve(conn net.Conn) {
 			// backlog and the live stream. The reply carries the SKU
 			// head; replayed events follow as notify messages so the
 			// client's single push path handles both.
+			//
+			// The replay backlog is written synchronously on this
+			// request path — NEVER through the evictable live ring. A
+			// cursor replay can be arbitrarily larger than NotifyBuffer
+			// (a new gateway backfilling a popular SKU), and a client
+			// that advanced its cursor past an evicted replay would
+			// lose the signature permanently; backpressure here is the
+			// connection itself, bounded per message by the write
+			// deadline (a subscriber too slow to absorb its own
+			// backfill is reaped and retries from its cursor, which
+			// only ever advances past delivered events).
 			cancel, replays, head := s.repo.SubscribeSince(req.Identity, req.SKU, req.Since, enqueueNotify)
 			cancels = append(cancels, cancel)
 			_ = send(wireResponse{Kind: "reply", OK: true, Seq: head})
 			for _, n := range replays {
-				enqueueNotify(n)
+				sig := n.Signature
+				if err := send(wireResponse{Kind: "notify", OK: true, Signature: &sig,
+					Seq: n.Seq, Priority: n.Priority, Replay: n.Replay}); err != nil {
+					conn.Close() // dead mid-replay: unwind; client resumes from its cursor
+					break
+				}
 			}
 		default:
 			_ = send(wireResponse{Kind: "reply", Error: "unknown op " + req.Op})
@@ -297,21 +315,23 @@ type Push struct {
 
 // Client talks to a sigrepo Server over one connection. Requests are
 // serialized (one in flight at a time); asynchronous notifications are
-// delivered to OnPush (or the legacy OnNotify). When the connection
-// dies, Done() closes, Err() reports why, and every in-flight and
-// subsequent call fails fast with ErrClosed — the hooks ManagedClient
-// supervises reconnection with.
+// delivered to the push handler passed to NewClient (or installed via
+// SetOnPush/SetOnNotify before subscribing). When the connection dies,
+// Done() closes, Err() reports why, and every in-flight and subsequent
+// call fails fast with ErrClosed — the hooks ManagedClient supervises
+// reconnection with.
 type Client struct {
 	identity string
 	conn     net.Conn
 	enc      *json.Encoder
 
-	// OnPush receives pushed signatures with cursor metadata; set
-	// before Subscribe/SubscribeSince.
-	OnPush func(p Push)
-	// OnNotify is the legacy push hook (no cursor); used only when
-	// OnPush is nil.
-	OnNotify func(sig Signature, priority bool)
+	// hookMu guards the push hooks: the read goroutine loads them on
+	// every notify, so late installation via the setters needs a
+	// happens-before edge (handlers passed to NewClient are written
+	// before the goroutine starts and need none).
+	hookMu   sync.Mutex
+	onPush   func(p Push)
+	onNotify func(sig Signature, priority bool)
 
 	reqMu     sync.Mutex // serializes call()
 	replies   chan wireResponse
@@ -320,27 +340,48 @@ type Client struct {
 	closeOnce sync.Once
 }
 
-// DialClient connects to the repository as the given identity.
+// DialClient connects to the repository as the given identity. Install
+// push hooks with SetOnPush/SetOnNotify before subscribing.
 func DialClient(addr, identity string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("sigrepo: dial: %w", err)
 	}
-	return NewClient(conn, identity), nil
+	return NewClient(conn, identity, nil), nil
 }
 
 // NewClient wraps an established connection (ManagedClient dials
-// through fault-injection wrappers and hands the conn here).
-func NewClient(conn net.Conn, identity string) *Client {
+// through fault-injection wrappers and hands the conn here). onPush
+// (optional) receives asynchronous notifications; taking it as a
+// constructor argument pins it in place before the read goroutine
+// starts, so pushes can never race the handler installation.
+func NewClient(conn net.Conn, identity string, onPush func(Push)) *Client {
 	c := &Client{
 		identity: identity,
 		conn:     conn,
 		enc:      json.NewEncoder(conn),
+		onPush:   onPush,
 		replies:  make(chan wireResponse, 4),
 		done:     make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
+}
+
+// SetOnPush installs (or replaces) the cursor-aware push handler.
+// Call it before Subscribe/SubscribeSince.
+func (c *Client) SetOnPush(fn func(Push)) {
+	c.hookMu.Lock()
+	c.onPush = fn
+	c.hookMu.Unlock()
+}
+
+// SetOnNotify installs the legacy push hook (no cursor metadata);
+// used only when no OnPush handler is set.
+func (c *Client) SetOnNotify(fn func(sig Signature, priority bool)) {
+	c.hookMu.Lock()
+	c.onNotify = fn
+	c.hookMu.Unlock()
 }
 
 func (c *Client) readLoop() {
@@ -355,11 +396,14 @@ func (c *Client) readLoop() {
 			if resp.Signature == nil {
 				continue
 			}
-			if c.OnPush != nil {
-				c.OnPush(Push{Signature: *resp.Signature, Seq: resp.Seq,
+			c.hookMu.Lock()
+			onPush, onNotify := c.onPush, c.onNotify
+			c.hookMu.Unlock()
+			if onPush != nil {
+				onPush(Push{Signature: *resp.Signature, Seq: resp.Seq,
 					Priority: resp.Priority, Replay: resp.Replay})
-			} else if c.OnNotify != nil {
-				c.OnNotify(*resp.Signature, resp.Priority)
+			} else if onNotify != nil {
+				onNotify(*resp.Signature, resp.Priority)
 			}
 			continue
 		}

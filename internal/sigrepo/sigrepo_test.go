@@ -276,7 +276,7 @@ func TestServerClientEndToEnd(t *testing.T) {
 	}
 	defer subscriber.Close()
 	pushed := make(chan Signature, 4)
-	subscriber.OnNotify = func(sig Signature, _ bool) { pushed <- sig }
+	subscriber.SetOnNotify(func(sig Signature, _ bool) { pushed <- sig })
 	if err := subscriber.Subscribe("belkin-wemo"); err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"iotsec/internal/openflow"
 	"iotsec/internal/resilience"
 	"iotsec/internal/sigrepo"
+	"iotsec/internal/slo"
 	"iotsec/internal/telemetry"
 )
 
@@ -49,6 +50,18 @@ func main() {
 		"durable outbox file for publishes/votes queued while the repository is unreachable (empty = in-memory only)")
 	sigrepoReconnectMax := flag.Duration("sigrepo-reconnect-max", 5*time.Second,
 		"cap on the sigrepo link's exponential reconnect backoff")
+	sloTarget := flag.Duration("slo-mttr-p99", 0,
+		"detect→enforce MTTR objective at the -slo-quantile (0 = watchdog disabled; the MTTR pipeline itself is always on)")
+	sloQuantile := flag.Float64("slo-quantile", 0.99,
+		"quantile the MTTR objective is stated at")
+	sloWindow := flag.Duration("slo-window", time.Minute,
+		"SLO evaluation window")
+	sloBurnFactor := flag.Float64("slo-burn-factor", 1.0,
+		"error-budget multiplier per window: budget = (1-quantile)*factor of chains may miss the objective")
+	sloChainTimeout := flag.Duration("slo-chain-timeout", 5*time.Second,
+		"how long a detect→enforce chain may stay open before it counts as incomplete")
+	sloEscalate := flag.Bool("slo-escalate", false,
+		"on sustained SLO burn, escalate all µmbox pipelines to fail-closed (restored when the burn clears)")
 	flag.Parse()
 
 	failMode, err := netsim.ParseFailMode(*sbFailMode)
@@ -63,6 +76,9 @@ func main() {
 		})
 	}
 
+	bi := telemetry.RegisterBuildInfo(telemetry.Default, "iotsecd")
+	fmt.Printf("iotsecd: version %s (%s)\n", bi.Version, bi.GoVersion)
+
 	p, err := core.DemoHome()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iotsecd: %v\n", err)
@@ -70,6 +86,42 @@ func main() {
 	}
 	p.Start()
 	defer p.Stop()
+	p.RegisterHealth(telemetry.Default.Health())
+
+	// The MTTR pipeline is always on: it taps the forensic journal
+	// (drop-oldest, zero cost on the hot path when idle) and folds
+	// trace-correlated detect→enforce chains into live histograms.
+	tracker := slo.NewTracker(journal.Default, slo.Options{ChainTimeout: *sloChainTimeout})
+	defer tracker.Close()
+	tracker.RegisterHealth(telemetry.Default.Health())
+
+	if *sloTarget > 0 {
+		watchdog := slo.NewWatchdog(tracker, slo.Objectives{
+			Target:     *sloTarget,
+			Quantile:   *sloQuantile,
+			Window:     *sloWindow,
+			BurnFactor: *sloBurnFactor,
+		}, slo.WatchdogOptions{
+			OnBurn: func(ev slo.Evaluation) {
+				fmt.Fprintf(os.Stderr, "iotsecd: SLO burn: window p%g=%s (%d/%d violating)\n",
+					*sloQuantile*100, ev.Quantile, ev.OverTarget+ev.Incomplete, ev.Total)
+				if *sloEscalate {
+					n := p.EscalateFailMode("SLO burn: " + ev.Quantile.String() + " over objective")
+					fmt.Fprintf(os.Stderr, "iotsecd: escalated %d pipeline(s) to fail-closed\n", n)
+				}
+			},
+			OnRecover: func(ev slo.Evaluation) {
+				fmt.Fprintf(os.Stderr, "iotsecd: SLO burn cleared (window p%g=%s)\n", *sloQuantile*100, ev.Quantile)
+				if *sloEscalate {
+					p.DeescalateFailMode("SLO burn cleared")
+				}
+			},
+		})
+		watchdog.Start()
+		defer watchdog.Stop()
+		fmt.Printf("iotsecd: SLO watchdog armed: %s%s\n",
+			watchdog.Objectives(), map[bool]string{true: " (escalating)", false: ""}[*sloEscalate])
+	}
 
 	if *sbAddr != "" {
 		sb, err := p.AttachSouthbound(core.SouthboundOptions{
@@ -85,6 +137,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer sb.Close()
+		sb.RegisterHealth(telemetry.Default.Health())
 		fmt.Printf("iotsecd: southbound on %s (heartbeat %s, fail-%s)\n", sb.Addr, *sbHeartbeat, failMode)
 	}
 
@@ -101,6 +154,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer link.Close()
+		link.RegisterHealth(telemetry.Default.Health(), *sigrepoIdentity)
 		fmt.Printf("iotsecd: crowd learning via %s as %q (reconnect cap %s)\n",
 			*sigrepoAddr, *sigrepoIdentity, *sigrepoReconnectMax)
 	}

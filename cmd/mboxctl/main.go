@@ -8,16 +8,22 @@
 //	mboxctl [-addr host:port] set-env <var> <value>
 //	mboxctl [-addr host:port] set-context <device> <context>
 //	mboxctl [-telemetry-addr host:port] stats
+//	mboxctl [-telemetry-addr host:port] health
+//	mboxctl [-telemetry-addr host:port] slo
 //	mboxctl [-telemetry-addr host:port] crowd
 //	mboxctl [-telemetry-addr host:port] trace <id>
 //	mboxctl [-telemetry-addr host:port] journal [-trace N] [-device D] [-type T] [-since 5m] [-sev warn] [-limit N] [-follow]
 //
-// stats, crowd, trace and journal talk to the daemon's telemetry
-// listener (iotsecd -telemetry-addr), not the admin API. crowd shows
-// the health of the northbound signature-repository link (state,
-// per-SKU replay cursors, outbox depth, reconnect/replay/dedup
-// counters). trace renders the forensic timeline of one causal chain;
-// journal dumps (or, with -follow, live-tails) the event journal.
+// stats, health, slo, crowd, trace and journal talk to the daemon's
+// telemetry listener (iotsecd -telemetry-addr), not the admin API.
+// health probes /healthz and /readyz and renders the per-component
+// detail; slo renders the live MTTR pipeline (per-stage and
+// end-to-end detect→enforce quantiles, incomplete chains, watchdog
+// state). crowd shows the health of the northbound
+// signature-repository link (state, per-SKU replay cursors, outbox
+// depth, reconnect/replay/dedup counters). trace renders the forensic
+// timeline of one causal chain; journal dumps (or, with -follow,
+// live-tails) the event journal.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"os"
@@ -53,6 +60,18 @@ func main() {
 	case "stats":
 		if err := printStats(*telemetryAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "mboxctl: stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "health":
+		if err := printHealth(*telemetryAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: health: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "slo":
+		if err := printSLO(*telemetryAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: slo: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -133,25 +152,34 @@ func printStats(addr string) error {
 		return fmt.Errorf("decoding snapshot: %w", err)
 	}
 
-	fmt.Printf("telemetry snapshot @ %s\n\n", snap.TakenAt.Format(time.RFC3339))
+	fmt.Printf("telemetry snapshot @ %s\n", snap.TakenAt.Format(time.RFC3339))
+	for _, m := range snap.Metrics {
+		if m.Name != "iotsec_build_info" {
+			continue
+		}
+		for _, s := range m.Samples {
+			fmt.Printf("build: %s %s (%s)\n",
+				labelValue(s.Labels, "component"), labelValue(s.Labels, "version"),
+				labelValue(s.Labels, "go_version"))
+		}
+	}
+	fmt.Println()
 	for _, m := range snap.Metrics {
 		switch m.Kind {
 		case telemetry.KindHistogram:
-			var count, sum float64
-			for _, s := range m.Samples {
-				switch s.Suffix {
-				case "_count":
-					count = s.Value
-				case "_sum":
-					sum = s.Value
+			for _, h := range parseHistogram(m) {
+				mean := 0.0
+				if h.count > 0 {
+					mean = h.sum / h.count
 				}
+				fmt.Printf("%-52s count=%g mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+					m.Name+h.key, h.count, mean,
+					h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
 			}
-			mean := 0.0
-			if count > 0 {
-				mean = sum / count
-			}
-			fmt.Printf("%-52s count=%g mean=%.6g\n", m.Name, count, mean)
 		default:
+			if m.Name == "iotsec_build_info" {
+				continue // rendered in the header
+			}
 			for _, s := range m.Samples {
 				fmt.Printf("%-52s %g\n", m.Name+s.Labels.String(), s.Value)
 			}
@@ -170,6 +198,223 @@ func printStats(addr string) error {
 			sp.Name, sp.Duration, sp.TraceID, sp.ID, sp.ParentID, attrs)
 	}
 	return nil
+}
+
+// histSeries is one labeled histogram series reassembled from a JSON
+// snapshot: finite bucket bounds plus per-bucket (non-cumulative)
+// counts, the +Inf bucket last.
+type histSeries struct {
+	key     string // rendered labels (without le), "" for unlabeled
+	bounds  []float64
+	buckets []uint64
+	count   float64
+	sum     float64
+}
+
+// quantile re-derives a quantile from the reassembled buckets.
+func (h histSeries) quantile(q float64) float64 {
+	return telemetry.QuantileFromBuckets(h.bounds, h.buckets, q)
+}
+
+// parseHistogram reassembles the labeled series of one histogram
+// family from its snapshot samples. Snapshot sample order is sorted
+// by label string (not by bound), so buckets are re-sorted numerically
+// before converting cumulative values to per-bucket counts.
+func parseHistogram(m telemetry.MetricJSON) []histSeries {
+	type cumBucket struct {
+		bound float64 // +Inf for the le="+Inf" bucket
+		cum   float64
+	}
+	type agg struct {
+		cum        []cumBucket
+		count, sum float64
+	}
+	series := map[string]*agg{}
+	var order []string
+	get := func(ls telemetry.Labels) *agg {
+		var kept telemetry.Labels
+		for _, l := range ls {
+			if l.Key != "le" {
+				kept = append(kept, l)
+			}
+		}
+		key := kept.String()
+		a := series[key]
+		if a == nil {
+			a = &agg{}
+			series[key] = a
+			order = append(order, key)
+		}
+		return a
+	}
+	for _, s := range m.Samples {
+		a := get(s.Labels)
+		switch s.Suffix {
+		case "_bucket":
+			le := labelValue(s.Labels, "le")
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if v, err := strconv.ParseFloat(le, 64); err == nil {
+					bound = v
+				}
+			}
+			a.cum = append(a.cum, cumBucket{bound: bound, cum: s.Value})
+		case "_count":
+			a.count = s.Value
+		case "_sum":
+			a.sum = s.Value
+		}
+	}
+	sort.Strings(order)
+	out := make([]histSeries, 0, len(order))
+	for _, key := range order {
+		a := series[key]
+		sort.Slice(a.cum, func(i, j int) bool { return a.cum[i].bound < a.cum[j].bound })
+		h := histSeries{key: key, count: a.count, sum: a.sum}
+		prev := 0.0
+		for _, b := range a.cum {
+			if !math.IsInf(b.bound, 1) {
+				h.bounds = append(h.bounds, b.bound)
+			}
+			d := b.cum - prev
+			if d < 0 {
+				d = 0 // racing scrape; clamp
+			}
+			h.buckets = append(h.buckets, uint64(d))
+			prev = b.cum
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// printHealth probes /healthz and /readyz and renders the aggregated
+// component detail. Exit status stays 0 even when not ready — the
+// command reports, orchestrators should probe the endpoints directly.
+func printHealth(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	live, err := client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return fmt.Errorf("%w (is the daemon running with -telemetry-addr %s?)", err, addr)
+	}
+	live.Body.Close()
+	fmt.Printf("liveness:  %s\n", live.Status)
+
+	resp, err := client.Get("http://" + addr + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var hj telemetry.HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&hj); err != nil {
+		return fmt.Errorf("decoding /readyz: %w", err)
+	}
+	if hj.Ready {
+		fmt.Printf("readiness: ready (%s)\n\n", resp.Status)
+	} else {
+		fmt.Printf("readiness: NOT READY (%s)\n\n", resp.Status)
+	}
+	if len(hj.Components) == 0 {
+		fmt.Println("no components registered")
+		return nil
+	}
+	fmt.Printf("%-24s %-9s %-9s %-14s %s\n", "COMPONENT", "STATE", "CRITICAL", "SINCE", "REASON")
+	for _, c := range hj.Components {
+		crit := ""
+		if c.Critical {
+			crit = "critical"
+		}
+		fmt.Printf("%-24s %-9s %-9s %-14s %s\n",
+			c.Component, c.State, crit,
+			time.Since(c.Since).Round(time.Second).String()+" ago", c.Reason)
+	}
+	return nil
+}
+
+// printSLO renders the live MTTR pipeline and watchdog state: per-
+// stage and end-to-end detect→enforce quantiles, incomplete chains by
+// missing stage, and the SLO evaluation gauges.
+func printSLO(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/telemetry")
+	if err != nil {
+		return fmt.Errorf("%w (is the daemon running with -telemetry-addr %s?)", err, addr)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.SnapshotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding snapshot: %w", err)
+	}
+
+	var sloLines []string
+	found := false
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "iotsec_mttr_e2e_seconds":
+			found = true
+			for _, h := range parseHistogram(m) {
+				fmt.Printf("detect→enforce (e2e): %g chains, p50=%s p95=%s p99=%s\n",
+					h.count, secs(h.quantile(0.50)), secs(h.quantile(0.95)), secs(h.quantile(0.99)))
+			}
+		case "iotsec_mttr_stage_seconds":
+			found = true
+			fmt.Println("per-stage latency (from causal predecessor):")
+			for _, h := range parseHistogram(m) {
+				fmt.Printf("  %-28s n=%-6g p50=%s p95=%s p99=%s\n",
+					labelOf(h.key, "stage"), h.count,
+					secs(h.quantile(0.50)), secs(h.quantile(0.95)), secs(h.quantile(0.99)))
+			}
+		case "iotsec_mttr_incomplete_total":
+			for _, s := range m.Samples {
+				fmt.Printf("incomplete chains (missing %s): %g\n",
+					labelValue(s.Labels, "missing_stage"), s.Value)
+			}
+		case "iotsec_mttr_inflight_chains", "iotsec_mttr_complete_total", "iotsec_mttr_tap_dropped_total":
+			for _, s := range m.Samples {
+				fmt.Printf("%-44s %g\n", m.Name, s.Value)
+			}
+		default:
+			if strings.HasPrefix(m.Name, "iotsec_slo_") {
+				for _, s := range m.Samples {
+					sloLines = append(sloLines,
+						fmt.Sprintf("  %-40s %g", m.Name+s.Labels.String(), s.Value))
+				}
+			}
+		}
+	}
+	if !found {
+		fmt.Println("no MTTR metrics (is the daemon running the SLO tracker?)")
+		return nil
+	}
+	if len(sloLines) > 0 {
+		fmt.Println("\nwatchdog:")
+		sort.Strings(sloLines)
+		for _, l := range sloLines {
+			fmt.Println(l)
+		}
+	} else {
+		fmt.Println("\nwatchdog: disarmed (run iotsecd with -slo-mttr-p99)")
+	}
+	return nil
+}
+
+// secs renders a latency in seconds compactly.
+func secs(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// labelOf extracts one label value out of a rendered label-block key
+// like {stage="posture"}.
+func labelOf(key, label string) string {
+	i := strings.Index(key, label+`="`)
+	if i < 0 {
+		return key
+	}
+	rest := key[i+len(label)+2:]
+	if j := strings.Index(rest, `"`); j >= 0 {
+		return rest[:j]
+	}
+	return rest
 }
 
 // crowdLink aggregates the iotsec_sigrepo_link_* samples for one
@@ -417,6 +662,6 @@ func printEvent(e journal.Event) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>
-       mboxctl [-telemetry-addr host:port] stats|crowd|trace <id>|journal [flags]`)
+       mboxctl [-telemetry-addr host:port] stats|health|slo|crowd|trace <id>|journal [flags]`)
 	os.Exit(2)
 }

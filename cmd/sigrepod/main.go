@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -33,6 +34,9 @@ func main() {
 		"allow non-loopback clients to reach the unauthenticated /debug/ surfaces (pprof, journal); off by default")
 	flag.Parse()
 
+	bi := telemetry.RegisterBuildInfo(telemetry.Default, "sigrepod")
+	fmt.Printf("sigrepod: version %s (%s)\n", bi.Version, bi.GoVersion)
+
 	s := *salt
 	if s == "" {
 		s = fmt.Sprintf("salt-%d", time.Now().UnixNano())
@@ -54,13 +58,20 @@ func main() {
 			fmt.Printf("sigrepod: restored %d signatures (%d quarantined) from %s\n", total, q, *state)
 		}
 	}
+	// lastSaveErr feeds the health reporter: a failing snapshot save
+	// degrades the component until a later save succeeds.
+	var lastSaveErr atomic.Value
+	lastSaveErr.Store("")
 	persist := func() {
 		if *state == "" {
 			return
 		}
 		if err := repo.SaveFile(*state); err != nil {
+			lastSaveErr.Store(err.Error())
 			fmt.Fprintf(os.Stderr, "sigrepod: saving %s: %v\n", *state, err)
+			return
 		}
+		lastSaveErr.Store("")
 	}
 	defer persist()
 	srv := sigrepo.NewServer(repo)
@@ -73,6 +84,21 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("sigrepod: listening on %s (priority lag %v)\n", addr, *lag)
+
+	// Component health: the repository is the process's one critical
+	// component. Snapshot persistence failures degrade it (a restart
+	// would lose state) until a later save succeeds.
+	telemetry.Default.Health().Register("sigrepo-server", true,
+		func() (telemetry.HealthState, string) {
+			if msg := lastSaveErr.Load().(string); msg != "" {
+				return telemetry.HealthDegraded, "snapshot persistence failing: " + msg
+			}
+			total, q := repo.Stats()
+			if total > 0 && q == total {
+				return telemetry.HealthDegraded, fmt.Sprintf("all %d signatures quarantined", total)
+			}
+			return telemetry.HealthHealthy, ""
+		})
 
 	if *telemetryAddr != "" {
 		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr,

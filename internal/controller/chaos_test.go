@@ -3,6 +3,7 @@ package controller
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"os"
 	"runtime"
@@ -15,6 +16,7 @@ import (
 	"iotsec/internal/openflow"
 	"iotsec/internal/packet"
 	"iotsec/internal/resilience"
+	"iotsec/internal/telemetry"
 )
 
 // dumpJournalOnFailure exports the forensic journal as NDJSON to
@@ -40,6 +42,35 @@ func dumpJournalOnFailure(t *testing.T) {
 			_ = enc.Encode(e)
 		}
 		t.Logf("chaos journal dumped to %s", path)
+	})
+	dumpMetricsOnFailure(t)
+}
+
+// dumpMetricsOnFailure scrapes the process registry in Prometheus
+// text format to $IOTSEC_CHAOS_METRICS when the test fails, pairing
+// the forensic timeline artifact with the metric state (session
+// counts, flow-mod totals, MTTR histograms) at the moment of failure.
+func dumpMetricsOnFailure(t *testing.T) {
+	path := os.Getenv("IOTSEC_CHAOS_METRICS")
+	if path == "" {
+		return
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Logf("chaos metrics dump: %v", err)
+			return
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "# chaos metrics snapshot: %s\n", t.Name())
+		if err := telemetry.Default.WritePrometheus(f); err != nil {
+			t.Logf("chaos metrics dump: %v", err)
+			return
+		}
+		t.Logf("chaos metrics dumped to %s", path)
 	})
 }
 

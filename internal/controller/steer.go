@@ -398,3 +398,19 @@ func (s *Steering) String() string {
 	return fmt.Sprintf("steering: %d devices, %d switches, %d quarantined",
 		len(s.devices), len(s.switches), len(s.isolated))
 }
+
+// Switches reports how many southbound switch sessions are currently
+// connected — the health plane's "can a quarantine FLOW_MOD reach the
+// network at all" signal.
+func (s *Steering) Switches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.switches)
+}
+
+// Quarantined reports how many devices are currently isolated.
+func (s *Steering) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.isolated)
+}

@@ -87,6 +87,11 @@ type Platform struct {
 	// FLOW_MODs whenever a posture isolates or releases a device.
 	steering *controller.Steering
 
+	// failModeSnapshot remembers per-pipeline fail modes captured when
+	// the SLO watchdog escalated, so de-escalation restores exactly
+	// what the operator had configured (nil = not escalated).
+	failModeSnapshot map[string]mbox.FailMode
+
 	recorder *netsim.Recorder
 }
 

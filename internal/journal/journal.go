@@ -77,6 +77,10 @@ const (
 	// the pipeline recovered and applied its fail-mode instead of
 	// crashing the gateway.
 	TypeMboxPanic Type = "mbox-panic"
+	// TypeSLOBurn is the SLO watchdog detecting sustained burn: the
+	// windowed detect→enforce latency (or incomplete-chain rate)
+	// exceeded the configured objective's error budget.
+	TypeSLOBurn Type = "slo-burn"
 )
 
 // Severity ranks events for filtering.
@@ -178,9 +182,10 @@ type Journal struct {
 	full bool
 	seq  uint64
 	subs []*tailSub
+	taps []*Subscription
 
-	// nsubs mirrors len(subs) so the append fast path can skip
-	// subscriber fan-out with one atomic load.
+	// nsubs mirrors len(subs)+len(taps) so the append fast path can
+	// skip subscriber fan-out with one atomic load.
 	nsubs   atomic.Int32
 	dropped atomic.Uint64 // tail-subscriber drops
 }
@@ -274,6 +279,9 @@ func (j *Journal) append(e Event) {
 				j.dropped.Add(1)
 			}
 		}
+		for _, t := range j.taps {
+			t.notify()
+		}
 	}
 	j.mu.Unlock()
 }
@@ -365,7 +373,7 @@ func (j *Journal) Tail(buffer int) (events <-chan Event, cancel func()) {
 	s := &tailSub{ch: make(chan Event, buffer)}
 	j.mu.Lock()
 	j.subs = append(j.subs, s)
-	j.nsubs.Store(int32(len(j.subs)))
+	j.nsubs.Store(int32(len(j.subs) + len(j.taps)))
 	j.mu.Unlock()
 	var once sync.Once
 	return s.ch, func() {
@@ -377,9 +385,172 @@ func (j *Journal) Tail(buffer int) (events <-chan Event, cancel func()) {
 					break
 				}
 			}
-			j.nsubs.Store(int32(len(j.subs)))
+			j.nsubs.Store(int32(len(j.subs) + len(j.taps)))
 			j.mu.Unlock()
 			close(s.ch)
 		})
 	}
+}
+
+// Subscription is a bounded drop-oldest fan-out of the live event
+// stream — the journal tap behind the online SLO plane. Unlike Tail
+// (whose non-blocking channel sends lose the NEWEST events when the
+// consumer lags), a Subscription keeps the newest events and evicts
+// the OLDEST, like the southbound degradation ring and the sigrepo
+// notify rings: for SLO accounting the recent past is what matters,
+// and anything old enough to be evicted belongs to a chain that has
+// already aged past the correlator's incomplete-chain timeout (the
+// eviction is counted, so accounting loss is observable, never
+// silent).
+//
+// A Subscription does not buffer its own copy of the stream: the
+// journal's ring already holds every event, so the tap is just a
+// cursor into it. The append-side cost is one subtraction-and-compare
+// (plus a non-blocking wake on the empty→non-empty transition); no
+// copy, no allocation. Drain copies the unread window out of the
+// shared ring on the consumer's side of the lock. With no
+// subscription attached the append fast path is untouched (one atomic
+// load, same as before).
+type Subscription struct {
+	j *Journal
+
+	// cursor/cap/limit/evicted are guarded by j.mu (the wake check runs
+	// inside append's critical section; consumer-side accessors take the
+	// same lock).
+	cursor  uint64 // last sequence number delivered (or skipped)
+	cap     uint64 // max unread backlog before oldest events are evicted
+	limit   uint64 // Close fence: events past this seq are never delivered
+	evicted uint64
+
+	wake   chan struct{}
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Subscribe attaches a drop-oldest tap retaining up to buffer pending
+// events (values < 1 default to 1024; values beyond the journal's own
+// ring are clamped to it, since overwritten slots are gone either
+// way). Consumers loop on Wait and Drain; Close detaches.
+func (j *Journal) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1024
+	}
+	j.mu.Lock()
+	if buffer > len(j.ring) {
+		buffer = len(j.ring)
+	}
+	s := &Subscription{
+		j:      j,
+		cursor: j.seq,
+		cap:    uint64(buffer),
+		limit:  ^uint64(0),
+		wake:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+	j.taps = append(j.taps, s)
+	j.nsubs.Store(int32(len(j.subs) + len(j.taps)))
+	j.mu.Unlock()
+	return s
+}
+
+// notify is called with j.mu held after each append. The wake is only
+// sent on the empty→non-empty transition: while events are already
+// pending the consumer has an outstanding wake (or is mid-drain and
+// will pick these up anyway), so a bursty stream pays one channel send
+// per batch, not per event.
+func (s *Subscription) notify() {
+	if s.j.seq-s.cursor == 1 {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// reconcileLocked advances the cursor past events the journal ring has
+// outgrown (or that exceed the subscription's own backlog cap),
+// counting them as evicted. Called with j.mu held.
+func (s *Subscription) reconcileLocked() {
+	end := s.j.seq
+	if end > s.limit {
+		end = s.limit
+	}
+	if unread := end - s.cursor; unread > s.cap {
+		excess := unread - s.cap
+		s.evicted += excess
+		s.cursor += excess
+	}
+}
+
+// Drain removes and returns all pending events, oldest first (nil
+// when empty). The unread window is copied out of the journal's ring;
+// the lock is held for the copy, but the window is bounded by the
+// subscription's buffer.
+func (s *Subscription) Drain() []Event {
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	s.reconcileLocked()
+	end := s.j.seq
+	if end > s.limit {
+		end = s.limit
+	}
+	if end == s.cursor {
+		return nil
+	}
+	out := make([]Event, 0, end-s.cursor)
+	ring := s.j.ring
+	for q := s.cursor + 1; q <= end; q++ {
+		out = append(out, ring[int((q-1)%uint64(len(ring)))])
+	}
+	s.cursor = end
+	return out
+}
+
+// Pending reports buffered, undrained events.
+func (s *Subscription) Pending() int {
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	s.reconcileLocked()
+	end := s.j.seq
+	if end > s.limit {
+		end = s.limit
+	}
+	return int(end - s.cursor)
+}
+
+// Evicted reports events dropped (oldest-first) to make room for
+// newer ones while the consumer lagged.
+func (s *Subscription) Evicted() uint64 {
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	s.reconcileLocked()
+	return s.evicted
+}
+
+// Wait returns a channel that receives (at least) one wake-up after
+// events become pending. Spurious wake-ups are possible; pair with
+// Drain in a loop.
+func (s *Subscription) Wait() <-chan struct{} { return s.wake }
+
+// Done is closed when the subscription is detached.
+func (s *Subscription) Done() <-chan struct{} { return s.closed }
+
+// Close detaches the tap. Idempotent; pending events remain drainable.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.j.mu.Lock()
+		for i, t := range s.j.taps {
+			if t == s {
+				s.j.taps = append(s.j.taps[:i], s.j.taps[i+1:]...)
+				break
+			}
+		}
+		s.j.nsubs.Store(int32(len(s.j.subs) + len(s.j.taps)))
+		// Fence the cursor window: events appended after Close are
+		// never delivered, but the backlog accumulated before it
+		// remains drainable.
+		s.limit = s.j.seq
+		s.j.mu.Unlock()
+		close(s.closed)
+	})
 }

@@ -275,9 +275,24 @@ func (a *SwitchAgent) current() *openflow.Conn {
 // Connected reports whether a southbound session is currently live.
 func (a *SwitchAgent) Connected() bool { return a.connected.Load() }
 
+// Stopped reports whether the supervisor has terminated for good
+// (Close was called or the reconnect budget is exhausted) — the
+// health plane's "this link will not come back by itself" signal.
+func (a *SwitchAgent) Stopped() bool {
+	select {
+	case <-a.stopped:
+		return true
+	default:
+		return false
+	}
+}
+
 // Reconnects reports how many times the supervisor re-established the
 // session.
 func (a *SwitchAgent) Reconnects() uint64 { return a.reconnects.Load() }
+
+// FailMode reports the configured degradation stance.
+func (a *SwitchAgent) FailMode() FailMode { return a.opts.FailMode }
 
 // BufferedEvents reports the degradation ring depth.
 func (a *SwitchAgent) BufferedEvents() int { return a.buffer.Len() }

@@ -771,3 +771,31 @@ func (m *ManagedClient) ExportTelemetry(reg *telemetry.Registry, link string) {
 		}
 	})
 }
+
+// Health is a telemetry.HealthReporter for the managed link: Up maps
+// to Healthy, Degraded (reconnecting under backoff, outbox queueing)
+// to Degraded, Down (not yet connected or supervisor stopped) to
+// Down. The reason carries the operational detail a /readyz probe
+// needs to be actionable.
+func (m *ManagedClient) Health() (telemetry.HealthState, string) {
+	switch m.State() {
+	case LinkUp:
+		return telemetry.HealthHealthy, ""
+	case LinkDegraded:
+		return telemetry.HealthDegraded, fmt.Sprintf(
+			"reconnecting (outbox %d queued, %d reconnects, %d gaps)",
+			m.OutboxDepth(), m.Reconnects(), m.Gaps())
+	default:
+		return telemetry.HealthDown, fmt.Sprintf(
+			"link down (outbox %d queued)", m.OutboxDepth())
+	}
+}
+
+// RegisterHealth registers the link in the component-health registry
+// as "sigrepo-link:<link>". The northbound link is advisory for a
+// gateway (enforcement works without crowd updates), so callers
+// normally pass critical=false — readiness then reports it without
+// gating on it.
+func (m *ManagedClient) RegisterHealth(h *telemetry.HealthRegistry, link string, critical bool) {
+	h.Register("sigrepo-link:"+link, critical, m.Health)
+}

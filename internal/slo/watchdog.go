@@ -1,0 +1,312 @@
+package slo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotsec/internal/journal"
+	"iotsec/internal/resilience"
+	"iotsec/internal/telemetry"
+)
+
+// Objectives is a detect→enforce latency SLO evaluated over sliding
+// windows of the tracker's end-to-end histogram.
+type Objectives struct {
+	// Target is the objective latency at Quantile (e.g. p99 ≤ 250ms).
+	Target time.Duration
+	// Quantile the objective is stated at (default 0.99). The error
+	// budget per window is (1-Quantile)·BurnFactor: the fraction of
+	// chains allowed to miss Target (or never complete) before the
+	// window counts as burning.
+	Quantile float64
+	// Window is the evaluation period (default 1m).
+	Window time.Duration
+	// MinSamples skips windows with too little traffic to judge
+	// (default 5 chains; completed + incomplete).
+	MinSamples uint64
+	// BurnFactor scales the per-window error budget (default 1). >1
+	// tolerates transient spikes (slow burn detection); a Google-style
+	// fast-burn page would run a second watchdog with BurnFactor 14
+	// over a short window.
+	BurnFactor float64
+}
+
+func (o Objectives) withDefaults() Objectives {
+	if o.Quantile <= 0 || o.Quantile >= 1 {
+		o.Quantile = 0.99
+	}
+	if o.Window <= 0 {
+		o.Window = time.Minute
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 5
+	}
+	if o.BurnFactor <= 0 {
+		o.BurnFactor = 1
+	}
+	return o
+}
+
+// String renders the objective for journal events and CLIs.
+func (o Objectives) String() string {
+	return fmt.Sprintf("p%g ≤ %s over %s (budget ×%g)",
+		o.Quantile*100, o.Target, o.Window, o.BurnFactor)
+}
+
+// WatchdogOptions configures the evaluation machinery.
+type WatchdogOptions struct {
+	// Journal receives slo-burn events (journal.Default when nil).
+	Journal *journal.Journal
+	// Registry receives the watchdog metrics (the tracker's registry
+	// when nil).
+	Registry *telemetry.Registry
+	// Clock drives the evaluation ticker (resilience.System when nil).
+	Clock resilience.Clock
+	// OnBurn fires once per burn episode, when a window first
+	// violates the objective (iotsecd wires fail-mode escalation
+	// here). OnRecover fires when a later window clears it.
+	OnBurn    func(Evaluation)
+	OnRecover func(Evaluation)
+}
+
+// Evaluation is one window verdict.
+type Evaluation struct {
+	At         time.Time     `json:"at"`
+	Skipped    bool          `json:"skipped"` // below MinSamples
+	Total      uint64        `json:"total"`   // chains judged this window
+	Incomplete uint64        `json:"incomplete"`
+	OverTarget uint64        `json:"over_target"` // completed chains over Target (bucket-conservative)
+	Quantile   time.Duration `json:"quantile"`    // windowed latency at the objective quantile
+	BudgetFrac float64       `json:"budget_frac"` // allowed violating fraction
+	ViolFrac   float64       `json:"viol_frac"`   // observed violating fraction
+	Burning    bool          `json:"burning"`
+}
+
+// Watchdog evaluates the objective over deltas of the tracker's
+// histograms every Window, emitting slo-burn journal events and the
+// iotsec_slo_burn_total counter while the budget is exceeded.
+// Incomplete chains count as violations at +Inf — a chain that never
+// enforced is the worst possible MTTR, not a missing sample.
+type Watchdog struct {
+	t     *Tracker
+	j     *journal.Journal
+	obj   Objectives
+	clock resilience.Clock
+	reg   *telemetry.Registry
+
+	onBurn    func(Evaluation)
+	onRecover func(Evaluation)
+
+	mBurn *telemetry.Counter
+
+	mu          sync.Mutex
+	prevBuckets []uint64
+	prevInc     uint64
+	burning     bool
+	last        Evaluation
+	evals       uint64
+
+	started atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewWatchdog builds a watchdog over t. Call Start to begin ticking
+// (tests may call Evaluate directly instead).
+func NewWatchdog(t *Tracker, obj Objectives, opts WatchdogOptions) *Watchdog {
+	j := opts.Journal
+	if j == nil {
+		j = journal.Default
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = t.reg
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = resilience.System
+	}
+	w := &Watchdog{
+		t:         t,
+		j:         j,
+		obj:       obj.withDefaults(),
+		clock:     clock,
+		reg:       reg,
+		onBurn:    opts.OnBurn,
+		onRecover: opts.OnRecover,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	w.mBurn = reg.NewCounter("iotsec_slo_burn_total",
+		"Evaluation windows in which the MTTR objective's error budget was exceeded.")
+	reg.RegisterCollector("slo-watchdog", w.collect)
+	// Baseline the histogram so the first window only sees its own
+	// delta, not process history.
+	_, _, w.prevBuckets = t.mE2E.Snapshot()
+	w.prevInc = t.Incomplete()
+	return w
+}
+
+// Objectives returns the (defaulted) objective under evaluation.
+func (w *Watchdog) Objectives() Objectives { return w.obj }
+
+// Start begins the evaluation ticker. Stop (or Close) ends it.
+func (w *Watchdog) Start() {
+	if !w.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(w.done)
+		ticker := w.clock.NewTicker(w.obj.Window)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-ticker.C():
+				w.Evaluate()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker (a never-Started watchdog just unregisters its
+// collector). Idempotent.
+func (w *Watchdog) Stop() {
+	w.once.Do(func() {
+		close(w.stop)
+		if w.started.Load() {
+			<-w.done
+		}
+		w.reg.UnregisterCollector("slo-watchdog")
+	})
+}
+
+// Evaluate judges the window since the previous evaluation. Exported
+// so tests (and one-shot tools) can drive it deterministically.
+func (w *Watchdog) Evaluate() Evaluation {
+	// Barrier: fold anything sitting in the tap and sweep timeouts so
+	// the window judges every chain that should have resolved by now.
+	w.t.Sync()
+	_, _, buckets := w.t.mE2E.Snapshot()
+	inc := w.t.Incomplete()
+	bounds := w.t.mE2E.Bounds()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delta := make([]uint64, len(buckets))
+	var completed uint64
+	for i := range buckets {
+		d := buckets[i]
+		if w.prevBuckets != nil && i < len(w.prevBuckets) {
+			d -= w.prevBuckets[i]
+		}
+		delta[i] = d
+		completed += d
+	}
+	dInc := inc - w.prevInc
+	w.prevBuckets = buckets
+	w.prevInc = inc
+
+	ev := Evaluation{
+		At:         w.clock.Now(),
+		Total:      completed + dInc,
+		Incomplete: dInc,
+		BudgetFrac: (1 - w.obj.Quantile) * w.obj.BurnFactor,
+	}
+	w.evals++
+	if ev.Total < w.obj.MinSamples {
+		ev.Skipped = true
+		ev.Burning = w.burning
+		w.last = ev
+		return ev
+	}
+
+	// Incomplete chains are +Inf observations for the windowed
+	// quantile and automatic violations for the budget.
+	qBuckets := append([]uint64(nil), delta...)
+	qBuckets[len(qBuckets)-1] += dInc
+	ev.Quantile = time.Duration(telemetry.QuantileFromBuckets(bounds, qBuckets, w.obj.Quantile) * float64(time.Second))
+
+	// A completed chain counts as over-target when its bucket's upper
+	// bound exceeds Target (conservative: the bucket containing Target
+	// counts as over — pick Target on a bucket boundary to avoid the
+	// rounding, see LatencyBuckets).
+	target := w.obj.Target.Seconds()
+	for i, d := range delta {
+		if d == 0 {
+			continue
+		}
+		if i >= len(bounds) || bounds[i] > target {
+			ev.OverTarget += d
+		}
+	}
+	ev.ViolFrac = float64(ev.OverTarget+dInc) / float64(ev.Total)
+	ev.Burning = ev.ViolFrac > ev.BudgetFrac
+
+	if ev.Burning {
+		w.mBurn.Inc()
+		w.j.Record(context.Background(), journal.TypeSLOBurn, journal.Warn, "",
+			fmt.Sprintf("MTTR SLO burn: %s violated — window p%g=%s, %d/%d over target (%d incomplete), viol %.1f%% > budget %.1f%%",
+				w.obj, w.obj.Quantile*100, ev.Quantile, ev.OverTarget+ev.Incomplete, ev.Total,
+				ev.Incomplete, ev.ViolFrac*100, ev.BudgetFrac*100))
+	}
+	was := w.burning
+	w.burning = ev.Burning
+	w.last = ev
+	if ev.Burning && !was && w.onBurn != nil {
+		go w.onBurn(ev)
+	}
+	if !ev.Burning && was && w.onRecover != nil {
+		go w.onRecover(ev)
+	}
+	return ev
+}
+
+// Last returns the most recent evaluation (zero before the first).
+func (w *Watchdog) Last() Evaluation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last
+}
+
+// Burning reports whether the last judged window violated the budget.
+func (w *Watchdog) Burning() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.burning
+}
+
+// collect emits the watchdog's scrape-time series. Gauges with
+// fractional values (seconds, ratios) are emitted here rather than as
+// int64 Gauge metrics.
+func (w *Watchdog) collect(emit func(name string, kind telemetry.Kind, help string, labels telemetry.Labels, value float64)) {
+	w.mu.Lock()
+	last, burning, evals := w.last, w.burning, w.evals
+	obj := w.obj
+	w.mu.Unlock()
+	b := 0.0
+	if burning {
+		b = 1
+	}
+	emit("iotsec_slo_burn_active", telemetry.KindGauge,
+		"1 while the last evaluated window violated the MTTR error budget.", nil, b)
+	emit("iotsec_slo_objective_seconds", telemetry.KindGauge,
+		"Configured MTTR objective latency.", nil, obj.Target.Seconds())
+	emit("iotsec_slo_objective_quantile", telemetry.KindGauge,
+		"Quantile the MTTR objective is stated at.", nil, obj.Quantile)
+	emit("iotsec_slo_evaluations_total", telemetry.KindCounter,
+		"SLO windows evaluated (including skipped low-traffic windows).", nil, float64(evals))
+	emit("iotsec_slo_window_quantile_seconds", telemetry.KindGauge,
+		"Last window's MTTR at the objective quantile (incomplete chains count as +Inf).",
+		nil, last.Quantile.Seconds())
+	emit("iotsec_slo_window_total", telemetry.KindGauge,
+		"Chains judged in the last window.", nil, float64(last.Total))
+	emit("iotsec_slo_window_violations", telemetry.KindGauge,
+		"Over-target plus incomplete chains in the last window.",
+		nil, float64(last.OverTarget+last.Incomplete))
+}

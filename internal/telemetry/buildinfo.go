@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the resolved build identity exposed by
+// iotsec_build_info and shown by mboxctl stats.
+type BuildInfo struct {
+	Component string `json:"component"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+}
+
+// ReadBuildInfo resolves the running binary's identity from the
+// embedded module build info. Version falls back through the module
+// version ("(devel)" for local builds), then the vcs.revision setting
+// (short hash), then "unknown" — binaries built straight from a
+// checkout still get a usable answer.
+func ReadBuildInfo(component string) BuildInfo {
+	out := BuildInfo{Component: component, Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.GoVersion != "" {
+		out.GoVersion = bi.GoVersion
+	}
+	if v := bi.Main.Version; v != "" {
+		out.Version = v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 7 {
+			rev := s.Value[:7]
+			if out.Version == "unknown" || out.Version == "(devel)" {
+				out.Version = rev
+			}
+			break
+		}
+	}
+	return out
+}
+
+// RegisterBuildInfo registers the iotsec_build_info constant gauge on
+// r (Default when nil):
+//
+//	iotsec_build_info{component="iotsecd",version="(devel)",go_version="go1.24.0"} 1
+//
+// The constant-1 gauge with identity labels is the standard Prometheus
+// idiom for joining build metadata onto any other series. All three
+// binaries call this at startup.
+func RegisterBuildInfo(r *Registry, component string) BuildInfo {
+	if r == nil {
+		r = Default
+	}
+	bi := ReadBuildInfo(component)
+	r.RegisterCollector("build-info:"+component, func(emit func(name string, kind Kind, help string, labels Labels, value float64)) {
+		emit("iotsec_build_info", KindGauge,
+			"Constant gauge carrying build identity labels.",
+			Labels{
+				{Key: "component", Value: bi.Component},
+				{Key: "version", Value: bi.Version},
+				{Key: "go_version", Value: bi.GoVersion},
+			}, 1)
+	})
+	return bi
+}

@@ -166,8 +166,9 @@ type Mount struct {
 }
 
 // Serve starts a telemetry server on addr (use port 0 for ephemeral),
-// returning the server and its bound address. Besides /metrics and
-// /debug/telemetry the mux carries the net/http/pprof surface under
+// returning the server and its bound address. Besides /metrics,
+// /healthz (liveness), /readyz (aggregated readiness) and
+// /debug/telemetry, the mux carries the net/http/pprof surface under
 // /debug/pprof/ and any extra mounts; the runtime-stats collector is
 // registered so every scrape includes iotsec_runtime_* gauges.
 //
@@ -188,6 +189,11 @@ func (r *Registry) Serve(addr string, mounts ...Mount) (*Server, string, error) 
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	// Probe endpoints are open like /metrics: orchestrators probing
+	// liveness/readiness are expected to be remote, and the responses
+	// carry operational state only (no profiles, no forensic events).
+	mux.Handle("/healthz", r.health.LivenessHandler())
+	mux.Handle("/readyz", r.health.ReadinessHandler())
 	mux.Handle("/debug/telemetry", s.guardDebug(r.DebugHandler()))
 	mux.Handle("/debug/pprof/", s.guardDebug(http.HandlerFunc(pprof.Index)))
 	mux.Handle("/debug/pprof/cmdline", s.guardDebug(http.HandlerFunc(pprof.Cmdline)))

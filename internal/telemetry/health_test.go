@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthReadyGating: only critical components gate readiness, and
+// Degraded never does.
+func TestHealthReadyGating(t *testing.T) {
+	h := NewHealthRegistry()
+	state := HealthHealthy
+	h.Register("crit", true, func() (HealthState, string) { return state, "r" })
+	h.Register("aux", false, func() (HealthState, string) { return HealthDown, "aux broken" })
+
+	ready, comps := h.Ready()
+	if !ready {
+		t.Fatalf("non-critical Down must not gate readiness: %+v", comps)
+	}
+	state = HealthDegraded
+	if ready, _ := h.Ready(); !ready {
+		t.Fatal("critical Degraded must not gate readiness")
+	}
+	state = HealthDown
+	if ready, _ := h.Ready(); ready {
+		t.Fatal("critical Down must gate readiness")
+	}
+}
+
+// TestHealthSinceTracksTransitions: Since moves only when the state
+// changes between polls.
+func TestHealthSinceTracksTransitions(t *testing.T) {
+	h := NewHealthRegistry()
+	now := time.Unix(100, 0)
+	h.now = func() time.Time { return now }
+	state := HealthHealthy
+	h.Register("c", true, func() (HealthState, string) { return state, "" })
+
+	first := h.Snapshot()[0].Since
+	now = now.Add(time.Minute)
+	if got := h.Snapshot()[0].Since; !got.Equal(first) {
+		t.Fatalf("Since moved without a transition: %v -> %v", first, got)
+	}
+	state = HealthDegraded
+	now = now.Add(time.Minute)
+	if got := h.Snapshot()[0].Since; !got.Equal(now) {
+		t.Fatalf("Since = %v after transition, want %v", got, now)
+	}
+}
+
+// TestReadinessHandlerJSONRoundTrip: the 503 body decodes back into
+// HealthJSON with states intact (mboxctl health depends on this).
+func TestReadinessHandlerJSONRoundTrip(t *testing.T) {
+	h := NewHealthRegistry()
+	h.Register("southbound", true, func() (HealthState, string) {
+		return HealthDown, "reconnect budget exhausted"
+	})
+	rr := httptest.NewRecorder()
+	h.ReadinessHandler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rr.Code)
+	}
+	var body HealthJSON
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decoding /readyz body: %v", err)
+	}
+	if body.Ready || len(body.Components) != 1 {
+		t.Fatalf("body = %+v", body)
+	}
+	c := body.Components[0]
+	if c.Component != "southbound" || c.State != HealthDown || !strings.Contains(c.Reason, "exhausted") {
+		t.Fatalf("component round-trip mangled: %+v", c)
+	}
+}
+
+// TestHealthCollectorGauges: registering a reporter on a registry
+// exposes the component gauges at scrape time.
+func TestHealthCollectorGauges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Health().Register("mbox-cluster", false, func() (HealthState, string) {
+		return HealthDegraded, "at capacity"
+	})
+	var health, critical *float64
+	for _, m := range reg.Snapshot(0).Metrics {
+		for _, s := range m.Samples {
+			for _, l := range s.Labels {
+				if l.Key == "component" && l.Value == "mbox-cluster" {
+					v := s.Value
+					switch m.Name {
+					case "iotsec_component_health":
+						health = &v
+					case "iotsec_component_critical":
+						critical = &v
+					}
+				}
+			}
+		}
+	}
+	if health == nil || *health != 1 {
+		t.Fatalf("iotsec_component_health = %v, want 1 (degraded)", health)
+	}
+	if critical == nil || *critical != 0 {
+		t.Fatalf("iotsec_component_critical = %v, want 0", critical)
+	}
+}
+
+// TestRegisterBuildInfo: the collector emits exactly one constant
+// sample with the component label, and re-registration is idempotent.
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	bi := RegisterBuildInfo(reg, "testd")
+	if bi.GoVersion == "" || bi.Version == "" {
+		t.Fatalf("build info incomplete: %+v", bi)
+	}
+	RegisterBuildInfo(reg, "testd") // same id: replaces, no duplicate family
+	found := 0
+	for _, m := range reg.Snapshot(0).Metrics {
+		if m.Name != "iotsec_build_info" {
+			continue
+		}
+		for _, s := range m.Samples {
+			if s.Value != 1 {
+				t.Fatalf("build_info value = %g, want 1", s.Value)
+			}
+			found++
+		}
+	}
+	if found != 1 {
+		t.Fatalf("build_info samples = %d, want 1", found)
+	}
+}

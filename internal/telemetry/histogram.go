@@ -121,7 +121,39 @@ func (h *Histogram) Sum() float64 {
 // Quantile estimates q in [0,1] by linear interpolation within the
 // winning bucket (the usual Prometheus-style estimate).
 func (h *Histogram) Quantile(q float64) float64 {
-	count, _, buckets := h.snapshot()
+	_, _, buckets := h.snapshot()
+	return QuantileFromBuckets(h.bounds, buckets, q)
+}
+
+// Bounds returns the histogram's upper bucket bounds (ascending; the
+// +Inf bucket is implicit). The returned slice is a copy.
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// Snapshot folds the shards into (count, sum, per-bucket counts). The
+// buckets slice has len(Bounds())+1 entries — the last is the +Inf
+// bucket — and holds per-bucket (non-cumulative) counts. Safe to call
+// concurrently with writers; the fold is not atomic across shards, so
+// concurrent observations may be partially visible (fine for scrapes
+// and windowed deltas).
+func (h *Histogram) Snapshot() (count uint64, sum float64, buckets []uint64) {
+	return h.snapshot()
+}
+
+// QuantileFromBuckets estimates q in [0,1] from per-bucket
+// (non-cumulative) counts against the given upper bounds, with linear
+// interpolation inside the winning bucket. buckets may have
+// len(bounds) or len(bounds)+1 entries (the extra one is +Inf); the
+// +Inf bucket reports the last finite bound, since nothing better is
+// known. Used by Histogram.Quantile, by the SLO watchdog over windowed
+// deltas, and by mboxctl when re-deriving quantiles from a scraped
+// snapshot.
+func QuantileFromBuckets(bounds []float64, buckets []uint64, q float64) float64 {
+	count := uint64(0)
+	for _, b := range buckets {
+		count += b
+	}
 	if count == 0 {
 		return 0
 	}
@@ -133,11 +165,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 		cum += b
 		if float64(cum) >= rank {
 			upper := lower
-			if i < len(h.bounds) {
-				upper = h.bounds[i]
-			} else if len(h.bounds) > 0 {
+			if i < len(bounds) {
+				upper = bounds[i]
+			} else if len(bounds) > 0 {
 				// +Inf bucket: report the last finite bound.
-				return h.bounds[len(h.bounds)-1]
+				return bounds[len(bounds)-1]
 			}
 			if b == 0 {
 				return upper
@@ -145,12 +177,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 			frac := (rank - float64(prev)) / float64(b)
 			return lower + (upper-lower)*frac
 		}
-		if i < len(h.bounds) {
-			lower = h.bounds[i]
+		if i < len(bounds) {
+			lower = bounds[i]
 		}
 	}
-	if len(h.bounds) > 0 {
-		return h.bounds[len(h.bounds)-1]
+	if len(bounds) > 0 {
+		return bounds[len(bounds)-1]
 	}
 	return 0
 }

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEmptyHistogram: no observations → 0 at every quantile.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := newHistogram(meta{name: "t_empty"}, []float64{0.1, 1, 10})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%g) on empty histogram = %g, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleBucket: every observation in one bucket
+// interpolates within that bucket's bounds.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := newHistogram(meta{name: "t_single"}, []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5) // all in bucket (1, 2]
+	}
+	got := h.Quantile(0.5)
+	if got <= 1 || got > 2 {
+		t.Fatalf("Quantile(0.5) = %g, want within (1, 2]", got)
+	}
+	// q=1 must land exactly on the bucket's upper bound.
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("Quantile(1) = %g, want 2", got)
+	}
+}
+
+// TestQuantileExtremes: q=0 and q=1 stay within the observed bucket
+// range rather than extrapolating.
+func TestQuantileExtremes(t *testing.T) {
+	h := newHistogram(meta{name: "t_extremes"}, []float64{1, 2, 4, 8})
+	h.Observe(0.5) // bucket ≤1
+	h.Observe(3)   // bucket (2,4]
+	h.Observe(7)   // bucket (4,8]
+	if got := h.Quantile(0); got < 0 || got > 1 {
+		t.Fatalf("Quantile(0) = %g, want within [0, 1]", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Fatalf("Quantile(1) = %g, want 8 (upper bound of last occupied bucket)", got)
+	}
+}
+
+// TestQuantileInfBucket: observations above every finite bound land in
+// the implicit +Inf bucket; quantiles falling there report the last
+// finite bound (nothing better is known).
+func TestQuantileInfBucket(t *testing.T) {
+	h := newHistogram(meta{name: "t_inf"}, []float64{1, 2})
+	for i := 0; i < 4; i++ {
+		h.Observe(100) // +Inf bucket
+	}
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile(0.99) with all mass at +Inf = %g, want last finite bound 2", got)
+	}
+	// Mixed: half under 1, half at +Inf — median interpolates in the
+	// finite range, p99 saturates at the last bound.
+	h2 := newHistogram(meta{name: "t_inf2"}, []float64{1, 2})
+	for i := 0; i < 5; i++ {
+		h2.Observe(0.5)
+		h2.Observe(50)
+	}
+	if got := h2.Quantile(0.25); got > 1 {
+		t.Fatalf("Quantile(0.25) = %g, want ≤ 1", got)
+	}
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile(0.99) = %g, want 2", got)
+	}
+}
+
+// TestQuantileFromBucketsEdges drives the exported helper directly:
+// empty counts, zero-count winning buckets, counts slices with and
+// without the +Inf entry.
+func TestQuantileFromBucketsEdges(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	if got := QuantileFromBuckets(bounds, nil, 0.5); got != 0 {
+		t.Fatalf("nil buckets = %g, want 0", got)
+	}
+	if got := QuantileFromBuckets(bounds, []uint64{0, 0, 0, 0}, 0.5); got != 0 {
+		t.Fatalf("all-zero buckets = %g, want 0", got)
+	}
+	// Rank falls on a zero-count bucket boundary: returns the bucket's
+	// upper bound instead of dividing by zero.
+	got := QuantileFromBuckets(bounds, []uint64{1, 0, 1, 0}, 0.5)
+	if math.IsNaN(got) || got < 1 || got > 4 {
+		t.Fatalf("zero-count middle bucket = %g, want finite within [1, 4]", got)
+	}
+	// No bounds at all (degenerate histogram): only the +Inf bucket.
+	if got := QuantileFromBuckets(nil, []uint64{7}, 0.9); got != 0 {
+		t.Fatalf("boundless histogram = %g, want 0", got)
+	}
+	// Counts without the +Inf entry still work.
+	if got := QuantileFromBuckets(bounds, []uint64{10, 0, 0}, 1); got != 1 {
+		t.Fatalf("no-inf counts q=1 = %g, want 1", got)
+	}
+}
+
+// TestHistogramSnapshotAndBounds: the exported snapshot matches the
+// observation distribution and Bounds returns a defensive copy.
+func TestHistogramSnapshotAndBounds(t *testing.T) {
+	h := newHistogram(meta{name: "t_snap"}, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	count, sum, buckets := h.Snapshot()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if sum != 11 {
+		t.Fatalf("sum = %g, want 11", sum)
+	}
+	if len(buckets) != 3 || buckets[0] != 1 || buckets[1] != 1 || buckets[2] != 1 {
+		t.Fatalf("buckets = %v, want [1 1 1]", buckets)
+	}
+	b := h.Bounds()
+	b[0] = 99
+	if h.Bounds()[0] != 1 {
+		t.Fatal("Bounds must return a copy, not the internal slice")
+	}
+}
+
+// TestHistogramVecLabelRoundTrip: With(values...) children expose
+// samples whose labels round-trip through the join/split encoding,
+// including values with spaces, commas, quotes and empty strings.
+func TestHistogramVecLabelRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.NewHistogramVec("t_vec_seconds", "test", []float64{1}, "stage", "device")
+	cases := [][2]string{
+		{"posture", "wemo"},
+		{"flow-mod", "camera 1"},
+		{"a,b", `quo"ted`},
+		{"", "empty-first"},
+	}
+	for _, c := range cases {
+		v.With(c[0], c[1]).Observe(0.5)
+	}
+	// Same label values must resolve to the same child.
+	if v.With("posture", "wemo") != v.With("posture", "wemo") {
+		t.Fatal("With must be stable for equal label values")
+	}
+	found := map[[2]string]bool{}
+	for _, s := range v.Samples() {
+		if s.Suffix != "_count" {
+			continue
+		}
+		var stage, device string
+		for _, l := range s.Labels {
+			switch l.Key {
+			case "stage":
+				stage = l.Value
+			case "device":
+				device = l.Value
+			}
+		}
+		found[[2]string{stage, device}] = true
+		if s.Value != 1 {
+			t.Fatalf("child %v count = %g, want 1", s.Labels, s.Value)
+		}
+	}
+	for _, c := range cases {
+		if !found[c] {
+			t.Fatalf("labels %q did not round-trip; got %v", c, found)
+		}
+	}
+}
+
+// TestJoinSplitLabels exercises the raw codec.
+func TestJoinSplitLabels(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+	vals := []string{"x", "", "z z"}
+	got := splitLabels(keys, joinLabelValues(vals))
+	if len(got) != 3 {
+		t.Fatalf("split returned %d labels, want 3", len(got))
+	}
+	for i, l := range got {
+		if l.Key != keys[i] || l.Value != vals[i] {
+			t.Fatalf("label %d = %+v, want {%s %s}", i, l, keys[i], vals[i])
+		}
+	}
+}

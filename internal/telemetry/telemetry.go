@@ -136,17 +136,22 @@ type Registry struct {
 	collectors map[string]Collector // by collector ID (replace-on-reregister)
 	collOrder  []string
 
-	spans *SpanStore
+	spans  *SpanStore
+	health *HealthRegistry
 }
 
 // NewRegistry builds an empty registry with a default span store
-// (capacity 1024, sample every trace).
+// (capacity 1024, sample every trace) and an empty component-health
+// aggregator whose gauges ride on every scrape.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		metrics:    make(map[string]Metric),
 		collectors: make(map[string]Collector),
 		spans:      NewSpanStore(1024, 1),
+		health:     NewHealthRegistry(),
 	}
+	r.RegisterCollector("component-health", healthCollector(r.health))
+	return r
 }
 
 // Default is the process-wide registry that package-level metrics

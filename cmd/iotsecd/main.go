@@ -62,6 +62,10 @@ func main() {
 		"how long a detect→enforce chain may stay open before it counts as incomplete")
 	sloEscalate := flag.Bool("slo-escalate", false,
 		"on sustained SLO burn, escalate all µmbox pipelines to fail-closed (restored when the burn clears)")
+	profileLearnWindow := flag.Duration("profile-learn-window", 0,
+		"observe device traffic for this long, then distill per-SKU behavior profiles (0 = no training window)")
+	profileEnforce := flag.Bool("profile-enforce", false,
+		"enforce learned/crowd SKU profiles as deny-by-default flow rules and quarantine rogue MACs")
 	flag.Parse()
 
 	failMode, err := netsim.ParseFailMode(*sbFailMode)
@@ -159,10 +163,34 @@ func main() {
 			*sigrepoAddr, *sigrepoIdentity, *sigrepoReconnectMax)
 	}
 
+	var plane *core.ProfilePlane
+	if *profileLearnWindow > 0 || *profileEnforce {
+		plane = p.EnableProfiles(core.ProfileOptions{
+			Enforce:  *profileEnforce,
+			Lockdown: *profileEnforce,
+		})
+		plane.RegisterHealth(telemetry.Default.Health())
+		if *profileEnforce {
+			fmt.Println("iotsecd: profile enforcement armed (deny-by-default + rogue lockdown)")
+		}
+		if *profileLearnWindow > 0 {
+			plane.StartLearning()
+			fmt.Printf("iotsecd: profile training window open for %s\n", *profileLearnWindow)
+			timer := time.AfterFunc(*profileLearnWindow, func() {
+				profs := plane.FinishLearning(context.Background())
+				fmt.Printf("iotsecd: profile training done: %d SKU profile(s) distilled\n", len(profs))
+			})
+			defer timer.Stop()
+		}
+	}
+
 	if *telemetryAddr != "" {
 		p.Switch.ExportTelemetry(telemetry.Default)
-		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr,
-			telemetry.Mount{Pattern: "/debug/journal", Handler: journal.Default.Handler()})
+		mounts := []telemetry.Mount{{Pattern: "/debug/journal", Handler: journal.Default.Handler()}}
+		if plane != nil {
+			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/profiles", Handler: plane.Engine().Handler()})
+		}
+		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr, mounts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "iotsecd: telemetry: %v\n", err)
 			os.Exit(1)

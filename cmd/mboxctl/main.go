@@ -13,9 +13,11 @@
 //	mboxctl [-telemetry-addr host:port] crowd
 //	mboxctl [-telemetry-addr host:port] trace <id>
 //	mboxctl [-telemetry-addr host:port] journal [-trace N] [-device D] [-type T] [-since 5m] [-sev warn] [-limit N] [-follow]
+//	mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]
 //
-// stats, health, slo, crowd, trace and journal talk to the daemon's
-// telemetry listener (iotsecd -telemetry-addr), not the admin API.
+// stats, health, slo, crowd, trace, journal and profiles talk to the
+// daemon's telemetry listener (iotsecd -telemetry-addr), not the
+// admin API.
 // health probes /healthz and /readyz and renders the per-component
 // detail; slo renders the live MTTR pipeline (per-stage and
 // end-to-end detect→enforce quantiles, incomplete chains, watchdog
@@ -42,6 +44,7 @@ import (
 
 	"iotsec/internal/core"
 	"iotsec/internal/journal"
+	"iotsec/internal/profile"
 	"iotsec/internal/telemetry"
 )
 
@@ -93,6 +96,12 @@ func main() {
 	case "journal":
 		if err := printJournal(*telemetryAddr, args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "mboxctl: journal: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "profiles":
+		if err := printProfiles(*telemetryAddr, args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: profiles: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -555,6 +564,97 @@ func printCrowd(addr string) error {
 	return nil
 }
 
+// fetchProfiles pulls the behavior-profile report.
+func fetchProfiles(addr string) (*profile.Report, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/profiles")
+	if err != nil {
+		return nil, fmt.Errorf("%w (is iotsecd running with -telemetry-addr and -profile-enforce or -profile-learn-window?)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s (profile plane enabled?)", resp.Status)
+	}
+	var rep profile.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding report: %w", err)
+	}
+	return &rep, nil
+}
+
+// printProfiles renders the profile plane: `profiles` / `profiles
+// list` summarize the accepted set, `profiles show <sku>` details one
+// profile, `profiles violations` dumps the recent violation history.
+func printProfiles(addr string, args []string) error {
+	mode := "list"
+	if len(args) > 0 {
+		mode = args[0]
+	}
+	rep, err := fetchProfiles(addr)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "list":
+		s := rep.Stats
+		fmt.Printf("profiles: %d accepted, %d device(s) enforced, learning=%v\n",
+			s.Profiles, s.Enforced, s.Learning)
+		fmt.Printf("frames seen: %d   violations: %d (%d frames)   rogues: %d\n\n",
+			s.FramesSeen, s.Violations, s.ViolationFrames, s.Rogues)
+		if len(rep.Profiles) == 0 {
+			fmt.Println("no profiles accepted yet")
+		} else {
+			fmt.Printf("%-28s %-4s %-9s %-10s %s\n", "SKU", "VER", "SERVICES", "RATE", "DEVICES")
+			for _, p := range rep.Profiles {
+				rate := "-"
+				if p.MaxRate > 0 {
+					rate = fmt.Sprintf("%.0f f/s", p.MaxRate)
+				}
+				fmt.Printf("%-28s %-4d %-9d %-10s %d\n", p.SKU, p.Version, len(p.Services), rate, p.Devices)
+			}
+		}
+		if len(rep.Enforced) > 0 {
+			fmt.Printf("\nenforced: %s\n", strings.Join(rep.Enforced, ", "))
+		}
+		if len(rep.Rogues) > 0 {
+			fmt.Printf("rogue MACs: %s\n", strings.Join(rep.Rogues, ", "))
+		}
+	case "show":
+		if len(args) != 2 {
+			usage()
+		}
+		for _, p := range rep.Profiles {
+			if p.SKU != args[1] {
+				continue
+			}
+			fmt.Printf("%s v%d (%d contributing device(s))\n", p.SKU, p.Version, p.Devices)
+			if p.MaxRate > 0 {
+				fmt.Printf("  rate envelope: %.0f frames/s\n", p.MaxRate)
+			}
+			if len(p.Services) == 0 {
+				fmt.Println("  no authorized services (deny everything)")
+			}
+			for _, svc := range p.Services {
+				fmt.Printf("  allow %s\n", svc)
+			}
+			return nil
+		}
+		return fmt.Errorf("no profile for SKU %q", args[1])
+	case "violations":
+		if len(rep.Violations) == 0 {
+			fmt.Println("no profile violations recorded")
+			return nil
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("%s %-12s %-20s %-20s %s\n",
+				v.When.Format("15:04:05.000"), v.Device, v.SKU, v.Kind, v.Detail)
+		}
+	default:
+		usage()
+	}
+	return nil
+}
+
 // fetchJournal pulls a filtered snapshot from /debug/journal.
 func fetchJournal(addr string, query url.Values) (*journal.SnapshotJSON, error) {
 	client := &http.Client{Timeout: 5 * time.Second}
@@ -662,6 +762,7 @@ func printEvent(e journal.Event) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>
-       mboxctl [-telemetry-addr host:port] stats|health|slo|crowd|trace <id>|journal [flags]`)
+       mboxctl [-telemetry-addr host:port] stats|health|slo|crowd|trace <id>|journal [flags]
+       mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]`)
 	os.Exit(2)
 }

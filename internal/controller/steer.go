@@ -58,6 +58,12 @@ type Steering struct {
 	// immediately — AddDevice or an agent reconnect can never silently
 	// lift a quarantine.
 	isolated map[string]packet.MACAddress
+	// ruleSets holds named standing rule sets (e.g. one compiled
+	// behavior profile per enforced device). Like quarantines they are
+	// persisted controller state: program() re-emits every set after a
+	// table rebuild and on every switch (re)connect, so enforcement
+	// survives agent restarts.
+	ruleSets map[string][]*openflow.FlowMod
 	logger   *log.Logger
 }
 
@@ -70,6 +76,7 @@ func NewSteering(logger *log.Logger) *Steering {
 	s := &Steering{
 		switches: make(map[uint64][]uint16),
 		isolated: make(map[string]packet.MACAddress),
+		ruleSets: make(map[string][]*openflow.FlowMod),
 		logger:   logger,
 	}
 	s.endpoint = openflow.NewControllerEndpoint(s, logger)
@@ -193,8 +200,12 @@ func (s *Steering) program(ctx context.Context, dpid uint64) {
 	for name, mac := range s.isolated {
 		quarantined[name] = mac
 	}
+	ruleSets := make(map[string][]*openflow.FlowMod, len(s.ruleSets))
+	for name, mods := range s.ruleSets {
+		ruleSets[name] = mods
+	}
 	s.mu.Unlock()
-	if !connected || (len(devices) == 0 && len(quarantined) == 0) {
+	if !connected || (len(devices) == 0 && len(quarantined) == 0 && len(ruleSets) == 0) {
 		return
 	}
 	ctx, span := telemetry.StartSpan(ctx, "controller.steer.program")
@@ -208,6 +219,12 @@ func (s *Steering) program(ctx context.Context, dpid uint64) {
 	// entries, so this is idempotent).
 	if len(devices) > 0 {
 		s.programSteering(ctx, dpid, ports, devices)
+	}
+
+	// Standing rule sets (profile enforcement) survive the wipe the
+	// same way quarantines do: re-emitted on every reprogram.
+	for name, mods := range ruleSets {
+		s.sendRuleSet(ctx, dpid, name, mods)
 	}
 
 	// Quarantine rules last, so a table wipe above can never leave a
@@ -370,6 +387,104 @@ func (s *Steering) Release(ctx context.Context, name string, mac packet.MACAddre
 			s.logger.Printf("steering: release barrier to %d: %v", dpid, err)
 		}
 	}
+}
+
+// sendRuleSet emits one named rule set to one switch. Each FLOW_MOD
+// is sent as a copy so the persisted set is never mutated (send
+// stamps the trace ID on the message it pushes).
+func (s *Steering) sendRuleSet(ctx context.Context, dpid uint64, name string, mods []*openflow.FlowMod) {
+	for _, fm := range mods {
+		cp := *fm
+		s.send(ctx, dpid, &cp, name)
+	}
+}
+
+// ruleSetCookies collects the distinct cookies a rule set uses.
+func ruleSetCookies(mods []*openflow.FlowMod) []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for _, fm := range mods {
+		if !seen[fm.Cookie] {
+			seen[fm.Cookie] = true
+			out = append(out, fm.Cookie)
+		}
+	}
+	return out
+}
+
+// InstallRuleSet installs (or replaces) a named standing rule set on
+// every connected switch, barrier-fenced, and persists it so table
+// reprograms and later switch connects re-receive it — the same
+// durability contract as quarantines. Replacement deletes the prior
+// set's cookies first, so stale rules cannot linger when a set
+// shrinks. Rule cookies should be stable per set (see profile.Cookie)
+// and must not collide with quarantine ('Q'-tagged) or steering
+// (= dpid) cookies.
+func (s *Steering) InstallRuleSet(ctx context.Context, name string, mods []*openflow.FlowMod) {
+	ctx, span := telemetry.StartSpan(ctx, "controller.steer.install_rule_set")
+	span.SetAttr("set", name)
+	defer span.End()
+	kept := make([]*openflow.FlowMod, len(mods))
+	for i, fm := range mods {
+		cp := *fm
+		kept[i] = &cp
+	}
+	s.mu.Lock()
+	prior := s.ruleSets[name]
+	s.ruleSets[name] = kept
+	s.mu.Unlock()
+	stale := ruleSetCookies(prior)
+	for _, dpid := range s.dpids() {
+		for _, cookie := range stale {
+			s.send(ctx, dpid, &openflow.FlowMod{
+				Command: openflow.FlowDeleteByCookie,
+				Match:   openflow.MatchAll(),
+				Cookie:  cookie,
+			}, name)
+		}
+		s.sendRuleSet(ctx, dpid, name, kept)
+		if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
+			s.logger.Printf("steering: rule-set barrier to %d: %v", dpid, err)
+		}
+	}
+}
+
+// RemoveRuleSet drops a named rule set from the persisted state and
+// deletes its rules (by cookie) from every connected switch.
+func (s *Steering) RemoveRuleSet(ctx context.Context, name string) {
+	ctx, span := telemetry.StartSpan(ctx, "controller.steer.remove_rule_set")
+	span.SetAttr("set", name)
+	defer span.End()
+	s.mu.Lock()
+	mods, ok := s.ruleSets[name]
+	delete(s.ruleSets, name)
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, dpid := range s.dpids() {
+		for _, cookie := range ruleSetCookies(mods) {
+			s.send(ctx, dpid, &openflow.FlowMod{
+				Command: openflow.FlowDeleteByCookie,
+				Match:   openflow.MatchAll(),
+				Cookie:  cookie,
+			}, name)
+		}
+		if err := s.endpoint.Barrier(dpid, 2*time.Second); err != nil {
+			s.logger.Printf("steering: rule-set barrier to %d: %v", dpid, err)
+		}
+	}
+}
+
+// RuleSetNames lists installed rule sets.
+func (s *Steering) RuleSetNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.ruleSets))
+	for name := range s.ruleSets {
+		out = append(out, name)
+	}
+	return out
 }
 
 // Isolated reports whether the named device is currently quarantined.

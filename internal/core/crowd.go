@@ -6,6 +6,7 @@ import (
 
 	"iotsec/internal/learn"
 	"iotsec/internal/packet"
+	"iotsec/internal/profile"
 	"iotsec/internal/sigrepo"
 	"iotsec/internal/telemetry"
 )
@@ -41,6 +42,16 @@ func (p *Platform) ConnectSigrepoOpts(addr, identity string, opts sigrepo.Manage
 	}
 	if opts.OnInstall == nil {
 		opts.OnInstall = func(sig sigrepo.Signature, replayed bool) {
+			// Behavior profiles share the signature feed as an alternate
+			// payload dialect; route them to the profile plane (a no-op
+			// until EnableProfiles). AcceptProfile ignores stale versions,
+			// so cursor replays never regress the active profile.
+			if profile.IsEncoded(sig.Rule) {
+				if plane, ok := p.Profiles(); ok {
+					plane.installCrowd(sig.Rule)
+				}
+				return
+			}
 			// Installation failures (malformed community rules) must not
 			// kill the push loop; AddSignatureRule dedupes replays.
 			_ = p.AddSignatureRule(sig.SKU, sig.Rule)
@@ -51,7 +62,11 @@ func (p *Platform) ConnectSigrepoOpts(addr, identity string, opts sigrepo.Manage
 		return nil, fmt.Errorf("core: sigrepo: %w", err)
 	}
 	mc.ExportTelemetry(telemetry.Default, identity)
-	return &CrowdLink{platform: p, mc: mc}, nil
+	l := &CrowdLink{platform: p, mc: mc}
+	p.mu.Lock()
+	p.crowd = l
+	p.mu.Unlock()
+	return l, nil
 }
 
 // managedSKUs lists distinct SKUs under management, sorted.

@@ -92,6 +92,14 @@ type Platform struct {
 	// what the operator had configured (nil = not escalated).
 	failModeSnapshot map[string]mbox.FailMode
 
+	// profilePlane, when enabled, drives behavior-profile learning,
+	// enforcement and rogue detection; hostMACs remembers hosts
+	// attached before the plane existed (lockdown whitelist).
+	profilePlane *ProfilePlane
+	hostMACs     []packet.MACAddress
+	// crowd is the sigrepo link, once connected (profile publishing).
+	crowd *CrowdLink
+
 	recorder *netsim.Recorder
 }
 
@@ -179,6 +187,13 @@ func (p *Platform) attachToSwitch(hostPort *netsim.Port) {
 // to the uplink switch.
 func (p *Platform) AttachHost(st *netsim.Stack) {
 	p.attachToSwitch(st.Attach(p.Network))
+	p.mu.Lock()
+	p.hostMACs = append(p.hostMACs, st.MAC())
+	plane := p.profilePlane
+	p.mu.Unlock()
+	if plane != nil {
+		plane.hostAttached(st.MAC())
+	}
 }
 
 // AddDevice brings a device under management: it attaches through a
@@ -207,8 +222,12 @@ func (p *Platform) AddDevice(d *device.Device) (*Managed, error) {
 	p.devices[d.Name] = m
 	p.profiles[d.Name] = ids.NewProfile(d.Name)
 	started := p.started
+	plane := p.profilePlane
 	p.mu.Unlock()
 	mDevicesAdded.Inc()
+	if plane != nil {
+		plane.deviceAdded(m)
+	}
 
 	// Hot-plugged devices get their posture immediately; devices
 	// added before Start are postured there.
@@ -385,6 +404,7 @@ func (p *Platform) UseSteering(s *controller.Steering) {
 	var toIsolate []pending
 	p.mu.Lock()
 	p.steering = s
+	plane := p.profilePlane
 	if s != nil {
 		for name, m := range p.devices {
 			if m.CurrentPosture.Isolate && !m.isolated {
@@ -401,6 +421,10 @@ func (p *Platform) UseSteering(s *controller.Steering) {
 			"steering attached: re-applying standing quarantine")
 		s.Isolate(ctx, q.name, q.mac)
 		span.End()
+	}
+	// Parked profile enforcement gets its rules onto the wire now.
+	if plane != nil && s != nil {
+		plane.steeringAttached()
 	}
 }
 

@@ -18,6 +18,7 @@ const (
 	AnomalyNewPort    AnomalyKind = "new-port"   // using an unseen service port
 	AnomalyTransition AnomalyKind = "transition" // improbable command sequence
 	AnomalyContext    AnomalyKind = "context"    // action disallowed in current context
+	AnomalyProfile    AnomalyKind = "profile"    // traffic outside the enforced SKU profile
 )
 
 // Anomaly is one detected deviation from a device's learned profile.

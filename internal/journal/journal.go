@@ -81,6 +81,19 @@ const (
 	// windowed detect→enforce latency (or incomplete-chain rate)
 	// exceeded the configured objective's error budget.
 	TypeSLOBurn Type = "slo-burn"
+	// TypeProfileLearned is a SKU behavior profile distilled from a
+	// training window (or updated by a crowd fetch).
+	TypeProfileLearned Type = "profile-learned"
+	// TypeProfileEnforced is a device placed under (or refreshed
+	// into) deny-by-default profile enforcement.
+	TypeProfileEnforced Type = "profile-enforced"
+	// TypeProfileViolation is live traffic deviating from an enforced
+	// device's SKU profile (unauthorized service, address hop, rate
+	// envelope breach).
+	TypeProfileViolation Type = "profile-violation"
+	// TypeRogueQuarantine is an unregistered MAC detected under
+	// lockdown and cut off at the switch.
+	TypeRogueQuarantine Type = "rogue-quarantine"
 )
 
 // Severity ranks events for filtering.

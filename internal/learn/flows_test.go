@@ -1,0 +1,108 @@
+package learn
+
+import (
+	"testing"
+	"time"
+
+	"iotsec/internal/netsim"
+	"iotsec/internal/packet"
+)
+
+var (
+	flowCamMAC  = packet.MACAddress{0x02, 0, 0, 0, 0, 0x30}
+	flowHostMAC = packet.MACAddress{0x02, 0, 0, 0, 0, 0x31}
+	flowCamIP   = packet.MustParseIPv4("10.0.9.10")
+	flowHostIP  = packet.MustParseIPv4("10.0.9.200")
+	flowCloudIP = packet.MustParseIPv4("198.51.100.7")
+)
+
+func flowFrame(t *testing.T, when time.Time, srcNode, dstNode string,
+	srcMAC, dstMAC packet.MACAddress, srcIP, dstIP packet.IPv4Address,
+	srcPort, dstPort uint16) netsim.CapturedFrame {
+	t.Helper()
+	udp := &packet.UDP{SrcPort: srcPort, DstPort: dstPort}
+	udp.SetNetworkForChecksum(srcIP, dstIP)
+	b := packet.NewSerializeBuffer()
+	err := packet.SerializeLayers(b,
+		&packet.Ethernet{SrcMAC: srcMAC, DstMAC: dstMAC, EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{SrcIP: srcIP, DstIP: dstIP, Protocol: packet.IPProtocolUDP},
+		udp,
+		packet.NewPayload([]byte("payload")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, b.Len())
+	copy(data, b.Bytes())
+	return netsim.CapturedFrame{When: when, SrcNode: srcNode, DstNode: dstNode, Data: data}
+}
+
+// TestObserveFlowsZeroFlows is the regression test for the
+// zero-observed-flows path: a device that saw no traffic during the
+// window must yield an empty, non-nil observation set — "saw nothing"
+// is a valid result feeding a deny-everything profile, not a panic or
+// a nil map.
+func TestObserveFlowsZeroFlows(t *testing.T) {
+	if got := ObserveFlows(nil, "cam", flowCamIP); got == nil || len(got) != 0 {
+		t.Fatalf("ObserveFlows(nil) = %#v, want empty non-nil", got)
+	}
+	// Frames exist, but none touch the device's access link.
+	frames := []netsim.CapturedFrame{
+		flowFrame(t, time.Unix(10, 0), "host", "sw", flowHostMAC, flowCamMAC, flowHostIP, flowCloudIP, 1, 2),
+	}
+	if got := ObserveFlows(frames, "cam", flowCamIP); got == nil || len(got) != 0 {
+		t.Fatalf("unrelated capture = %#v, want empty non-nil", got)
+	}
+	// Same, via the Distill caller: no panic, an empty valid slice.
+	if got := ObserveFlows([]netsim.CapturedFrame{{When: time.Unix(1, 0), SrcNode: "cam", DstNode: "sw", Data: []byte{0x01}}}, "cam", flowCamIP); len(got) != 0 {
+		t.Fatalf("undecodable frame produced observations: %#v", got)
+	}
+}
+
+func TestObserveFlowsAggregation(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	frames := []netsim.CapturedFrame{
+		// Served conversation on udp/5683: request in, two replies out.
+		flowFrame(t, t0, "host", "cam", flowHostMAC, flowCamMAC, flowHostIP, flowCamIP, 40000, 5683),
+		flowFrame(t, t0.Add(time.Second), "cam", "host", flowCamMAC, flowHostMAC, flowCamIP, flowHostIP, 5683, 40000),
+		flowFrame(t, t0.Add(2*time.Second), "cam", "host", flowCamMAC, flowHostMAC, flowCamIP, flowHostIP, 5683, 40000),
+		// Device-initiated cloud check-in on udp/9000, with its reply.
+		flowFrame(t, t0.Add(3*time.Second), "cam", "sw", flowCamMAC, flowHostMAC, flowCamIP, flowCloudIP, 41000, 9000),
+		flowFrame(t, t0.Add(4*time.Second), "sw", "cam", flowHostMAC, flowCamMAC, flowCloudIP, flowCamIP, 9000, 41000),
+		// Flooded transit: reaches the device's link but is not
+		// addressed to or from it — must not be counted.
+		flowFrame(t, t0.Add(5*time.Second), "sw", "cam", flowHostMAC, flowCamMAC, flowHostIP, flowCloudIP, 7, 7),
+		// Mid-capture hop on someone else's link: ignored.
+		flowFrame(t, t0.Add(6*time.Second), "mb-cam", "sw", flowCamMAC, flowHostMAC, flowCamIP, flowHostIP, 5683, 40000),
+	}
+
+	obs := ObserveFlows(frames, "cam", flowCamIP)
+	if len(obs) != 2 {
+		t.Fatalf("observations = %+v, want served 5683 + initiated 9000", obs)
+	}
+	served, initiated := obs[0], obs[1]
+	if served.Port != 5683 || served.Initiated || served.Proto != "udp" {
+		t.Fatalf("first observation = %+v, want served udp/5683", served)
+	}
+	if served.Frames != 3 {
+		t.Errorf("served frames = %d, want 3 (request + replies folded)", served.Frames)
+	}
+	if served.Remote != flowHostIP {
+		t.Errorf("served remote = %s, want %s", served.Remote, flowHostIP)
+	}
+	if initiated.Port != 9000 || !initiated.Initiated {
+		t.Fatalf("second observation = %+v, want initiated udp/9000", initiated)
+	}
+	if initiated.Frames != 2 {
+		t.Errorf("initiated frames = %d, want 2 (request + reply folded)", initiated.Frames)
+	}
+	if initiated.Remote != flowCloudIP {
+		t.Errorf("initiated remote = %s, want %s", initiated.Remote, flowCloudIP)
+	}
+	if !initiated.First.Equal(t0.Add(3*time.Second)) || !initiated.Last.Equal(t0.Add(4*time.Second)) {
+		t.Errorf("initiated interval = [%v, %v]", initiated.First, initiated.Last)
+	}
+	if served.Bytes == 0 || initiated.Bytes == 0 {
+		t.Error("byte accounting missing")
+	}
+}

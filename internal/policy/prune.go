@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"sort"
 	"strings"
 )
 
@@ -33,8 +34,61 @@ type PruneReport struct {
 // irrelevant devices the deployment has.
 type Compiled struct {
 	vars    []string
+	proj    projector
 	classes map[string]map[string]Posture // projection key → device → posture
 	fsm     *FSM
+}
+
+// projector renders a state's projection key over a fixed, presorted
+// variable list. The prefix-split and sort happen once at Compile
+// time, so per-lookup key construction is a single pass with one
+// string allocation — this is what lets the compiled form actually
+// beat direct FSM evaluation instead of paying a sort per lookup.
+type projector struct {
+	parts []projPart
+	width int // size hint for the key builder
+}
+
+type projPart struct {
+	prefix string // "dev:<name>=" or "env:<name>="
+	name   string
+	dev    bool
+}
+
+// newProjector builds the key renderer. The variable order (sorted)
+// is fixed here; Compile-time inserts and Lookup-time probes use the
+// same renderer, so keys always agree.
+func newProjector(vars []string) projector {
+	sorted := append([]string(nil), vars...)
+	sort.Strings(sorted)
+	pr := projector{parts: make([]projPart, 0, len(sorted))}
+	for _, v := range sorted {
+		if name, ok := strings.CutPrefix(v, "dev:"); ok {
+			pr.parts = append(pr.parts, projPart{prefix: v + "=", name: name, dev: true})
+		} else if name, ok := strings.CutPrefix(v, "env:"); ok {
+			pr.parts = append(pr.parts, projPart{prefix: v + "=", name: name})
+		}
+		pr.width += len(v) + 16
+	}
+	return pr
+}
+
+// key renders the projection of s.
+func (pr projector) key(s State) string {
+	var b strings.Builder
+	b.Grow(pr.width)
+	for i, p := range pr.parts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.prefix)
+		if p.dev {
+			b.WriteString(string(s.Contexts[p.name]))
+		} else {
+			b.WriteString(s.Env[p.name])
+		}
+	}
+	return b.String()
 }
 
 // Compile enumerates the projected space (bounded by limit; 0 = up to
@@ -63,6 +117,7 @@ func (f *FSM) Compile(limit int) (*Compiled, PruneReport) {
 
 	c := &Compiled{
 		vars:    report.ReferencedVars,
+		proj:    newProjector(report.ReferencedVars),
 		classes: make(map[string]map[string]Posture),
 		fsm:     f,
 	}
@@ -71,7 +126,7 @@ func (f *FSM) Compile(limit int) (*Compiled, PruneReport) {
 		postures := f.Lookup(s)
 		// Drop devices not declared in the projection... they default
 		// to allow and do not affect equivalence.
-		key := s.ProjectionKey(report.ReferencedVars)
+		key := c.proj.key(s)
 		relevant := make(map[string]Posture)
 		var sig strings.Builder
 		for _, dev := range f.Domain.Devices() {
@@ -97,7 +152,7 @@ func (f *FSM) Compile(limit int) (*Compiled, PruneReport) {
 // back to direct evaluation if the projection was not covered
 // (enumeration limit).
 func (c *Compiled) Lookup(s State) map[string]Posture {
-	key := s.ProjectionKey(c.vars)
+	key := c.proj.key(s)
 	if postures, ok := c.classes[key]; ok {
 		return postures
 	}

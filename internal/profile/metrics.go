@@ -1,0 +1,24 @@
+package profile
+
+import "iotsec/internal/telemetry"
+
+// Profile-plane telemetry (satellite of ISSUE 6): how many profiles
+// the deployment has learned and installed, how many devices run
+// under enforcement, and how often live traffic deviates.
+var (
+	mLearned = telemetry.NewCounter(
+		"iotsec_profile_learned_total",
+		"SKU behavior profiles distilled from training windows.")
+	mInstalled = telemetry.NewCounter(
+		"iotsec_profile_installed_total",
+		"Profile installs/updates accepted into the active set.")
+	mEnforced = telemetry.NewGauge(
+		"iotsec_profile_enforced",
+		"Devices currently under deny-by-default profile enforcement.")
+	mViolations = telemetry.NewCounter(
+		"iotsec_profile_violations_total",
+		"Distinct profile violations reported.")
+	mRogues = telemetry.NewCounter(
+		"iotsec_profile_rogue_quarantines_total",
+		"Rogue (unregistered) senders detected under lockdown.")
+)

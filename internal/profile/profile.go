@@ -1,0 +1,263 @@
+// Package profile implements deny-by-default per-SKU device-behavior
+// profiles — the paper's observation that IoT traffic is narrow and
+// predictable made executable. A Learner observes a device's flows
+// during a training window and distills a MUD-like allowlist profile
+// (services, endpoints, rate envelope) keyed to the device SKU;
+// profiles from multiple devices of one SKU merge into a single
+// converged profile; a Compiler lowers an accepted profile into
+// default-deny flow rules whose privilege is pinned to the device
+// identity (MAC + registered address), so an address-hopping device
+// loses its privileges; and an Engine watches live traffic for
+// profile violations and rogue (unprofiled) senders, feeding the
+// detect→enforce posture pipeline.
+package profile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"iotsec/internal/packet"
+)
+
+// EncodedPrefix marks a sigrepo rule payload as an encoded behavior
+// profile rather than an ids-dialect signature. Profiles ride the
+// existing crowd repository (durable outbox, cursor replay,
+// reputation voting) unchanged; only the payload dialect differs.
+const EncodedPrefix = "profile-v1 "
+
+// ErrInvalidProfile reports a malformed or unusable profile.
+var ErrInvalidProfile = errors.New("profile: invalid profile")
+
+// Service is one authorized network service of a device: a transport
+// protocol + port, a direction, and an optional pinned remote
+// endpoint. The attack surface of an enforced device is exactly its
+// service list — it scales with authorized services, not devices.
+type Service struct {
+	// Proto is "tcp" or "udp".
+	Proto string `json:"proto"`
+	// Port is the service port: the device-side port for served
+	// services, the remote-side port for device-initiated ones.
+	Port uint16 `json:"port"`
+	// Initiated is true when the device opens the conversation
+	// (cloud check-in, DNS); false when the device serves it.
+	Initiated bool `json:"initiated,omitempty"`
+	// Remote optionally pins the remote IPv4 endpoint ("" or "any"
+	// leaves it open). Only meaningful for initiated services; the
+	// crowd repository scrubs deployment-internal addresses to "any".
+	Remote string `json:"remote,omitempty"`
+}
+
+// remoteAny reports whether the service's remote endpoint is unpinned.
+func (s Service) remoteAny() bool {
+	return s.Remote == "" || s.Remote == "any"
+}
+
+// RemoteIP returns the pinned remote address, if any.
+func (s Service) RemoteIP() (packet.IPv4Address, bool) {
+	if s.remoteAny() {
+		return packet.IPv4Address{}, false
+	}
+	return packet.ParseIPv4(s.Remote)
+}
+
+// Key is the merge identity of the service: direction + proto + port.
+// Two observations of the same key with different remotes collapse
+// into one service with the remote generalized.
+func (s Service) Key() string {
+	dir := "serve"
+	if s.Initiated {
+		dir = "init"
+	}
+	return fmt.Sprintf("%s/%s/%d", dir, s.Proto, s.Port)
+}
+
+// String renders the service for humans.
+func (s Service) String() string {
+	if s.Initiated {
+		remote := s.Remote
+		if s.remoteAny() {
+			remote = "any"
+		}
+		return fmt.Sprintf("%s → %s:%d", s.Proto, remote, s.Port)
+	}
+	return fmt.Sprintf("%s :%d (served)", s.Proto, s.Port)
+}
+
+// Profile is the learned behavior allowlist for one device SKU.
+type Profile struct {
+	// SKU identifies the exact device model/firmware (per-SKU
+	// sharing, like signatures).
+	SKU string `json:"sku"`
+	// Version increments when a SKU's behavior legitimately changes
+	// (firmware update); a higher version replaces a lower one.
+	Version int `json:"version"`
+	// Services is the complete authorized-service list, sorted by
+	// Key. Anything outside it is denied.
+	Services []Service `json:"services"`
+	// MaxRate is the frames/second envelope (0 = unbounded). Learned
+	// with headroom over the observed peak.
+	MaxRate float64 `json:"max_rate,omitempty"`
+	// Devices counts how many devices' observations merged into this
+	// profile (crowd confidence signal).
+	Devices int `json:"devices,omitempty"`
+}
+
+// Validate checks structural sanity.
+func (p *Profile) Validate() error {
+	if p == nil {
+		return fmt.Errorf("%w: nil", ErrInvalidProfile)
+	}
+	if strings.TrimSpace(p.SKU) == "" {
+		return fmt.Errorf("%w: empty SKU", ErrInvalidProfile)
+	}
+	if p.Version < 0 {
+		return fmt.Errorf("%w: negative version", ErrInvalidProfile)
+	}
+	if len(p.Services) > 256 {
+		return fmt.Errorf("%w: %d services (max 256)", ErrInvalidProfile, len(p.Services))
+	}
+	for _, s := range p.Services {
+		if s.Proto != "tcp" && s.Proto != "udp" {
+			return fmt.Errorf("%w: service proto %q", ErrInvalidProfile, s.Proto)
+		}
+		if s.Port == 0 {
+			return fmt.Errorf("%w: service port 0", ErrInvalidProfile)
+		}
+		if !s.remoteAny() {
+			if _, ok := packet.ParseIPv4(s.Remote); !ok {
+				return fmt.Errorf("%w: service remote %q", ErrInvalidProfile, s.Remote)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the profile.
+func (p *Profile) Clone() *Profile {
+	c := *p
+	c.Services = append([]Service(nil), p.Services...)
+	return &c
+}
+
+// normalize sorts services and collapses duplicate keys (generalizing
+// the remote when two entries of one key disagree).
+func (p *Profile) normalize() {
+	byKey := make(map[string]Service, len(p.Services))
+	for _, s := range p.Services {
+		k := s.Key()
+		if prev, ok := byKey[k]; ok {
+			if prev.Remote != s.Remote {
+				prev.Remote = "any"
+			}
+			byKey[k] = prev
+			continue
+		}
+		byKey[k] = s
+	}
+	out := make([]Service, 0, len(byKey))
+	for _, s := range byKey {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	p.Services = out
+}
+
+// Merge folds another profile of the same SKU into this one: service
+// union (remotes generalized on conflict), max of rate envelopes, sum
+// of contributing devices, max of versions. Multiple devices of one
+// SKU — or a local and a crowd profile — converge to one allowlist.
+func (p *Profile) Merge(q *Profile) error {
+	if q == nil {
+		return nil
+	}
+	if p.SKU != q.SKU {
+		return fmt.Errorf("%w: merging SKU %q into %q", ErrInvalidProfile, q.SKU, p.SKU)
+	}
+	p.Services = append(p.Services, q.Services...)
+	p.normalize()
+	if q.MaxRate > p.MaxRate {
+		p.MaxRate = q.MaxRate
+	}
+	p.Devices += q.Devices
+	if q.Version > p.Version {
+		p.Version = q.Version
+	}
+	return nil
+}
+
+// Allows reports whether a device-originated frame with the given
+// transport tuple is authorized: either the device serves srcPort, or
+// it initiated a conversation to dstIP:dstPort.
+func (p *Profile) Allows(proto string, srcPort, dstPort uint16, dstIP packet.IPv4Address) bool {
+	for _, s := range p.Services {
+		if s.Proto != proto {
+			continue
+		}
+		if !s.Initiated && s.Port == srcPort {
+			return true
+		}
+		if s.Initiated && s.Port == dstPort {
+			if r, pinned := s.RemoteIP(); pinned && r != dstIP {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Encode renders the profile as a sigrepo rule payload
+// (EncodedPrefix + canonical JSON).
+func Encode(p *Profile) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	c := p.Clone()
+	c.normalize()
+	data, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrInvalidProfile, err)
+	}
+	return EncodedPrefix + string(data), nil
+}
+
+// IsEncoded reports whether a sigrepo rule payload carries an encoded
+// profile (vs. an ids-dialect signature).
+func IsEncoded(rule string) bool {
+	return strings.HasPrefix(strings.TrimSpace(rule), EncodedPrefix)
+}
+
+// Decode parses an encoded profile payload.
+func Decode(rule string) (*Profile, error) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(rule), EncodedPrefix)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %q prefix", ErrInvalidProfile, strings.TrimSpace(EncodedPrefix))
+	}
+	var p Profile
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidProfile, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p.normalize()
+	return &p, nil
+}
+
+// ValidateEncoded checks an encoded payload against the SKU it is
+// being published for. sigrepo calls this from its Validate path so
+// profile payloads are vetted with profile semantics instead of the
+// ids rule parser.
+func ValidateEncoded(sku, rule string) error {
+	p, err := Decode(rule)
+	if err != nil {
+		return err
+	}
+	if p.SKU != sku {
+		return fmt.Errorf("%w: payload SKU %q published under %q", ErrInvalidProfile, p.SKU, sku)
+	}
+	return nil
+}

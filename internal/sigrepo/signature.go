@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"iotsec/internal/ids"
+	"iotsec/internal/profile"
 )
 
 // Errors.
@@ -61,6 +62,15 @@ type Signature struct {
 func Validate(sku, ruleText string) error {
 	if strings.TrimSpace(sku) == "" {
 		return fmt.Errorf("%w: empty SKU", ErrInvalidSignature)
+	}
+	// Behavior profiles ride the repository as an alternate payload
+	// dialect; they are vetted with profile semantics, not the ids
+	// rule parser.
+	if profile.IsEncoded(ruleText) {
+		if err := profile.ValidateEncoded(sku, ruleText); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidSignature, err)
+		}
+		return nil
 	}
 	r, err := ids.ParseRule(ruleText)
 	if err != nil {

@@ -62,6 +62,10 @@ func main() {
 		"how long a detect→enforce chain may stay open before it counts as incomplete")
 	sloEscalate := flag.Bool("slo-escalate", false,
 		"on sustained SLO burn, escalate all µmbox pipelines to fail-closed (restored when the burn clears)")
+	fleetRollup := flag.Duration("fleet-rollup", time.Second,
+		"push this gateway's telemetry rollups into the fleet aggregator at this interval and serve /debug/fleet (0 = disabled)")
+	fleetSource := flag.String("fleet-source", "gateway",
+		"shard name this gateway reports to the fleet aggregator as")
 	profileLearnWindow := flag.Duration("profile-learn-window", 0,
 		"observe device traffic for this long, then distill per-SKU behavior profiles (0 = no training window)")
 	profileEnforce := flag.Bool("profile-enforce", false,
@@ -184,11 +188,23 @@ func main() {
 		}
 	}
 
+	if *fleetRollup > 0 {
+		// The gateway reports itself as one shard of the fleet plane;
+		// the tracker's e2e histogram supplies detect→enforce latency.
+		report := p.StartFleetSelfReport(*fleetSource, *fleetRollup, tracker.E2E())
+		defer report.Stop()
+		p.Global.Fleet().ExportTelemetry(telemetry.Default, *fleetSource)
+		fmt.Printf("iotsecd: fleet rollups every %s as %q\n", *fleetRollup, *fleetSource)
+	}
+
 	if *telemetryAddr != "" {
 		p.Switch.ExportTelemetry(telemetry.Default)
 		mounts := []telemetry.Mount{{Pattern: "/debug/journal", Handler: journal.Default.Handler()}}
 		if plane != nil {
 			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/profiles", Handler: plane.Engine().Handler()})
+		}
+		if *fleetRollup > 0 {
+			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/fleet", Handler: p.Global.Fleet().Handler()})
 		}
 		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr, mounts...)
 		if err != nil {

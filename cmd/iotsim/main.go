@@ -3,24 +3,37 @@
 //
 // Usage:
 //
-//	iotsim            # run everything
-//	iotsim -exp t1    # one experiment: t1 t2 f1 f2 f3 f4 f5 a1 a2 a3 a4 a5
+//	iotsim                  # run everything
+//	iotsim -exp t1          # one experiment: t1 t2 f1 f2 f3 f4 f5 a1..a6
+//	iotsim -exp t1,f2,a5    # a comma-separated subset
+//	iotsim -fleet 1000,10000,100000   # fleet load sweep (A10)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"iotsec/internal/experiment"
+	"iotsec/internal/journal"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (t1,t2,f1..f5,a1..a6 or all)")
+	exp := flag.String("exp", "all", "experiments to run (comma-separated: t1,t2,f1..f5,a1..a6, or all)")
 	seed := flag.Int64("seed", 1, "seed for synthesized corpora")
+	fleet := flag.String("fleet", "", "run the fleet load sweep at these comma-separated sizes (e.g. 1000,10000,100000)")
+	fleetDuration := flag.Duration("fleet-duration", 2*time.Second, "event-driving window per fleet size")
+	fleetShard := flag.Int("fleet-shard", 64, "devices per local controller in the fleet sweep")
+	fleetOut := flag.String("fleet-out", "", "write the final merged fleet snapshot (JSON) to this file")
 	flag.Parse()
+
+	if *fleet != "" {
+		os.Exit(runFleetSweep(*fleet, *fleetDuration, *fleetShard, *fleetOut))
+	}
 
 	runners := []struct {
 		id  string
@@ -41,10 +54,40 @@ func main() {
 		{"a6", func() (*experiment.Table, error) { return experiment.RunAblationConsistency(*seed), nil }},
 	}
 
-	want := strings.ToLower(*exp)
+	// -exp accepts a comma-separated subset; every requested id must
+	// exist, and unknown ids exit nonzero.
+	want := map[string]bool{}
+	all := false
+	for _, id := range strings.Split(strings.ToLower(*exp), ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if id == "all" {
+			all = true
+			continue
+		}
+		want[id] = true
+	}
+	known := map[string]bool{}
+	for _, r := range runners {
+		known[r.id] = true
+	}
+	for id := range want {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "iotsim: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+	if !all && len(want) == 0 {
+		fmt.Fprintf(os.Stderr, "iotsim: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	total := time.Now()
 	ran := 0
 	for _, r := range runners {
-		if want != "all" && want != r.id {
+		if !all && !want[r.id] {
 			continue
 		}
 		start := time.Now()
@@ -57,8 +100,79 @@ func main() {
 		fmt.Printf("  (%s completed in %v)\n", strings.ToUpper(r.id), time.Since(start).Round(time.Millisecond))
 		ran++
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "iotsim: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	fmt.Printf("\n%d experiment(s) in %v\n", ran, time.Since(total).Round(time.Millisecond))
+}
+
+// runFleetSweep parses sizes, runs the A10 fleet harness, and
+// optionally writes the last merged fleet snapshot for artifacts.
+func runFleetSweep(sizesCSV string, duration time.Duration, shard int, outPath string) int {
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "iotsim: bad fleet size %q\n", s)
+			return 2
+		}
+		sizes = append(sizes, n)
 	}
+	start := time.Now()
+	tbl, results, err := experiment.RunFleet(experiment.FleetOptions{
+		Sizes:     sizes,
+		ShardSize: shard,
+		Duration:  duration,
+		Progress:  os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotsim: fleet sweep failed: %v\n", err)
+		dumpFleetJournal()
+		return 1
+	}
+	tbl.Print(os.Stdout)
+	fmt.Printf("  (A10 completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if outPath != "" && len(results) > 0 {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iotsim: %v\n", err)
+			return 1
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "iotsim: write %s: %v\n", outPath, err)
+			f.Close()
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "iotsim: close %s: %v\n", outPath, err)
+			return 1
+		}
+		fmt.Printf("  fleet snapshot: %s\n", outPath)
+	}
+	return 0
+}
+
+// dumpFleetJournal exports the forensic journal as NDJSON to
+// $IOTSEC_FLEET_JOURNAL when a fleet sweep fails, so the CI fleet
+// stage can upload the timeline as an artifact — same contract as the
+// chaos stage's $IOTSEC_CHAOS_JOURNAL.
+func dumpFleetJournal() {
+	path := os.Getenv("IOTSEC_FLEET_JOURNAL")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotsim: journal dump: %v\n", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, e := range journal.Default.Snapshot(journal.Filter{}) {
+		_ = enc.Encode(e)
+	}
+	fmt.Fprintf(os.Stderr, "iotsim: forensic journal dumped to %s\n", path)
 }

@@ -7,7 +7,8 @@
 //	mboxctl [-addr host:port] env
 //	mboxctl [-addr host:port] set-env <var> <value>
 //	mboxctl [-addr host:port] set-context <device> <context>
-//	mboxctl [-telemetry-addr host:port] stats
+//	mboxctl [-telemetry-addr host:port] stats [-json]
+//	mboxctl [-telemetry-addr host:port] fleet [-json]
 //	mboxctl [-telemetry-addr host:port] health
 //	mboxctl [-telemetry-addr host:port] slo
 //	mboxctl [-telemetry-addr host:port] crowd
@@ -15,9 +16,12 @@
 //	mboxctl [-telemetry-addr host:port] journal [-trace N] [-device D] [-type T] [-since 5m] [-sev warn] [-limit N] [-follow]
 //	mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]
 //
-// stats, health, slo, crowd, trace, journal and profiles talk to the
-// daemon's telemetry listener (iotsecd -telemetry-addr), not the
-// admin API.
+// stats, fleet, health, slo, crowd, trace, journal and profiles talk
+// to the daemon's telemetry listener (iotsecd -telemetry-addr), not
+// the admin API. stats -json emits the raw /debug/telemetry snapshot
+// for scripting; fleet renders the merged fleet rollup view
+// (/debug/fleet): per-shard event rates, staleness, merged
+// detect→enforce quantiles, and the bounded top-K device summaries.
 // health probes /healthz and /readyz and renders the per-component
 // detail; slo renders the live MTTR pipeline (per-stage and
 // end-to-end detect→enforce quantiles, incomplete chains, watchdog
@@ -33,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/url"
@@ -42,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"iotsec/internal/controller"
 	"iotsec/internal/core"
 	"iotsec/internal/journal"
 	"iotsec/internal/profile"
@@ -61,8 +67,16 @@ func main() {
 	var req core.AdminRequest
 	switch args[0] {
 	case "stats":
-		if err := printStats(*telemetryAddr); err != nil {
+		raw := len(args) > 1 && args[1] == "-json"
+		if err := printStats(*telemetryAddr, raw); err != nil {
 			fmt.Fprintf(os.Stderr, "mboxctl: stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "fleet":
+		raw := len(args) > 1 && args[1] == "-json"
+		if err := printFleet(*telemetryAddr, raw); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: fleet: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -148,14 +162,19 @@ func main() {
 	}
 }
 
-// printStats fetches the JSON telemetry snapshot and renders it.
-func printStats(addr string) error {
+// printStats fetches the JSON telemetry snapshot and renders it; with
+// raw set it relays the snapshot verbatim for scripting.
+func printStats(addr string, raw bool) error {
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get("http://" + addr + "/debug/telemetry?spans=16")
 	if err != nil {
 		return fmt.Errorf("%w (is iotsecd running with -telemetry-addr %s?)", err, addr)
 	}
 	defer resp.Body.Close()
+	if raw {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
 	var snap telemetry.SnapshotJSON
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return fmt.Errorf("decoding snapshot: %w", err)
@@ -206,6 +225,83 @@ func printStats(addr string) error {
 		fmt.Printf("  %-28s %10s  trace=%d span=%d parent=%d%s\n",
 			sp.Name, sp.Duration, sp.TraceID, sp.ID, sp.ParentID, attrs)
 	}
+	return nil
+}
+
+// printFleet renders the merged fleet rollup view from /debug/fleet;
+// with raw set it relays the JSON verbatim.
+func printFleet(addr string, raw bool) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/fleet")
+	if err != nil {
+		return fmt.Errorf("%w (is iotsecd running with -telemetry-addr %s?)", err, addr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s (fleet rollups enabled?)", resp.Status)
+	}
+	if raw {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	var v controller.FleetView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return fmt.Errorf("decoding fleet view: %w", err)
+	}
+
+	fl := v.Fleet
+	fmt.Printf("fleet @ %s: %d shard(s), %d stale, %.0f device(s)\n",
+		v.TakenAt.Format(time.RFC3339), fl.Shards, fl.StaleShards, fl.Devices)
+	fmt.Printf("events: %d total (%.0f/s), %d escalated, %d violation(s)\n",
+		fl.Events, fl.EventsPerSec, fl.Escalations, fl.Violations)
+	if fl.MTTR.Count > 0 {
+		fmt.Printf("detect→enforce (merged): %d chains, p50=%s p95=%s p99=%s\n",
+			fl.MTTR.Count, secs(fl.MTTR.P50), secs(fl.MTTR.P95), secs(fl.MTTR.P99))
+	}
+	if len(fl.SKUDevices) > 0 {
+		skus := make([]string, 0, len(fl.SKUDevices))
+		for s := range fl.SKUDevices {
+			skus = append(skus, s)
+		}
+		sort.Strings(skus)
+		fmt.Println("\ndevices by SKU:")
+		for _, s := range skus {
+			fmt.Printf("  %-28s %.0f\n", s, fl.SKUDevices[s])
+		}
+	}
+
+	if len(v.Shards) > 0 {
+		fmt.Printf("\n%-12s %-6s %-9s %-10s %-11s %-10s %-8s %s\n",
+			"SHARD", "SEQ", "DEVICES", "EVENTS", "EVENTS/S", "P99", "AGE", "STATE")
+		for _, sh := range v.Shards {
+			state := "ok"
+			if sh.Stale {
+				state = "STALE"
+			} else if !sh.Healthy {
+				state = "unhealthy"
+			}
+			fmt.Printf("%-12s %-6d %-9.0f %-10d %-11.0f %-10s %-8s %s\n",
+				sh.Source, sh.LastSeq, sh.Devices, sh.Events, sh.EventsPerSec,
+				secs(sh.MTTR.P99), time.Duration(sh.AgeSeconds*float64(time.Second)).Round(time.Millisecond).String(), state)
+		}
+	}
+
+	printTop := func(title string, entries []telemetry.TopKEntry) {
+		if len(entries) == 0 {
+			return
+		}
+		fmt.Printf("\n%s:\n", title)
+		for _, e := range entries {
+			errNote := ""
+			if e.Err > 0 {
+				errNote = fmt.Sprintf(" (±%d)", e.Err)
+			}
+			fmt.Printf("  %-28s %d%s\n", e.Key, e.Count, errNote)
+		}
+	}
+	printTop("top event producers", fl.TopProducers)
+	printTop("top violators", fl.TopViolators)
+	printTop("top MTTR contributors (µs·events)", fl.TopMTTR)
 	return nil
 }
 
@@ -762,7 +858,7 @@ func printEvent(e journal.Event) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>
-       mboxctl [-telemetry-addr host:port] stats|health|slo|crowd|trace <id>|journal [flags]
+       mboxctl [-telemetry-addr host:port] stats [-json]|fleet [-json]|health|slo|crowd|trace <id>|journal [flags]
        mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]`)
 	os.Exit(2)
 }

@@ -1,0 +1,305 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"iotsec/internal/device"
+	"iotsec/internal/policy"
+	"iotsec/internal/telemetry"
+)
+
+// buildFleetHierarchy makes n devices in shards of shardSize, each
+// device carrying one self-targeting local rule on its own "_attr"
+// env var (posture flips zero↔Block as the attr alternates a/b).
+func buildFleetHierarchy(n, shardSize int, sink PostureSink) (*Hierarchy, []string) {
+	devs := make([]string, n)
+	for i := range devs {
+		devs[i] = fmt.Sprintf("dev%06d", i)
+	}
+	d := policy.NewDomain()
+	f := policy.NewFSM(d)
+	for _, dev := range devs {
+		d.AddDevice(dev, policy.ContextNormal, policy.ContextSuspicious)
+		d.AddEnvVar(dev+"_attr", "a", "b")
+		f.AddRule(policy.Rule{
+			Name:       "local-" + dev,
+			Conditions: []policy.Condition{policy.EnvIs(dev+"_attr", "b")},
+			Device:     dev,
+			Posture:    policy.Posture{BlockCommands: []string{"ON"}},
+			Priority:   5,
+		})
+	}
+	// Star edges within each block of shardSize keep blocks together.
+	var edges []InteractionEdge
+	for i, dev := range devs {
+		if anchor := i - i%shardSize; anchor != i {
+			edges = append(edges, InteractionEdge{A: devs[anchor], B: dev, Weight: 1})
+		}
+	}
+	part := Partition(devs, edges, shardSize)
+	envLocality := make(map[string]int, n)
+	for _, dev := range devs {
+		envLocality[dev+"_attr"] = part.GroupOf(dev)
+	}
+	return NewHierarchy(f, part, envLocality, sink), devs
+}
+
+// TestFleetAggregatorMergeAndStaleness: shard rollups merge into the
+// fleet view; a shard that stops reporting surfaces as stale, keeps
+// its cumulative totals, and only drops out of the event rate.
+func TestFleetAggregatorMergeAndStaleness(t *testing.T) {
+	agg := NewFleetAggregator(10 * time.Second)
+	now := time.Unix(1000, 0)
+	agg.SetClock(func() time.Time { return now })
+
+	a := NewShardStats("shard-a", nil)
+	b := NewShardStats("shard-b", nil)
+	a.SetDevices(3)
+	a.SetSKUDevices(map[string]int{"cam-v1": 2, "plug-v2": 1})
+	b.SetDevices(2)
+	b.SetSKUDevices(map[string]int{"cam-v1": 2})
+	for i := 0; i < 10; i++ {
+		a.RecordEvent("dev-a1")
+		a.ObserveE2E("dev-a1", 0.002)
+	}
+	a.RecordEscalation()
+	b.RecordEvent("dev-b1")
+	b.RecordViolation("dev-b1")
+	b.ObserveE2E("dev-b1", 0.5)
+
+	if err := agg.Report(a.Rollup(now)); err != nil {
+		t.Fatalf("report a: %v", err)
+	}
+	if err := agg.Report(b.Rollup(now)); err != nil {
+		t.Fatalf("report b: %v", err)
+	}
+
+	v := agg.View()
+	if v.Fleet.Shards != 2 || v.Fleet.StaleShards != 0 {
+		t.Fatalf("shards=%d stale=%d", v.Fleet.Shards, v.Fleet.StaleShards)
+	}
+	if v.Fleet.Events != 11 || v.Fleet.Escalations != 1 || v.Fleet.Violations != 1 {
+		t.Fatalf("fleet totals: %+v", v.Fleet)
+	}
+	if v.Fleet.Devices != 5 || v.Fleet.SKUDevices["cam-v1"] != 4 || v.Fleet.SKUDevices["plug-v2"] != 1 {
+		t.Fatalf("device rollup: %+v", v.Fleet)
+	}
+	if v.Fleet.MTTR.Count != 11 {
+		t.Fatalf("merged MTTR count = %d", v.Fleet.MTTR.Count)
+	}
+	if len(v.Fleet.TopProducers) == 0 || v.Fleet.TopProducers[0].Key != "dev-a1" {
+		t.Fatalf("top producers: %+v", v.Fleet.TopProducers)
+	}
+	if len(v.Fleet.TopViolators) != 1 || v.Fleet.TopViolators[0].Key != "dev-b1" {
+		t.Fatalf("top violators: %+v", v.Fleet.TopViolators)
+	}
+
+	// Only shard-a keeps reporting; shard-b goes quiet past the
+	// staleness deadline.
+	now = now.Add(11 * time.Second)
+	a.RecordEvent("dev-a2")
+	if err := agg.Report(a.Rollup(now)); err != nil {
+		t.Fatalf("report a2: %v", err)
+	}
+	v = agg.View()
+	if v.Fleet.StaleShards != 1 {
+		t.Fatalf("stale shards = %d, want 1", v.Fleet.StaleShards)
+	}
+	var staleB *ShardSummary
+	for i := range v.Shards {
+		if v.Shards[i].Source == "shard-b" {
+			staleB = &v.Shards[i]
+		}
+	}
+	if staleB == nil || !staleB.Stale {
+		t.Fatalf("shard-b not surfaced as stale: %+v", v.Shards)
+	}
+	// Stale shard keeps its cumulative history and device counts...
+	if staleB.Events != 1 || v.Fleet.Events != 12 || v.Fleet.Devices != 5 {
+		t.Fatalf("stale shard dropped from aggregates: %+v", v.Fleet)
+	}
+	// ...but contributes nothing to the instantaneous rate.
+	if staleB.EventsPerSec != 0 {
+		t.Fatalf("stale shard still in the rate: %+v", staleB)
+	}
+}
+
+// TestFleetAggregatorSeqIdempotence: re-pushing the same rollup (a
+// retry) must not double-count; out-of-order rollups are dropped.
+func TestFleetAggregatorSeqIdempotence(t *testing.T) {
+	agg := NewFleetAggregator(0)
+	s := NewShardStats("shard-x", nil)
+	s.RecordEvent("d1")
+	s.RecordEvent("d2")
+	r1 := s.Rollup(time.Unix(0, 0))
+
+	if err := agg.Report(r1); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if err := agg.Report(r1); err != nil { // retried push
+		t.Fatalf("re-report: %v", err)
+	}
+	v := agg.View()
+	if v.Fleet.Events != 2 {
+		t.Fatalf("retry double-counted: events = %d, want 2", v.Fleet.Events)
+	}
+	reports, dups, _ := agg.Stats()
+	if reports != 1 || dups != 1 {
+		t.Fatalf("reports=%d dups=%d, want 1/1", reports, dups)
+	}
+}
+
+// TestFleetAggregatorBoundsMismatchSurfaces: a shard pushing a
+// histogram with different bounds is rejected (counted, errored) and
+// the merged state stays intact.
+func TestFleetAggregatorBoundsMismatchSurfaces(t *testing.T) {
+	agg := NewFleetAggregator(0)
+	good := NewShardStats("shard-good", nil)
+	good.ObserveE2E("d", 0.01)
+	if err := agg.Report(good.Rollup(time.Unix(0, 0))); err != nil {
+		t.Fatalf("report good: %v", err)
+	}
+	bad := NewShardStats("shard-good", []float64{1, 2, 3}) // same source, wrong bounds
+	bad.ObserveE2E("d", 0.01)
+	r := bad.Rollup(time.Unix(1, 0))
+	r.Seq = 99
+	if err := agg.Report(r); err == nil {
+		t.Fatal("bounds mismatch did not error")
+	}
+	_, _, mergeErrs := agg.Stats()
+	if mergeErrs != 1 {
+		t.Fatalf("merge errors = %d, want 1", mergeErrs)
+	}
+	if got := agg.MergedMTTR().Count; got != 1 {
+		t.Fatalf("merged count after rejected push = %d, want 1", got)
+	}
+}
+
+// TestFleetMergedQuantilesMatchDirect: the fleet-merged MTTR
+// distribution must reproduce a direct (unsharded) measurement of the
+// same observations — quantiles agree exactly, well within the
+// one-bucket acceptance bound.
+func TestFleetMergedQuantilesMatchDirect(t *testing.T) {
+	agg := NewFleetAggregator(0)
+	direct := telemetry.NewStandaloneHistogram(nil)
+	shards := make([]*ShardStats, 8)
+	for i := range shards {
+		shards[i] = NewShardStats(fmt.Sprintf("shard-%d", i), nil)
+	}
+	vals := []float64{12e-6, 80e-6, 300e-6, 900e-6, 2e-3, 9e-3, 40e-3, 120e-3, 0.8, 3}
+	for i := 0; i < 5000; i++ {
+		v := vals[i%len(vals)]
+		direct.Observe(v)
+		shards[i%len(shards)].ObserveE2E("dev", v)
+	}
+	now := time.Unix(0, 0)
+	for _, s := range shards {
+		if err := agg.Report(s.Rollup(now)); err != nil {
+			t.Fatalf("report: %v", err)
+		}
+	}
+	merged := agg.MergedMTTR()
+	if merged.Count != direct.Count() {
+		t.Fatalf("merged count = %d, direct = %d", merged.Count, direct.Count())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := merged.Quantile(q), direct.Quantile(q); got != want {
+			t.Fatalf("q%.2f: merged %v, direct %v", q, got, want)
+		}
+	}
+}
+
+// TestHierarchyFleetRollups drives a small sharded hierarchy with the
+// rollup plane attached end to end: events land in per-shard stats,
+// rollup deltas reach the global aggregator, and the fleet view
+// reflects them.
+func TestHierarchyFleetRollups(t *testing.T) {
+	h, devs := buildFleetHierarchy(32, 8, nil)
+	if h.Locals() != 4 {
+		t.Fatalf("locals = %d, want 4", h.Locals())
+	}
+	agg := h.Global.Fleet()
+	plane := h.StartFleetRollups(agg, time.Hour) // Stop() flushes; no tick needed
+	stats := h.FleetStats()
+	if len(stats) != 4 {
+		t.Fatalf("fleet stats for %d shards, want 4", len(stats))
+	}
+
+	vals := [2]string{"b", "a"}
+	for round := 0; round < 2; round++ {
+		for _, dev := range devs {
+			h.HandleDeviceEvent(context.Background(), device.Event{
+				Device: dev, Kind: device.EventStateChange, Detail: "attr=" + vals[round],
+			})
+		}
+	}
+	// Feed one e2e observation so MTTR shows up.
+	for _, s := range stats {
+		s.ObserveE2E(devs[0], 0.004)
+	}
+	plane.Stop()
+
+	v := agg.View()
+	if v.Fleet.Shards != 4 {
+		t.Fatalf("fleet shards = %d, want 4", v.Fleet.Shards)
+	}
+	if v.Fleet.Events != uint64(2*len(devs)) {
+		t.Fatalf("fleet events = %d, want %d", v.Fleet.Events, 2*len(devs))
+	}
+	if v.Fleet.Devices != float64(len(devs)) {
+		t.Fatalf("fleet devices = %v, want %d", v.Fleet.Devices, len(devs))
+	}
+	if v.Fleet.Escalations != 0 {
+		t.Fatalf("purely local fleet escalated %d events", v.Fleet.Escalations)
+	}
+	if v.Fleet.MTTR.Count != 4 {
+		t.Fatalf("fleet MTTR count = %d, want 4", v.Fleet.MTTR.Count)
+	}
+	if len(v.Fleet.TopProducers) == 0 {
+		t.Fatal("no top producers in fleet view")
+	}
+	// Second EnableFleetStats returns the same set (idempotent).
+	again := h.EnableFleetStats()
+	if len(again) != 4 || again[0] != stats[0] {
+		t.Fatal("EnableFleetStats not idempotent")
+	}
+}
+
+// TestScopedLocalDomains: local controllers must not carry the whole
+// fleet's device domain — local reconciles are O(shard), which is the
+// property the 10⁵-device harness leans on.
+func TestScopedLocalDomains(t *testing.T) {
+	h, _ := buildFleetHierarchy(64, 8, nil)
+	for g, l := range h.locals {
+		if got := len(l.fsm.Domain.Devices()); got != 8 {
+			t.Fatalf("local %d domain holds %d devices, want 8 (shard-scoped)", g, got)
+		}
+	}
+}
+
+func benchmarkHierarchyEvent(b *testing.B, attach bool) {
+	h, devs := buildFleetHierarchy(256, 8, nil)
+	if attach {
+		h.EnableFleetStats()
+	}
+	vals := [2]string{"a", "b"}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := devs[i%len(devs)]
+		h.HandleDeviceEvent(ctx, device.Event{
+			Device: dev,
+			Kind:   device.EventStateChange,
+			Detail: "attr=" + vals[(i/len(devs))%2],
+		})
+	}
+}
+
+// The rollup plane's hot-path budget: attached must stay within 5% of
+// detached (BENCH_4 verifies from these two).
+func BenchmarkHierarchyEventDetached(b *testing.B) { benchmarkHierarchyEvent(b, false) }
+func BenchmarkHierarchyEventAttached(b *testing.B) { benchmarkHierarchyEvent(b, true) }

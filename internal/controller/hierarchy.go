@@ -39,6 +39,9 @@ type Global struct {
 
 	recomputes atomic.Uint64
 	changes    atomic.Uint64
+
+	fleetOnce sync.Once
+	fleet     *FleetAggregator
 }
 
 // commitWindow bounds Global's retained commit timestamps.
@@ -138,6 +141,10 @@ type Hierarchy struct {
 
 	localHandled atomic.Uint64
 	escalated    atomic.Uint64
+
+	// fleetStats, when attached, carries per-partition telemetry up the
+	// rollup plane; nil keeps the hot path at one atomic load + branch.
+	fleetStats atomic.Pointer[fleetStatsSet]
 }
 
 // Local is one partition's controller: it keeps a local view and
@@ -208,9 +215,26 @@ func NewHierarchy(fsm *policy.FSM, part *Partitioning, envLocality map[string]in
 		}
 	}
 
-	// Build the local controllers.
+	// Build the local controllers. Each local FSM gets a *scoped*
+	// domain holding only its partition's devices and the env vars its
+	// rules reference: FSM.Lookup walks the whole domain to assign
+	// default postures, so sharing the fleet-wide domain would make
+	// every local reconcile O(fleet) instead of O(shard).
 	for g, rules := range localRules {
-		lf := policy.NewFSM(h.fsm.Domain)
+		scoped := policy.NewDomain()
+		if g >= 0 && g < len(part.Groups) {
+			for _, dev := range part.Groups[g] {
+				scoped.AddDevice(dev, h.fsm.Domain.DeviceContexts(dev)...)
+			}
+		}
+		for _, r := range rules {
+			for _, c := range r.Conditions {
+				if name, ok := strings.CutPrefix(c.Var, "env:"); ok {
+					scoped.AddEnvVar(name, h.fsm.Domain.EnvLevels(name)...)
+				}
+			}
+		}
+		lf := policy.NewFSM(scoped)
 		for _, r := range rules {
 			lf.AddRule(r)
 		}
@@ -267,7 +291,9 @@ func (h *Hierarchy) HandleDeviceEvent(ctx context.Context, e device.Event) {
 		local.View.HandleDeviceEvent(ctx, e)
 	}
 
-	if h.eventGloballyRelevant(e) {
+	escalate := h.eventGloballyRelevant(e)
+	h.recordShardEvent(group, e.Device, escalate)
+	if escalate {
 		h.escalated.Add(1)
 		mEscalations.Inc()
 		ctx, span := telemetry.StartSpan(ctx, "controller.escalate")
@@ -305,7 +331,9 @@ func (h *Hierarchy) HandleEnv(ctx context.Context, envVar, level string, group i
 	if local, ok := h.locals[group]; ok {
 		local.View.SetEnv(ctx, envVar, level, reason)
 	}
-	if h.globalVars["env:"+envVar] {
+	escalate := h.globalVars["env:"+envVar]
+	h.recordShardEvent(group, envVar, escalate)
+	if escalate {
 		h.escalated.Add(1)
 		mEscalations.Inc()
 		ctx, span := telemetry.StartSpan(ctx, "controller.escalate")

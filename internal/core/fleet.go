@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"iotsec/internal/controller"
+	"iotsec/internal/telemetry"
+)
+
+// FleetSelfReport makes a single-gateway deployment a first-class
+// shard of the fleet telemetry plane: the platform periodically rolls
+// up its own device counts (total and per SKU), posture-apply volume,
+// and detect→enforce latency into the global controller's fleet
+// aggregator — the same transport a sharded hierarchy's local
+// controllers use, so one gateway and a 10⁵-device fleet render
+// through the same /debug/fleet view.
+type FleetSelfReport struct {
+	p       *Platform
+	agg     *controller.FleetAggregator
+	builder *telemetry.RollupBuilder
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartFleetSelfReport begins pushing this platform's rollups into
+// its own fleet aggregator under the given source name every interval
+// (default 1s). e2e, when non-nil, supplies the detect→enforce
+// histogram (the SLO tracker's end-to-end distribution); otherwise
+// the Fig. 2 commit→enforcement histogram is used. Stop flushes one
+// final rollup.
+func (p *Platform) StartFleetSelfReport(source string, interval time.Duration, e2e *telemetry.Histogram) *FleetSelfReport {
+	if source == "" {
+		source = "gateway"
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if e2e == nil {
+		e2e = mEnforceSeconds
+	}
+	r := &FleetSelfReport{
+		p:   p,
+		agg: p.Global.Fleet(),
+		// Posture applies stand in for handled events: on a single
+		// gateway every committed change ends in (at most) one apply.
+		builder: telemetry.NewRollupBuilder(source).
+			AddCounter(controller.RollupEvents, mPostureApplies).
+			AddHistogram(controller.RollupMTTR, e2e).
+			AddGauge(controller.RollupDevices, func() float64 { return float64(p.DeviceCount()) }).
+			AddGauge(controller.RollupHealthy, func() float64 { return 1 }),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go r.run(interval)
+	return r
+}
+
+func (r *FleetSelfReport) run(interval time.Duration) {
+	defer close(r.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			r.flush()
+			return
+		case <-ticker.C:
+			r.flush()
+		}
+	}
+}
+
+// flush pushes one rollup, folding in the live per-SKU device counts.
+func (r *FleetSelfReport) flush() {
+	roll := r.builder.Take(time.Now())
+	for sku, n := range r.p.DevicesBySKU() {
+		if roll.Gauges == nil {
+			roll.Gauges = make(map[string]float64)
+		}
+		roll.Gauges[controller.RollupSKUPrefix+sku] = float64(n)
+	}
+	_ = r.agg.Report(roll)
+}
+
+// Stop halts the reporter after a final flush. Idempotent.
+func (r *FleetSelfReport) Stop() {
+	r.once.Do(func() {
+		close(r.stop)
+		<-r.done
+	})
+}
+
+// DeviceCount reports how many devices are under management.
+func (p *Platform) DeviceCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.devices)
+}
+
+// DevicesBySKU counts managed devices per SKU.
+func (p *Platform) DevicesBySKU() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int)
+	for _, m := range p.devices {
+		out[m.Device.Profile.SKU]++
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestRunFleetSmoke drives a small fleet through the full harness:
+// sharded hierarchy, rollup plane, merged fleet view.
+func TestRunFleetSmoke(t *testing.T) {
+	tbl, results, err := RunFleet(FleetOptions{
+		Sizes:    []int{300},
+		Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || len(results) != 1 {
+		t.Fatalf("rows=%d results=%d", len(tbl.Rows), len(results))
+	}
+	r := results[0]
+	if r.Events == 0 || r.EventsPerSec <= 0 {
+		t.Fatalf("no load driven: %+v", r)
+	}
+	if r.Shards < 2 {
+		t.Fatalf("fleet did not shard: %d", r.Shards)
+	}
+	// The merged rollup view must reproduce the pooled direct
+	// measurement: identical observations, so identical p99.
+	if r.MergedCount != r.DirectCount {
+		t.Fatalf("merged count %d != direct %d", r.MergedCount, r.DirectCount)
+	}
+	if math.Abs(r.P99-r.DirectP99) > 1e-12 {
+		t.Fatalf("merged p99 %v != direct p99 %v", r.P99, r.DirectP99)
+	}
+	if r.View.Fleet.Shards != r.Shards || r.View.Fleet.StaleShards != 0 {
+		t.Fatalf("fleet view inconsistent: %+v", r.View.Fleet)
+	}
+	if r.View.Fleet.SKUDevices["cam-v1"] != 75 {
+		t.Fatalf("SKU rollup: %+v", r.View.Fleet.SKUDevices)
+	}
+	if r.Escalated == 0 {
+		t.Fatal("escalation path never exercised")
+	}
+}

@@ -102,12 +102,12 @@ type Watchdog struct {
 
 	mBurn *telemetry.Counter
 
-	mu          sync.Mutex
-	prevBuckets []uint64
-	prevInc     uint64
-	burning     bool
-	last        Evaluation
-	evals       uint64
+	mu      sync.Mutex
+	prev    telemetry.HistogramRollup // previous window's cumulative e2e snapshot
+	prevInc uint64
+	burning bool
+	last    Evaluation
+	evals   uint64
 
 	started atomic.Bool
 	stop    chan struct{}
@@ -146,7 +146,7 @@ func NewWatchdog(t *Tracker, obj Objectives, opts WatchdogOptions) *Watchdog {
 	reg.RegisterCollector("slo-watchdog", w.collect)
 	// Baseline the histogram so the first window only sees its own
 	// delta, not process history.
-	_, _, w.prevBuckets = t.mE2E.Snapshot()
+	w.prev = t.mE2E.Rollup()
 	w.prevInc = t.Incomplete()
 	return w
 }
@@ -192,29 +192,25 @@ func (w *Watchdog) Evaluate() Evaluation {
 	// Barrier: fold anything sitting in the tap and sweep timeouts so
 	// the window judges every chain that should have resolved by now.
 	w.t.Sync()
-	_, _, buckets := w.t.mE2E.Snapshot()
+	cur := w.t.mE2E.Rollup()
 	inc := w.t.Incomplete()
-	bounds := w.t.mE2E.Bounds()
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	delta := make([]uint64, len(buckets))
-	var completed uint64
-	for i := range buckets {
-		d := buckets[i]
-		if w.prevBuckets != nil && i < len(w.prevBuckets) {
-			d -= w.prevBuckets[i]
-		}
-		delta[i] = d
-		completed += d
+	// Window delta via the mergeable-rollup algebra (same bounds by
+	// construction, so the error path is unreachable).
+	window, err := cur.DeltaFrom(w.prev)
+	if err != nil {
+		window = cur.Clone()
 	}
+	bounds := window.Bounds
 	dInc := inc - w.prevInc
-	w.prevBuckets = buckets
+	w.prev = cur
 	w.prevInc = inc
 
 	ev := Evaluation{
 		At:         w.clock.Now(),
-		Total:      completed + dInc,
+		Total:      window.Count + dInc,
 		Incomplete: dInc,
 		BudgetFrac: (1 - w.obj.Quantile) * w.obj.BurnFactor,
 	}
@@ -228,7 +224,7 @@ func (w *Watchdog) Evaluate() Evaluation {
 
 	// Incomplete chains are +Inf observations for the windowed
 	// quantile and automatic violations for the budget.
-	qBuckets := append([]uint64(nil), delta...)
+	qBuckets := append([]uint64(nil), window.Buckets...)
 	qBuckets[len(qBuckets)-1] += dInc
 	ev.Quantile = time.Duration(telemetry.QuantileFromBuckets(bounds, qBuckets, w.obj.Quantile) * float64(time.Second))
 
@@ -237,7 +233,7 @@ func (w *Watchdog) Evaluate() Evaluation {
 	// counts as over — pick Target on a bucket boundary to avoid the
 	// rounding, see LatencyBuckets).
 	target := w.obj.Target.Seconds()
-	for i, d := range delta {
+	for i, d := range window.Buckets {
 		if d == 0 {
 			continue
 		}

@@ -141,6 +141,45 @@ func (h *Histogram) Snapshot() (count uint64, sum float64, buckets []uint64) {
 	return h.snapshot()
 }
 
+// Rollup snapshots the histogram in the mergeable rollup form.
+func (h *Histogram) Rollup() HistogramRollup {
+	count, sum, buckets := h.snapshot()
+	return HistogramRollup{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Count:   count,
+		Sum:     sum,
+		Buckets: buckets,
+	}
+}
+
+// Merge folds an external rollup into the live histogram (bucket-wise
+// atomic adds into shard 0, so writers stay lock-free). Bounds must
+// match the histogram's exactly; a mismatch errors without recording
+// anything — merging across different bucket layouts would silently
+// corrupt quantiles.
+func (h *Histogram) Merge(r HistogramRollup) error {
+	if !boundsEqual(h.bounds, r.Bounds) {
+		return fmt.Errorf("telemetry: %s: merge bounds mismatch (%v vs %v)", h.name, h.bounds, r.Bounds)
+	}
+	if len(r.Buckets) != len(r.Bounds)+1 {
+		return fmt.Errorf("telemetry: %s: merge %d buckets for %d bounds", h.name, len(r.Buckets), len(r.Bounds))
+	}
+	s := &h.shards[0]
+	s.count.Add(r.Count)
+	s.sum.Add(r.Sum)
+	for i, b := range r.Buckets {
+		s.buckets[i].Add(b)
+	}
+	return nil
+}
+
+// NewStandaloneHistogram builds an unregistered histogram (per-shard
+// stats that export through rollups rather than registry scrapes).
+// nil bounds use LatencyBuckets, like registered histograms.
+func NewStandaloneHistogram(bounds []float64) *Histogram {
+	return newHistogram(meta{}, bounds)
+}
+
 // QuantileFromBuckets estimates q in [0,1] from per-bucket
 // (non-cumulative) counts against the given upper bounds, with linear
 // interpolation inside the winning bucket. buckets may have

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK is a bounded-cardinality heavy-hitter summary implementing the
+// space-saving algorithm (Metwally et al.): it tracks at most K keys
+// with guaranteed error bounds instead of one series per key, so
+// per-device dimensions (top violators, top event producers) can ride
+// a fleet rollup without a label explosion. When a new key arrives at
+// capacity, the current minimum-count entry is evicted and the
+// newcomer inherits its count as an overestimation bound (Err) —
+// guaranteeing any key with true count > min is present, and every
+// reported Count overestimates the true count by at most Err.
+//
+// Offer takes a mutex: TopK sits on shard-local control paths (one
+// lock per device event, uncontended across shards), not the per-
+// packet data path. The maximum Offer cost is an O(K) min scan on
+// eviction; K is small by design (the cardinality budget, default 16).
+type TopK struct {
+	meta
+	k int
+
+	mu      sync.Mutex
+	entries map[string]*topkCount
+	offers  uint64
+}
+
+type topkCount struct {
+	count uint64
+	err   uint64
+}
+
+// DefaultTopKCapacity is the cardinality budget used when a
+// non-positive K is requested.
+const DefaultTopKCapacity = 16
+
+// NewStandaloneTopK builds an unregistered summary with capacity k
+// (for per-shard stats that export via rollups, not scrapes).
+func NewStandaloneTopK(k int) *TopK {
+	if k <= 0 {
+		k = DefaultTopKCapacity
+	}
+	return &TopK{k: k, entries: make(map[string]*topkCount, k)}
+}
+
+// NewTopK registers a TopK on Default.
+func NewTopK(name, help string, k int) *TopK {
+	return Default.NewTopK(name, help, k)
+}
+
+// NewTopK registers a TopK on r. It exposes as a gauge family with a
+// "key" label, at most K series.
+func (r *Registry) NewTopK(name, help string, k int) *TopK {
+	t := NewStandaloneTopK(k)
+	t.meta = meta{name, help}
+	return r.Register(t).(*TopK)
+}
+
+// K reports the capacity.
+func (t *TopK) K() int { return t.k }
+
+// Offer records n occurrences of key.
+func (t *TopK) Offer(key string, n uint64) {
+	if n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.offers += n
+	if e, ok := t.entries[key]; ok {
+		e.count += n
+		t.mu.Unlock()
+		return
+	}
+	if len(t.entries) < t.k {
+		t.entries[key] = &topkCount{count: n}
+		t.mu.Unlock()
+		return
+	}
+	// Space-saving eviction: replace the minimum, inheriting its count
+	// as the newcomer's overestimation bound.
+	var minKey string
+	var minCount uint64
+	first := true
+	for k2, e := range t.entries {
+		if first || e.count < minCount || (e.count == minCount && k2 < minKey) {
+			minKey, minCount, first = k2, e.count, false
+		}
+	}
+	delete(t.entries, minKey)
+	t.entries[key] = &topkCount{count: minCount + n, err: minCount}
+	t.mu.Unlock()
+}
+
+// Inc records one occurrence of key.
+func (t *TopK) Inc(key string) { t.Offer(key, 1) }
+
+// Len reports the tracked key count (≤ K).
+func (t *TopK) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Offers reports the total weight offered (exact, unlike per-key
+// counts at capacity).
+func (t *TopK) Offers() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.offers
+}
+
+// Decay halves every count and error bound, dropping keys that reach
+// zero. Periodic decay ages out former heavy hitters under churn so a
+// long-running summary tracks *current* heavy hitters instead of
+// all-time ones; the halving preserves relative order.
+func (t *TopK) Decay() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, e := range t.entries {
+		e.count /= 2
+		e.err /= 2
+		if e.count == 0 {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// Reset forgets everything.
+func (t *TopK) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[string]*topkCount, t.k)
+	t.offers = 0
+}
+
+// Snapshot exports the summary sorted by descending count (key
+// ascending on ties, so output is deterministic).
+func (t *TopK) Snapshot() TopKRollup {
+	t.mu.Lock()
+	out := TopKRollup{K: t.k, Offers: t.offers, Entries: make([]TopKEntry, 0, len(t.entries))}
+	for k, e := range t.entries {
+		out.Entries = append(out.Entries, TopKEntry{Key: k, Count: e.count, Err: e.err})
+	}
+	t.mu.Unlock()
+	sortTopK(out.Entries)
+	return out
+}
+
+// MetricKind implements Metric (exposes as a bounded gauge family).
+func (t *TopK) MetricKind() Kind { return KindGauge }
+
+// Samples implements Metric: one {key=...} series per tracked entry.
+func (t *TopK) Samples() []Sample {
+	snap := t.Snapshot()
+	out := make([]Sample, 0, len(snap.Entries))
+	for _, e := range snap.Entries {
+		out = append(out, Sample{
+			Labels: Labels{{Key: "key", Value: e.Key}},
+			Value:  float64(e.Count),
+		})
+	}
+	return out
+}
+
+// TopKEntry is one heavy hitter: Count overestimates the true count
+// by at most Err.
+type TopKEntry struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// TopKRollup is a mergeable heavy-hitter snapshot.
+type TopKRollup struct {
+	K       int         `json:"k"`
+	Offers  uint64      `json:"offers"`
+	Entries []TopKEntry `json:"entries"`
+}
+
+// MergeTopK merges space-saving summaries from independent sources
+// into one of capacity k: counts (and error bounds) sum per key, then
+// the top k by merged count survive. The result keeps the space-saving
+// guarantee relative to the union stream: a surviving Count
+// overestimates the true total by at most its merged Err.
+func MergeTopK(k int, ins ...TopKRollup) TopKRollup {
+	if k <= 0 {
+		k = DefaultTopKCapacity
+	}
+	sum := make(map[string]*topkCount)
+	out := TopKRollup{K: k}
+	for _, in := range ins {
+		out.Offers += in.Offers
+		for _, e := range in.Entries {
+			c := sum[e.Key]
+			if c == nil {
+				c = &topkCount{}
+				sum[e.Key] = c
+			}
+			c.count += e.Count
+			c.err += e.Err
+		}
+	}
+	out.Entries = make([]TopKEntry, 0, len(sum))
+	for key, c := range sum {
+		out.Entries = append(out.Entries, TopKEntry{Key: key, Count: c.count, Err: c.err})
+	}
+	sortTopK(out.Entries)
+	if len(out.Entries) > k {
+		out.Entries = out.Entries[:k]
+	}
+	return out
+}
+
+func sortTopK(es []TopKEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Count != es[j].Count {
+			return es[i].Count > es[j].Count
+		}
+		return es[i].Key < es[j].Key
+	})
+}
+
+var _ Metric = (*TopK)(nil)

@@ -1,0 +1,171 @@
+// Command benchgate is the hot-path benchmark regression gate: it
+// parses `go test -bench` output from stdin (or a file), compares each
+// gated benchmark's ns/op against the reference values recorded in a
+// BENCH_*.json baseline, and exits non-zero when any gated benchmark
+// regressed more than the allowed percentage.
+//
+// Only benchmarks listed under the baseline's "gate.reference" map are
+// gated; everything else in the stream is reported informationally.
+// When a benchmark appears multiple times in the input (-count=N), the
+// fastest run is compared — benchstat-style damping for noisy
+// single-CPU runners.
+//
+// Usage:
+//
+//	go test -bench 'PacketDecode$|FlowTableLookup|IDSEngine' -benchtime=2s -count=3 . |
+//	    go run ./cmd/benchgate -baseline BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	Gate struct {
+		MaxRegressionPct float64            `json:"max_regression_pct"`
+		Reference        map[string]float64 `json:"reference"`
+	} `json:"gate"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_5.json", "baseline JSON with a gate.reference map")
+	input := flag.String("input", "-", "benchmark output to check ('-' = stdin)")
+	maxPct := flag.Float64("max", 0, "override max regression percent (0 = use baseline's gate.max_regression_pct)")
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	limit := base.Gate.MaxRegressionPct
+	if *maxPct > 0 {
+		limit = *maxPct
+	}
+	if limit <= 0 {
+		limit = 10
+	}
+	if len(base.Gate.Reference) == 0 {
+		fatal(fmt.Errorf("%s has no gate.reference benchmarks", *baselinePath))
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(base.Gate.Reference))
+	for name := range base.Gate.Reference {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		ref := base.Gate.Reference[name]
+		got, ok := results[name]
+		if !ok {
+			fmt.Printf("FAIL  %-44s missing from benchmark output\n", name)
+			failed = true
+			continue
+		}
+		delta := (got - ref) / ref * 100
+		status := "ok  "
+		if delta > limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-44s %10.1f ns/op  baseline %10.1f  (%+.1f%%, limit +%.0f%%)\n",
+			status, name, got, ref, delta, limit)
+	}
+	if failed {
+		fmt.Println("benchgate: hot-path regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gated benchmarks within budget")
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// parseBench extracts "BenchmarkName<tab>iters<tab>N ns/op ..." lines,
+// keeping the fastest result per benchmark. The trailing -N GOMAXPROCS
+// suffix is stripped so names match the baseline regardless of runner
+// core count.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines are: name iterations value "ns/op" [more pairs]
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var nsPerOp float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+				}
+				nsPerOp, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		if prev, ok := results[name]; !ok || nsPerOp < prev {
+			results[name] = nsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return results, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

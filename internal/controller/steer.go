@@ -64,7 +64,10 @@ type Steering struct {
 	// table rebuild and on every switch (re)connect, so enforcement
 	// survives agent restarts.
 	ruleSets map[string][]*openflow.FlowMod
-	logger   *log.Logger
+	// connectWaiters are closed (and cleared) when a switch completes
+	// the handshake, so WaitForSwitch blocks without polling.
+	connectWaiters []chan struct{}
+	logger         *log.Logger
 }
 
 // NewSteering builds the application and its southbound endpoint.
@@ -137,8 +140,34 @@ func (s *Steering) AddDevice(ctx context.Context, d SteeredDevice) {
 func (s *Steering) SwitchConnected(dpid uint64, ports []uint16) {
 	s.mu.Lock()
 	s.switches[dpid] = ports
+	waiters := s.connectWaiters
+	s.connectWaiters = nil
 	s.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
 	go s.program(context.Background(), dpid)
+}
+
+// WaitForSwitch blocks until at least one switch has completed the
+// southbound handshake (or the timeout expires), without polling —
+// polling loops contend with the handshake itself for CPU on small
+// hosts. Returns true when a switch is connected.
+func (s *Steering) WaitForSwitch(timeout time.Duration) bool {
+	s.mu.Lock()
+	if len(s.switches) > 0 {
+		s.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	s.connectWaiters = append(s.connectWaiters, ch)
+	s.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
 }
 
 // SwitchDisconnected implements openflow.SwitchHandler.

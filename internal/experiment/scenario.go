@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"iotsec/internal/attack"
@@ -178,6 +179,29 @@ func netsimStack(name string, ip packet.IPv4Address) *netsim.Stack {
 
 // settle gives asynchronous plumbing a moment.
 func settle() { time.Sleep(20 * time.Millisecond) }
+
+// waitUntil polls cond to true within the timeout. The first couple of
+// milliseconds are yield-spun so sub-millisecond events are observed
+// promptly (time.Sleep rounds short waits up to the kernel tick); after
+// that it degrades to millisecond sleeps until the deadline.
+func waitUntil(cond func() bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	spinUntil := time.Now().Add(2 * time.Millisecond)
+	for {
+		if cond() {
+			return true
+		}
+		now := time.Now()
+		if now.After(deadline) {
+			return false
+		}
+		if now.Before(spinUntil) {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
 
 // mboxBootMillis formats a platform boot latency.
 func mboxBootMillis(k mbox.PlatformKind) string {

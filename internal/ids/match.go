@@ -79,6 +79,29 @@ func (ac *ahoCorasick) scan(data []byte, hits map[int]bool) {
 	}
 }
 
+// scanInto runs the automaton over data, recording first-seen patterns
+// and per-rule hit counts in the pooled scratch (the allocation-free
+// fast path of scan).
+func (e *Engine) scanInto(data []byte, s *matchScratch) {
+	ac := e.ac
+	state := int32(0)
+	for _, b := range data {
+		state = ac.next[state][b]
+		for _, idx := range ac.output[state] {
+			if s.patSeen[idx] {
+				continue
+			}
+			s.patSeen[idx] = true
+			s.touchedPats = append(s.touchedPats, int32(idx))
+			ri := e.patIndex[idx].rule
+			if s.ruleHits[ri] == 0 {
+				s.touchedRul = append(s.touchedRul, ri)
+			}
+			s.ruleHits[ri]++
+		}
+	}
+}
+
 // containsNaive is the reference matcher used by property tests.
 func containsNaive(haystack, needle []byte) bool {
 	if len(needle) == 0 {

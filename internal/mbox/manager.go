@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -34,6 +35,23 @@ func BootLatency(k PlatformKind) time.Duration {
 		return 5 * time.Millisecond
 	default:
 		return 100 * time.Millisecond
+	}
+}
+
+// sleepModeled charges a scaled boot delay. Sub-millisecond waits are
+// yield-spun: time.Sleep rounds short requests up to the kernel tick
+// (~1ms on typical hosts), which would swamp a compressed boot model.
+func sleepModeled(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= 2*time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }
 
@@ -128,7 +146,7 @@ func (m *Manager) Launch(ctx context.Context, name string, platform PlatformKind
 
 	modeled := BootLatency(platform)
 	if scale > 0 {
-		time.Sleep(time.Duration(float64(modeled) * scale))
+		sleepModeled(time.Duration(float64(modeled) * scale))
 	}
 
 	inst := &Instance{

@@ -66,7 +66,12 @@ func (m *Mbox) HandleFrame(ingress *netsim.Port, frame netsim.Frame) {
 		dir = ToDevice
 		egress, back = m.south, m.north
 	}
-	decoded := packet.Decode(frame, packet.LayerTypeEthernet)
+	// Both ports deliver concurrently; the pooled decoder's packet view
+	// must not outlive this frame (pipeline elements do not retain it,
+	// and a Reparse swaps in an eagerly decoded packet).
+	dec := packet.GetDecoder()
+	defer packet.PutDecoder(dec)
+	decoded := dec.Decode(frame, packet.LayerTypeEthernet)
 	// Scoping: foreign IPv4 traffic flooded onto this leg is not ours
 	// to police — pass it through (the device's own stack discards
 	// frames not addressed to it). ARP and non-IP frames always pass

@@ -39,13 +39,18 @@ type Link struct {
 	act  *activity
 }
 
-// newLink wires two ports together.
+// newLink wires two ports together. The loss rng is only materialized
+// for lossy links: seeding a rand.Source is ~600 words of setup work,
+// and topology builds create links by the hundreds.
 func newLink(a, b *Port, opts LinkOptions, taps *tapSet, act *activity) *Link {
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 0x10c5ec
+	l := &Link{a: a, b: b, opts: opts, taps: taps, act: act}
+	if opts.LossRate > 0 {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 0x10c5ec
+		}
+		l.rng = rand.New(rand.NewSource(seed))
 	}
-	l := &Link{a: a, b: b, opts: opts, rng: rand.New(rand.NewSource(seed)), taps: taps, act: act}
 	a.link.Store(l)
 	b.link.Store(l)
 	return l
@@ -53,7 +58,7 @@ func newLink(a, b *Port, opts LinkOptions, taps *tapSet, act *activity) *Link {
 
 // lose samples the loss process.
 func (l *Link) lose() bool {
-	if l.opts.LossRate <= 0 {
+	if l.opts.LossRate <= 0 || l.rng == nil {
 		return false
 	}
 	l.rngMu.Lock()

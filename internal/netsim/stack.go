@@ -132,7 +132,12 @@ func (s *Stack) HandleFrame(_ *Port, frame Frame) {
 		return
 	default:
 	}
-	p := packet.Decode(frame, packet.LayerTypeEthernet)
+	// One port per stack, but decode via the shared pool anyway: the
+	// UDP/TCP handlers keep only payload byte slices (which point into
+	// the per-delivery frame copy), never layer structs.
+	dec := packet.GetDecoder()
+	defer packet.PutDecoder(dec)
+	p := dec.Decode(frame, packet.LayerTypeEthernet)
 	eth := p.Ethernet()
 	if eth == nil {
 		return

@@ -99,8 +99,12 @@ func (s *Switch) PortIDs() []uint16 {
 func (s *Switch) HandleFrame(ingress *Port, frame Frame) {
 	s.packetsIn.Add(1)
 	mSwitchPacketsIn.Inc()
-	decoded := packet.Decode(frame, packet.LayerTypeEthernet)
+	// Per-port goroutines hit this concurrently: each frame borrows a
+	// pooled decoder, and the decoded view dies at the Lookup return.
+	dec := packet.GetDecoder()
+	decoded := dec.Decode(frame, packet.LayerTypeEthernet)
 	entry, ok := s.table.Lookup(decoded, ingress.ID, len(frame))
+	packet.PutDecoder(dec)
 	if !ok {
 		mSwitchTableMiss.Inc()
 		switch MissBehavior(s.miss.Load()) {

@@ -3,18 +3,38 @@ package packet
 import "fmt"
 
 // Packet is the result of decoding raw bytes: an ordered list of layers
-// from outermost to innermost. Decoding is eager, so a Packet is safe
-// for concurrent reads.
+// from outermost to innermost. Packets from the package-level Decode
+// are fully materialized and safe for concurrent reads; Packets from a
+// Decoder alias that Decoder's storage (see the Decoder reuse
+// contract).
 type Packet struct {
 	data   []byte
 	layers []Layer
+	// lazyRest holds undecoded trailing bytes when a Decoder deferred
+	// the DNS sub-parse; materialize consumes it on first access.
+	lazyRest []byte
+	dec      *Decoder
 }
 
 // Decode parses data starting at the given first layer type. Decoding
 // never fails outright: bytes that cannot be parsed become a trailing
 // DecodeFailure layer, mirroring how a real dataplane must tolerate
 // malformed traffic.
+//
+// Each call dedicates a fresh Decoder to the packet, so the result does
+// not alias shared state: it may be retained indefinitely and read
+// concurrently. Hot paths that drop the packet before the next frame
+// use a pooled Decoder directly and skip the per-packet allocation.
 func Decode(data []byte, first LayerType) *Packet {
+	d := NewDecoder()
+	p := d.Decode(data, first)
+	p.materialize()
+	return p
+}
+
+// decodeReference is the original allocate-per-layer implementation,
+// kept verbatim as the oracle for the Decoder equivalence tests.
+func decodeReference(data []byte, first LayerType) *Packet {
 	p := &Packet{data: data}
 	rest := data
 	next := first
@@ -66,13 +86,28 @@ func newLayer(t LayerType) DecodingLayer {
 func (p *Packet) Data() []byte { return p.data }
 
 // Layers returns all decoded layers, outermost first.
-func (p *Packet) Layers() []Layer { return p.layers }
+func (p *Packet) Layers() []Layer {
+	p.materialize()
+	return p.layers
+}
 
 // Layer returns the first layer of the given type, or nil.
 func (p *Packet) Layer(t LayerType) Layer {
 	for _, l := range p.layers {
 		if l.LayerType() == t {
 			return l
+		}
+	}
+	// The lazily deferred tail always starts at DNS, so it can only
+	// ever contain DNS, a trailing Payload, or a DecodeFailure — for
+	// any other type the scan above was already exhaustive.
+	if p.lazyRest != nil &&
+		(t == LayerTypeDNS || t == LayerTypePayload || t == LayerTypeDecodeFailure) {
+		p.materialize()
+		for _, l := range p.layers {
+			if l.LayerType() == t {
+				return l
+			}
 		}
 	}
 	return nil
@@ -137,6 +172,7 @@ func (p *Packet) ErrorLayer() *DecodeFailure {
 
 // String lists the layer summaries.
 func (p *Packet) String() string {
+	p.materialize()
 	s := ""
 	for i, l := range p.layers {
 		if i > 0 {

@@ -1,0 +1,150 @@
+package packet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Decoder is a reusable decoding context: every layer struct and the
+// Packet itself are pre-allocated once and overwritten on each Decode,
+// so the steady-state data path decodes frames without touching the
+// heap.
+//
+// Reuse contract: the *Packet returned by Decode (and every layer
+// reached through it) aliases the Decoder's internal storage and is
+// valid only until the next Decode call on the same Decoder. Callers
+// that need a packet to outlive the next frame — or to share it across
+// goroutines — must use the eager package-level Decode, which dedicates
+// a fresh Decoder to the packet. A Decoder itself is not safe for
+// concurrent use; concurrent paths take one per frame from GetDecoder.
+type Decoder struct {
+	eth  Ethernet
+	arp  ARP
+	ip   IPv4
+	tcp  TCP
+	udp  UDP
+	dns  DNS
+	pay  Payload
+	fail DecodeFailure
+
+	pkt    Packet
+	layers [8]Layer
+}
+
+// NewDecoder returns a Decoder ready for its first Decode.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// layerFor returns the pre-allocated decoder for the given type, or nil
+// for types without one (mirroring newLayer).
+func (d *Decoder) layerFor(t LayerType) DecodingLayer {
+	switch t {
+	case LayerTypeEthernet:
+		return &d.eth
+	case LayerTypeARP:
+		return &d.arp
+	case LayerTypeIPv4:
+		return &d.ip
+	case LayerTypeTCP:
+		return &d.tcp
+	case LayerTypeUDP:
+		return &d.udp
+	case LayerTypeDNS:
+		return &d.dns
+	case LayerTypePayload:
+		return &d.pay
+	default:
+		return nil
+	}
+}
+
+// Decode parses data starting at the given first layer type, reusing
+// the Decoder's pre-allocated layers. Like the package-level Decode it
+// never fails outright: unparseable bytes become a trailing
+// DecodeFailure layer.
+//
+// DNS is parsed lazily: label decompression is the one step that must
+// allocate (label strings), and the flow-table and IDS paths never look
+// at it. The sub-parse runs on first access through any Packet method
+// that could observe it (Layers, Layer, DNS, ApplicationPayload,
+// ErrorLayer, String).
+func (d *Decoder) Decode(data []byte, first LayerType) *Packet {
+	d.pkt = Packet{data: data, layers: d.layers[:0], dec: d}
+	p := &d.pkt
+	rest := data
+	next := first
+	for len(rest) > 0 && next != LayerTypeInvalid {
+		if next == LayerTypeDNS {
+			p.lazyRest = rest
+			return p
+		}
+		layer := d.layerFor(next)
+		if layer == nil {
+			_ = d.pay.DecodeFromBytes(rest)
+			p.layers = append(p.layers, &d.pay)
+			return p
+		}
+		if err := layer.DecodeFromBytes(rest); err != nil {
+			d.fail = DecodeFailure{Err: fmt.Errorf("decoding %s: %w", next, err)}
+			d.fail.contents = rest
+			p.layers = append(p.layers, &d.fail)
+			return p
+		}
+		p.layers = append(p.layers, layer)
+		rest = layer.LayerPayload()
+		next = layer.NextLayerType()
+	}
+	return p
+}
+
+// materialize finishes a lazily deferred DNS sub-parse, continuing the
+// decode chain exactly as the eager loop would have.
+func (p *Packet) materialize() {
+	if p.lazyRest == nil {
+		return
+	}
+	rest := p.lazyRest
+	p.lazyRest = nil
+	next := LayerTypeDNS
+	for len(rest) > 0 && next != LayerTypeInvalid {
+		var layer DecodingLayer
+		if p.dec != nil {
+			layer = p.dec.layerFor(next)
+		} else {
+			layer = newLayer(next)
+		}
+		if layer == nil {
+			pl := &Payload{}
+			_ = pl.DecodeFromBytes(rest)
+			p.layers = append(p.layers, pl)
+			return
+		}
+		if err := layer.DecodeFromBytes(rest); err != nil {
+			var fail *DecodeFailure
+			if p.dec != nil {
+				p.dec.fail = DecodeFailure{}
+				fail = &p.dec.fail
+			} else {
+				fail = &DecodeFailure{}
+			}
+			fail.Err = fmt.Errorf("decoding %s: %w", next, err)
+			fail.contents = rest
+			p.layers = append(p.layers, fail)
+			return
+		}
+		p.layers = append(p.layers, layer)
+		rest = layer.LayerPayload()
+		next = layer.NextLayerType()
+	}
+}
+
+// decoderPool recycles Decoders for data-path call sites that handle
+// frames on multiple goroutines (switch and middlebox ports). Callers
+// must be done with the returned Packet before PutDecoder.
+var decoderPool = sync.Pool{New: func() any { return NewDecoder() }}
+
+// GetDecoder takes a Decoder from the shared pool.
+func GetDecoder() *Decoder { return decoderPool.Get().(*Decoder) }
+
+// PutDecoder returns a Decoder to the shared pool. The Packet from its
+// last Decode must no longer be referenced.
+func PutDecoder(d *Decoder) { decoderPool.Put(d) }

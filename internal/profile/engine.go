@@ -413,7 +413,12 @@ func (e *Engine) Observe(srcNode, dstNode string, frame netsim.Frame) {
 		e.learner.Observe(srcNode, dstNode, frame, now)
 	}
 
-	pkt := packet.Decode(frame, packet.LayerTypeEthernet)
+	// Taps run on the sending port's goroutine, so Observe is
+	// concurrent; the pooled decoder's view dies with this frame
+	// (checkLocked copies every value it keeps).
+	dec := packet.GetDecoder()
+	defer packet.PutDecoder(dec)
+	pkt := dec.Decode(frame, packet.LayerTypeEthernet)
 	eth := pkt.Ethernet()
 	if eth == nil {
 		return

@@ -62,6 +62,14 @@ func main() {
 		"how long a detect→enforce chain may stay open before it counts as incomplete")
 	sloEscalate := flag.Bool("slo-escalate", false,
 		"on sustained SLO burn, escalate all µmbox pipelines to fail-closed (restored when the burn clears)")
+	ctrlHeartbeat := flag.Duration("ctrl-heartbeat", 0,
+		"supervise partition-local controllers with this deadman heartbeat period (0 = supervision disabled)")
+	ctrlCheckpoint := flag.Duration("ctrl-checkpoint", 2*time.Second,
+		"checkpoint each partition's critical security state at this period (<0 disables periodic checkpoints)")
+	ctrlFailMode := flag.String("ctrl-fail-mode", "rehome",
+		"orphaned-partition fate after a controller death: rehome (least-loaded surviving local) or fail-global (degraded)")
+	sloRecovery := flag.Duration("slo-recovery-p99", 0,
+		"controller failover recovery objective at p99 (0 = recovery watchdog disabled)")
 	fleetRollup := flag.Duration("fleet-rollup", time.Second,
 		"push this gateway's telemetry rollups into the fleet aggregator at this interval and serve /debug/fleet (0 = disabled)")
 	fleetSource := flag.String("fleet-source", "gateway",
@@ -167,6 +175,56 @@ func main() {
 			*sigrepoAddr, *sigrepoIdentity, *sigrepoReconnectMax)
 	}
 
+	var sup *controller.Supervisor
+	if *ctrlHeartbeat > 0 {
+		cfm, ok := controller.ParseFailMode(*ctrlFailMode)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iotsecd: bad -ctrl-fail-mode %q (rehome or fail-global)\n", *ctrlFailMode)
+			os.Exit(2)
+		}
+		var fleet *controller.FleetAggregator
+		if *fleetRollup > 0 {
+			fleet = p.Global.Fleet()
+		}
+		_, sup = p.SuperviseControllers(core.SupervisionOptions{
+			Heartbeat:       *ctrlHeartbeat,
+			CheckpointEvery: *ctrlCheckpoint,
+			FailMode:        cfm,
+			Fleet:           fleet,
+			OnFailover: func(rec controller.FailoverRecord) {
+				fmt.Fprintf(os.Stderr, "iotsecd: partition %d failed over to %s in %s (%d quarantines re-pushed)\n",
+					rec.Group, rec.Target, rec.Recovery, rec.QuarantinesRepushed)
+			},
+		})
+		sup.Start()
+		defer sup.Stop()
+		fmt.Printf("iotsecd: controller supervision armed (heartbeat %s, checkpoint %s, %s mode)\n",
+			*ctrlHeartbeat, *ctrlCheckpoint, cfm)
+	}
+
+	if *sloRecovery > 0 {
+		// The recovery-MTTR histogram rides the same SLO watchdog tap as
+		// detect→enforce, labeled so the two series stay distinct.
+		rw := slo.NewWatchdogSource(slo.HistogramSource{H: controller.RecoveryHistogram()}, slo.Objectives{
+			Target:     *sloRecovery,
+			Quantile:   0.99,
+			Window:     *sloWindow,
+			BurnFactor: *sloBurnFactor,
+		}, slo.WatchdogOptions{
+			ID: "slo-recovery",
+			OnBurn: func(ev slo.Evaluation) {
+				fmt.Fprintf(os.Stderr, "iotsecd: recovery SLO burn: window p99=%s (%d/%d violating)\n",
+					ev.Quantile, ev.OverTarget+ev.Incomplete, ev.Total)
+			},
+			OnRecover: func(ev slo.Evaluation) {
+				fmt.Fprintf(os.Stderr, "iotsecd: recovery SLO burn cleared (window p99=%s)\n", ev.Quantile)
+			},
+		})
+		rw.Start()
+		defer rw.Stop()
+		fmt.Printf("iotsecd: recovery SLO watchdog armed: %s\n", rw.Objectives())
+	}
+
 	var plane *core.ProfilePlane
 	if *profileLearnWindow > 0 || *profileEnforce {
 		plane = p.EnableProfiles(core.ProfileOptions{
@@ -205,6 +263,9 @@ func main() {
 		}
 		if *fleetRollup > 0 {
 			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/fleet", Handler: p.Global.Fleet().Handler()})
+		}
+		if sup != nil {
+			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/controllers", Handler: sup.Handler()})
 		}
 		tsrv, taddr, err := telemetry.Default.Serve(*telemetryAddr, mounts...)
 		if err != nil {

@@ -7,6 +7,7 @@
 //	iotsim -exp t1          # one experiment: t1 t2 f1 f2 f3 f4 f5 a1..a6
 //	iotsim -exp t1,f2,a5    # a comma-separated subset
 //	iotsim -fleet 1000,10000,100000   # fleet load sweep (A10)
+//	iotsim -failover 1000,10000       # control-plane failover chaos (A12)
 package main
 
 import (
@@ -18,21 +19,30 @@ import (
 	"strings"
 	"time"
 
+	"iotsec/internal/controller"
 	"iotsec/internal/experiment"
 	"iotsec/internal/journal"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma-separated: t1,t2,f1..f5,a1..a6, or all)")
+	exp := flag.String("exp", "all", "experiments to run (comma-separated: t1,t2,f1..f5,a1..a6,a12, or all)")
 	seed := flag.Int64("seed", 1, "seed for synthesized corpora")
 	fleet := flag.String("fleet", "", "run the fleet load sweep at these comma-separated sizes (e.g. 1000,10000,100000)")
 	fleetDuration := flag.Duration("fleet-duration", 2*time.Second, "event-driving window per fleet size")
 	fleetShard := flag.Int("fleet-shard", 64, "devices per local controller in the fleet sweep")
 	fleetOut := flag.String("fleet-out", "", "write the final merged fleet snapshot (JSON) to this file")
+	failover := flag.String("failover", "", "run the failover chaos sweep at these comma-separated fleet sizes (A12)")
+	failoverShard := flag.Int("failover-shard", 64, "devices per local controller in the failover sweep")
+	failoverKill := flag.Int("failover-kill", 3, "local controllers killed mid-quarantine per size")
+	failoverMode := flag.String("failover-mode", "rehome", "fail mode under test: rehome or fail-global")
+	failoverOut := flag.String("failover-out", "", "write the failover results (JSON) to this file")
 	flag.Parse()
 
 	if *fleet != "" {
 		os.Exit(runFleetSweep(*fleet, *fleetDuration, *fleetShard, *fleetOut))
+	}
+	if *failover != "" {
+		os.Exit(runFailoverSweep(*failover, *failoverShard, *failoverKill, *failoverMode, *failoverOut))
 	}
 
 	runners := []struct {
@@ -52,6 +62,15 @@ func main() {
 		{"a4", func() (*experiment.Table, error) { return experiment.RunAblationFuzzCoverage(*seed), nil }},
 		{"a5", func() (*experiment.Table, error) { return experiment.RunAblationReputation(*seed), nil }},
 		{"a6", func() (*experiment.Table, error) { return experiment.RunAblationConsistency(*seed), nil }},
+		{"a12", func() (*experiment.Table, error) {
+			tbl, results, err := experiment.RunFailover(experiment.FailoverOptions{
+				Sizes: []int{1_000, 10_000}, Progress: os.Stderr,
+			})
+			if err != nil {
+				dumpFailoverArtifacts(results)
+			}
+			return tbl, err
+		}},
 	}
 
 	// -exp accepts a comma-separated subset; every requested id must
@@ -153,6 +172,98 @@ func runFleetSweep(sizesCSV string, duration time.Duration, shard int, outPath s
 		fmt.Printf("  fleet snapshot: %s\n", outPath)
 	}
 	return 0
+}
+
+// runFailoverSweep parses sizes and runs the A12 control-plane
+// failover chaos harness: local controllers are killed mid-quarantine
+// and the run fails if any frame reaches a quarantined device during
+// the failover window, if recovery misses the SLO, or if post-recovery
+// state diverges from the never-failed control run.
+func runFailoverSweep(sizesCSV string, shard, kill int, mode, outPath string) int {
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "iotsim: bad failover fleet size %q\n", s)
+			return 2
+		}
+		sizes = append(sizes, n)
+	}
+	fm, ok := controller.ParseFailMode(mode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iotsim: bad failover mode %q (rehome or fail-global)\n", mode)
+		return 2
+	}
+	start := time.Now()
+	tbl, results, err := experiment.RunFailover(experiment.FailoverOptions{
+		Sizes:      sizes,
+		ShardSize:  shard,
+		KillShards: kill,
+		FailMode:   fm,
+		Progress:   os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotsim: failover sweep failed: %v\n", err)
+		dumpFailoverArtifacts(results)
+		return 1
+	}
+	tbl.Print(os.Stdout)
+	fmt.Printf("  (A12 completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if outPath != "" && len(results) > 0 {
+		if err := writeJSON(outPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "iotsim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  failover results: %s\n", outPath)
+	}
+	return 0
+}
+
+// dumpFailoverArtifacts exports the post-mortem material when the
+// chaos run fails: the forensic journal as NDJSON to
+// $IOTSEC_FAILOVER_JOURNAL and the per-size results (failover records,
+// fingerprints) to $IOTSEC_FAILOVER_SNAPSHOT — the CI failover stage
+// uploads both.
+func dumpFailoverArtifacts(results []experiment.FailoverResult) {
+	if path := os.Getenv("IOTSEC_FAILOVER_JOURNAL"); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iotsim: journal dump: %v\n", err)
+		} else {
+			enc := json.NewEncoder(f)
+			for _, e := range journal.Default.Snapshot(journal.Filter{}) {
+				_ = enc.Encode(e)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "iotsim: forensic journal dumped to %s\n", path)
+		}
+	}
+	if path := os.Getenv("IOTSEC_FAILOVER_SNAPSHOT"); path != "" {
+		if err := writeJSON(path, results); err != nil {
+			fmt.Fprintf(os.Stderr, "iotsim: snapshot dump: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "iotsim: failover snapshot dumped to %s\n", path)
+		}
+	}
+}
+
+// writeJSON writes v indented to path.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // dumpFleetJournal exports the forensic journal as NDJSON to

@@ -15,6 +15,7 @@
 //	mboxctl [-telemetry-addr host:port] trace <id>
 //	mboxctl [-telemetry-addr host:port] journal [-trace N] [-device D] [-type T] [-since 5m] [-sev warn] [-limit N] [-follow]
 //	mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]
+//	mboxctl [-telemetry-addr host:port] controllers
 //
 // stats, fleet, health, slo, crowd, trace, journal and profiles talk
 // to the daemon's telemetry listener (iotsecd -telemetry-addr), not
@@ -77,6 +78,12 @@ func main() {
 		raw := len(args) > 1 && args[1] == "-json"
 		if err := printFleet(*telemetryAddr, raw); err != nil {
 			fmt.Fprintf(os.Stderr, "mboxctl: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "controllers":
+		if err := printControllers(*telemetryAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: controllers: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -250,8 +257,8 @@ func printFleet(addr string, raw bool) error {
 	}
 
 	fl := v.Fleet
-	fmt.Printf("fleet @ %s: %d shard(s), %d stale, %.0f device(s)\n",
-		v.TakenAt.Format(time.RFC3339), fl.Shards, fl.StaleShards, fl.Devices)
+	fmt.Printf("fleet @ %s: %d shard(s), %d stale, %d failed-over, %.0f device(s)\n",
+		v.TakenAt.Format(time.RFC3339), fl.Shards, fl.StaleShards, fl.FailedOverShards, fl.Devices)
 	fmt.Printf("events: %d total (%.0f/s), %d escalated, %d violation(s)\n",
 		fl.Events, fl.EventsPerSec, fl.Escalations, fl.Violations)
 	if fl.MTTR.Count > 0 {
@@ -279,6 +286,18 @@ func printFleet(addr string, raw bool) error {
 				state = "STALE"
 			} else if !sh.Healthy {
 				state = "unhealthy"
+			}
+			if sh.FailedOver {
+				// The shard's controller died: show where its partition
+				// lives now and when recovery completed.
+				target := "RE-HOMED-TO(" + sh.RehomedTo + ")"
+				if sh.RehomedTo == "global" {
+					target = "FAILED-OVER(global)"
+				}
+				state = target
+				if sh.RecoveredAt != nil {
+					state += " @ " + sh.RecoveredAt.Format("15:04:05")
+				}
 			}
 			fmt.Printf("%-12s %-6d %-9.0f %-10d %-11.0f %-10s %-8s %s\n",
 				sh.Source, sh.LastSeq, sh.Devices, sh.Events, sh.EventsPerSec,
@@ -391,6 +410,66 @@ func parseHistogram(m telemetry.MetricJSON) []histSeries {
 		out = append(out, h)
 	}
 	return out
+}
+
+// printControllers renders the supervision state of every partition's
+// local controller from /debug/controllers: liveness, last-checkpoint
+// age, re-homing target, and the recent failover history.
+func printControllers(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/controllers")
+	if err != nil {
+		return fmt.Errorf("%w (is iotsecd running with -telemetry-addr and -ctrl-heartbeat?)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s (controller supervision enabled?)", resp.Status)
+	}
+	var st controller.SupervisorStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding supervisor status: %w", err)
+	}
+
+	fmt.Printf("supervision: %d partition(s), heartbeat %s, %d misses ⇒ dead, %s mode\n\n",
+		len(st.Partitions), time.Duration(st.HeartbeatSecs*float64(time.Second)), st.Misses, st.FailMode)
+	if len(st.Partitions) == 0 {
+		fmt.Println("no supervised partitions (no rules were delegated to local controllers)")
+		return nil
+	}
+	fmt.Printf("%-10s %-9s %-12s %-14s %-10s %s\n",
+		"PARTITION", "DEVICES", "STATE", "CKPT-AGE", "CKPT-SEQ", "RE-HOMED")
+	for _, cs := range st.Partitions {
+		state := "alive"
+		if !cs.Alive {
+			state = "DEAD"
+			if cs.Misses > 0 {
+				state = fmt.Sprintf("DEAD(%d miss)", cs.Misses)
+			}
+		}
+		ckptAge, ckptSeq := "-", "-"
+		if cs.LastCheckpoint != nil {
+			ckptAge = time.Duration(cs.CheckpointAge * float64(time.Second)).Round(time.Millisecond).String()
+			ckptSeq = strconv.FormatUint(cs.CheckpointSeq, 10)
+		}
+		rehomed := "-"
+		if cs.RehomedTo != "" {
+			rehomed = cs.RehomedTo
+			if cs.RehomedAt != nil {
+				rehomed += " @ " + cs.RehomedAt.Format("15:04:05")
+			}
+		}
+		fmt.Printf("%-10d %-9d %-12s %-14s %-10s %s\n",
+			cs.Group, cs.Devices, state, ckptAge, ckptSeq, rehomed)
+	}
+	if len(st.Failovers) > 0 {
+		fmt.Println("\nfailover history:")
+		for _, rec := range st.Failovers {
+			fmt.Printf("  %s partition %d → %s in %s (%d quarantines re-pushed, %d vars, %d replayed)\n",
+				rec.DetectedAt.Format("15:04:05.000"), rec.Group, rec.Target, rec.Recovery,
+				rec.QuarantinesRepushed, rec.VarsRestored, rec.EventsReplayed)
+		}
+	}
+	return nil
 }
 
 // printHealth probes /healthz and /readyz and renders the aggregated
@@ -859,6 +938,7 @@ func printEvent(e journal.Event) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>
        mboxctl [-telemetry-addr host:port] stats [-json]|fleet [-json]|health|slo|crowd|trace <id>|journal [flags]
-       mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]`)
+       mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]
+       mboxctl [-telemetry-addr host:port] controllers`)
 	os.Exit(2)
 }

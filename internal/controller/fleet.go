@@ -176,6 +176,13 @@ type shardAgg struct {
 	lastWindow float64
 	lastEvents uint64 // events delta in the last applied rollup
 
+	// Failover surfacing: set by the supervisor when the shard's local
+	// controller died and its partition was re-homed. Explicit state —
+	// a failed-over shard is more than STALE.
+	failedOver  bool
+	rehomedTo   string
+	recoveredAt time.Time
+
 	counters map[string]uint64
 	gauges   map[string]float64
 	hists    map[string]telemetry.HistogramRollup
@@ -275,6 +282,30 @@ func (f *FleetAggregator) Report(r telemetry.Rollup) error {
 	return firstErr
 }
 
+// SetShardFailover marks a shard as failed over and re-homed: the
+// supervisor calls it at recovery-complete so /debug/fleet and mboxctl
+// fleet show FAILED-OVER / RE-HOMED-TO state explicitly instead of
+// letting the shard quietly go STALE. Creates the shard row if it never
+// reported (a controller can die before its first rollup); lastSeen is
+// deliberately NOT touched — staleness keeps tracking real reporting.
+func (f *FleetAggregator) SetShardFailover(source, rehomedTo string, at time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sh := f.shards[source]
+	if sh == nil {
+		sh = &shardAgg{
+			counters: make(map[string]uint64),
+			gauges:   make(map[string]float64),
+			hists:    make(map[string]telemetry.HistogramRollup),
+			topk:     make(map[string]telemetry.TopKRollup),
+		}
+		f.shards[source] = sh
+	}
+	sh.failedOver = true
+	sh.rehomedTo = rehomedTo
+	sh.recoveredAt = at
+}
+
 // QuantilesJSON summarizes one latency distribution.
 type QuantilesJSON struct {
 	Count uint64  `json:"count"`
@@ -301,6 +332,9 @@ type ShardSummary struct {
 	AgeSeconds   float64            `json:"age_seconds"`
 	Stale        bool               `json:"stale"`
 	Healthy      bool               `json:"healthy"`
+	FailedOver   bool               `json:"failed_over,omitempty"`
+	RehomedTo    string             `json:"rehomed_to,omitempty"`
+	RecoveredAt  *time.Time         `json:"recovered_at,omitempty"`
 	Devices      float64            `json:"devices"`
 	SKUDevices   map[string]float64 `json:"sku_devices,omitempty"`
 	Events       uint64             `json:"events_total"`
@@ -312,8 +346,9 @@ type ShardSummary struct {
 
 // FleetSummary is the merged fleet-wide row.
 type FleetSummary struct {
-	Shards       int                   `json:"shards"`
-	StaleShards  int                   `json:"stale_shards"`
+	Shards           int `json:"shards"`
+	StaleShards      int `json:"stale_shards"`
+	FailedOverShards int `json:"failed_over_shards"`
 	Devices      float64               `json:"devices"`
 	SKUDevices   map[string]float64    `json:"sku_devices,omitempty"`
 	Events       uint64                `json:"events_total"`
@@ -369,6 +404,13 @@ func (f *FleetAggregator) View() FleetView {
 			Escalations: sh.counters[RollupEscalations],
 			Violations:  sh.counters[RollupViolations],
 			MTTR:        quantilesOf(sh.hists[RollupMTTR]),
+		}
+		if sh.failedOver {
+			sum.FailedOver = true
+			sum.RehomedTo = sh.rehomedTo
+			t := sh.recoveredAt
+			sum.RecoveredAt = &t
+			out.Fleet.FailedOverShards++
 		}
 		if sh.lastWindow > 0 && !sum.Stale {
 			sum.EventsPerSec = float64(sh.lastEvents) / sh.lastWindow
@@ -473,6 +515,8 @@ func (f *FleetAggregator) ExportTelemetry(reg *telemetry.Registry, id string) {
 			"Shards known to the fleet aggregator.", nil, float64(v.Fleet.Shards))
 		emit("iotsec_fleet_stale_shards", telemetry.KindGauge,
 			"Shards past the staleness deadline (still in cumulative aggregates).", nil, float64(v.Fleet.StaleShards))
+		emit("iotsec_fleet_failed_over_shards", telemetry.KindGauge,
+			"Shards whose local controller failed over (partition re-homed).", nil, float64(v.Fleet.FailedOverShards))
 		emit("iotsec_fleet_devices", telemetry.KindGauge,
 			"Devices across all reporting shards.", nil, v.Fleet.Devices)
 		emit("iotsec_fleet_events_total", telemetry.KindCounter,

@@ -127,6 +127,7 @@ type Hierarchy struct {
 	Global       *Global
 	partitioning *Partitioning
 	fsm          *policy.FSM
+	sink         PostureSink
 
 	// GlobalDelay models the extra round trip an escalation pays
 	// (zero = no modeling).
@@ -137,6 +138,10 @@ type Hierarchy struct {
 	localRuleVars map[int]map[string]bool
 	globalVars    map[string]bool
 
+	// localRules retains each partition's delegated rule subset so a
+	// replacement local can be rebuilt after a failover.
+	localRules map[int][]policy.Rule
+
 	locals map[int]*Local
 
 	localHandled atomic.Uint64
@@ -145,6 +150,15 @@ type Hierarchy struct {
 	// fleetStats, when attached, carries per-partition telemetry up the
 	// rollup plane; nil keeps the hot path at one atomic load + branch.
 	fleetStats atomic.Pointer[fleetStatsSet]
+
+	// rehomes, when non-nil, overrides event routing for failed-over
+	// partitions (see rehome.go). Copy-on-write: the hot path pays one
+	// atomic load + nil branch until the first failover.
+	rehomes  atomic.Pointer[rehomeTable]
+	rehomeMu sync.Mutex
+	// adopted counts extra devices each surviving group hosts, so
+	// consecutive failovers spread deterministically by load.
+	adopted map[int]int
 }
 
 // Local is one partition's controller: it keeps a local view and
@@ -155,8 +169,44 @@ type Local struct {
 	fsm   *policy.FSM // the partition-local rule subset
 	sink  PostureSink
 
+	// down is the crash flag: a dead local absorbs nothing until the
+	// supervisor declares it failed and re-homes its partition.
+	down atomic.Bool
+
 	mu           sync.Mutex
 	lastPostures map[string]string
+}
+
+// Alive reports whether the local controller is running.
+func (l *Local) Alive() bool { return !l.down.Load() }
+
+// Kill crashes the local controller (chaos harnesses and fault
+// injection): it stops absorbing events immediately. Its partition's
+// devices are unprotected until the supervisor's deadman notices and
+// re-homes them — exactly the window the failover machinery bounds.
+func (l *Local) Kill() { l.down.Store(true) }
+
+// Postures snapshots the local's last pushed posture keys (device →
+// posture key) — checkpoint material.
+func (l *Local) Postures() map[string]string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]string, len(l.lastPostures))
+	for dev, key := range l.lastPostures {
+		out[dev] = key
+	}
+	return out
+}
+
+// seedPostures primes the posture cache from a checkpoint so the
+// post-restore reconcile only pushes deltas instead of re-delivering
+// every posture the dead controller had already enforced.
+func (l *Local) seedPostures(m map[string]string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for dev, key := range m {
+		l.lastPostures[dev] = key
+	}
 }
 
 // NewHierarchy builds the hierarchy over a partitioning. Rules whose
@@ -165,13 +215,23 @@ type Local struct {
 // globally. Environment variables are local to a partition when named
 // in envLocality.
 func NewHierarchy(fsm *policy.FSM, part *Partitioning, envLocality map[string]int, sink PostureSink) *Hierarchy {
+	return NewHierarchyWithGlobal(NewGlobal(fsm, sink), fsm, part, envLocality, sink)
+}
+
+// NewHierarchyWithGlobal builds the hierarchy over an existing global
+// controller (a platform that assembled its Global first can adopt the
+// partition tier later). g must have been built over the same fsm.
+func NewHierarchyWithGlobal(g *Global, fsm *policy.FSM, part *Partitioning, envLocality map[string]int, sink PostureSink) *Hierarchy {
 	h := &Hierarchy{
-		Global:        NewGlobal(fsm, sink),
+		Global:        g,
 		partitioning:  part,
 		fsm:           fsm,
+		sink:          sink,
 		localRuleVars: make(map[int]map[string]bool),
 		globalVars:    make(map[string]bool),
+		localRules:    make(map[int][]policy.Rule),
 		locals:        make(map[int]*Local),
+		adopted:       make(map[int]int),
 	}
 	// Expose the partition shape on the default registry; the fixed id
 	// means a rebuilt hierarchy replaces its predecessor's collector.
@@ -220,35 +280,44 @@ func NewHierarchy(fsm *policy.FSM, part *Partitioning, envLocality map[string]in
 	// rules reference: FSM.Lookup walks the whole domain to assign
 	// default postures, so sharing the fleet-wide domain would make
 	// every local reconcile O(fleet) instead of O(shard).
-	for g, rules := range localRules {
-		scoped := policy.NewDomain()
-		if g >= 0 && g < len(part.Groups) {
-			for _, dev := range part.Groups[g] {
-				scoped.AddDevice(dev, h.fsm.Domain.DeviceContexts(dev)...)
-			}
-		}
-		for _, r := range rules {
-			for _, c := range r.Conditions {
-				if name, ok := strings.CutPrefix(c.Var, "env:"); ok {
-					scoped.AddEnvVar(name, h.fsm.Domain.EnvLevels(name)...)
-				}
-			}
-		}
-		lf := policy.NewFSM(scoped)
-		for _, r := range rules {
-			lf.AddRule(r)
-		}
-		local := &Local{
-			Group:        g,
-			View:         NewView(),
-			fsm:          lf,
-			sink:         sink,
-			lastPostures: make(map[string]string),
-		}
-		local.View.Observe(func(ctx context.Context, c ViewChange) { local.reconcile(ctx, c.Version) })
-		h.locals[g] = local
+	h.localRules = localRules
+	for g := range localRules {
+		h.locals[g] = h.newLocalFor(g)
 	}
 	return h
+}
+
+// newLocalFor builds a fresh local controller for one partition from
+// its retained rule subset — used both at construction and when a
+// replacement is rebuilt after a failover.
+func (h *Hierarchy) newLocalFor(g int) *Local {
+	rules := h.localRules[g]
+	scoped := policy.NewDomain()
+	if g >= 0 && g < len(h.partitioning.Groups) {
+		for _, dev := range h.partitioning.Groups[g] {
+			scoped.AddDevice(dev, h.fsm.Domain.DeviceContexts(dev)...)
+		}
+	}
+	for _, r := range rules {
+		for _, c := range r.Conditions {
+			if name, ok := strings.CutPrefix(c.Var, "env:"); ok {
+				scoped.AddEnvVar(name, h.fsm.Domain.EnvLevels(name)...)
+			}
+		}
+	}
+	lf := policy.NewFSM(scoped)
+	for _, r := range rules {
+		lf.AddRule(r)
+	}
+	local := &Local{
+		Group:        g,
+		View:         NewView(),
+		fsm:          lf,
+		sink:         h.sink,
+		lastPostures: make(map[string]string),
+	}
+	local.View.Observe(func(ctx context.Context, c ViewChange) { local.reconcile(ctx, c.Version) })
+	return local
 }
 
 // reconcile runs the local rule subset.
@@ -287,11 +356,15 @@ func (l *Local) reconcile(ctx context.Context, version uint64) {
 // enforcement still links back to the original sensor reading.
 func (h *Hierarchy) HandleDeviceEvent(ctx context.Context, e device.Event) {
 	group := h.partitioning.GroupOf(e.Device)
-	if local, ok := h.locals[group]; ok {
+	local, failGlobal := h.routeFor(group)
+	if local != nil {
 		local.View.HandleDeviceEvent(ctx, e)
 	}
 
-	escalate := h.eventGloballyRelevant(e)
+	// Re-homed-to-global partitions route everything up: the global
+	// controller runs the full policy, so it can stand in for the dead
+	// local at the cost of the global round trip (degraded mode).
+	escalate := h.eventGloballyRelevant(e) || failGlobal
 	h.recordShardEvent(group, e.Device, escalate)
 	if escalate {
 		h.escalated.Add(1)
@@ -328,10 +401,11 @@ func (h *Hierarchy) eventGloballyRelevant(e device.Event) bool {
 // HandleEnv routes an environment reading to the owning partition (if
 // local) and to the global view when globally referenced.
 func (h *Hierarchy) HandleEnv(ctx context.Context, envVar, level string, group int, reason string) {
-	if local, ok := h.locals[group]; ok {
+	local, failGlobal := h.routeFor(group)
+	if local != nil {
 		local.View.SetEnv(ctx, envVar, level, reason)
 	}
-	escalate := h.globalVars["env:"+envVar]
+	escalate := h.globalVars["env:"+envVar] || failGlobal
 	h.recordShardEvent(group, envVar, escalate)
 	if escalate {
 		h.escalated.Add(1)
@@ -349,6 +423,24 @@ func (h *Hierarchy) HandleEnv(ctx context.Context, envVar, level string, group i
 	mLocalHandled.Inc()
 }
 
+// routeFor resolves the partition's current controller: the
+// replacement local after a re-home, the original while it is alive,
+// or (nil, true) when the partition runs in degraded fail-global mode.
+// A dead, not-yet-re-homed partition resolves to (nil, false) — its
+// events are absorbed by nobody, which is exactly the unprotected
+// window the supervisor's deadman bounds.
+func (h *Hierarchy) routeFor(group int) (local *Local, failGlobal bool) {
+	if rt := h.rehomes.Load(); rt != nil {
+		if ent, ok := rt.targets[group]; ok {
+			return ent.local, ent.local == nil
+		}
+	}
+	if l, ok := h.locals[group]; ok && l.Alive() {
+		return l, false
+	}
+	return nil, false
+}
+
 // Metrics reports locally absorbed vs escalated events.
 func (h *Hierarchy) Metrics() (local, escalated uint64) {
 	return h.localHandled.Load(), h.escalated.Load()
@@ -356,3 +448,10 @@ func (h *Hierarchy) Metrics() (local, escalated uint64) {
 
 // Locals reports the number of local controllers.
 func (h *Hierarchy) Locals() int { return len(h.locals) }
+
+// LocalFor returns a partition's ORIGINAL local controller (nil when
+// the partition has no delegated rules). Chaos harnesses crash
+// controllers through it via Kill; routing consults routeFor, so a
+// killed original never absorbs events even before the supervisor
+// notices.
+func (h *Hierarchy) LocalFor(group int) *Local { return h.locals[group] }

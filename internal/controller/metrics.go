@@ -47,7 +47,37 @@ var (
 		"iotsec_controller_program_seconds",
 		"Full switch (re)programming latency including the barrier fence.",
 		telemetry.LatencyBuckets)
+
+	// Control-plane failover metrics (§5.1 crash tolerance): the
+	// deadman, checkpoint and recovery counters the supervisor drives,
+	// plus the recovery-MTTR histogram the SLO watchdog taps.
+	mCtrlSupervised = telemetry.NewGauge(
+		"iotsec_controller_failover_supervised",
+		"Local controllers under deadman supervision.")
+	mCtrlMissedBeats = telemetry.NewCounter(
+		"iotsec_controller_failover_missed_beats_total",
+		"Deadman probes that found a local controller unresponsive.")
+	mCtrlFailovers = telemetry.NewCounter(
+		"iotsec_controller_failover_total",
+		"Local controllers declared dead and failed over.")
+	mCtrlCheckpoints = telemetry.NewCounter(
+		"iotsec_controller_failover_checkpoints_total",
+		"Partition state checkpoints taken by the supervisor.")
+	mCtrlQuarantineRepush = telemetry.NewCounter(
+		"iotsec_controller_failover_quarantine_repush_total",
+		"Quarantines re-asserted during recovery, before state restore.")
+	mCtrlRehomed = telemetry.NewGauge(
+		"iotsec_controller_failover_rehomed_partitions",
+		"Partitions currently routed to a replacement home.")
+	mCtrlRecoverySeconds = telemetry.NewHistogram(
+		"iotsec_controller_recovery_seconds",
+		"Failover detection-to-recovery MTTR per partition.",
+		telemetry.LatencyBuckets)
 )
+
+// RecoveryHistogram exposes the recovery-MTTR histogram so the SLO
+// watchdog (iotsecd -slo-recovery-p99) can tap it as a Source.
+func RecoveryHistogram() *telemetry.Histogram { return mCtrlRecoverySeconds }
 
 // ExportTelemetry registers a scrape-time collector exposing this
 // partitioning's group sizes as iotsec_controller_partition_devices

@@ -22,7 +22,12 @@ type Replica struct {
 
 	mu      sync.Mutex
 	pending []timedUpdate
-	values  map[string]Update
+	// dirty marks pending as out of version order. Offers almost always
+	// arrive in order (a store watch delivers commits sequentially), so
+	// AdvanceTo only pays the sort after an actual inversion instead of
+	// re-sorting the whole backlog every tick.
+	dirty  bool
+	values map[string]Update
 }
 
 type timedUpdate struct {
@@ -39,6 +44,9 @@ func NewReplica(lag time.Duration) *Replica {
 func (r *Replica) Offer(u Update, committedAt time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if n := len(r.pending); n > 0 && r.pending[n-1].u.Version > u.Version {
+		r.dirty = true
+	}
 	r.pending = append(r.pending, timedUpdate{u: u, at: committedAt})
 	mReplicaPending.Inc()
 }
@@ -48,9 +56,12 @@ func (r *Replica) Offer(u Update, committedAt time.Time) {
 func (r *Replica) AdvanceTo(now time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	sort.SliceStable(r.pending, func(i, j int) bool {
-		return r.pending[i].u.Version < r.pending[j].u.Version
-	})
+	if r.dirty {
+		sort.SliceStable(r.pending, func(i, j int) bool {
+			return r.pending[i].u.Version < r.pending[j].u.Version
+		})
+		r.dirty = false
+	}
 	kept := r.pending[:0]
 	for _, tu := range r.pending {
 		if age := now.Sub(tu.at); age >= r.Lag {

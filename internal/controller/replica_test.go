@@ -64,3 +64,44 @@ func TestReplicaFollowStoreLive(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+func TestReplicaInOrderOffersStayOrdered(t *testing.T) {
+	// The common case: offers arrive in version order (store watch),
+	// so AdvanceTo's dirty-flag sort never fires — results must be
+	// identical to the always-sort behavior.
+	r := NewReplica(10 * time.Millisecond)
+	base := time.Now()
+	for i := 1; i <= 100; i++ {
+		r.Offer(Update{Key: "k", Value: "v" + string(rune('0'+i%10)), Version: uint64(i)}, base.Add(time.Duration(i)*time.Millisecond))
+	}
+	// Partial advance: only the first half is visible.
+	r.AdvanceTo(base.Add(60 * time.Millisecond))
+	_, ver, ok := r.Get("k")
+	if !ok || ver != 50 {
+		t.Fatalf("partial advance: v%d %v, want v50", ver, ok)
+	}
+	r.AdvanceTo(base.Add(time.Hour))
+	_, ver, _ = r.Get("k")
+	if ver != 100 {
+		t.Fatalf("full advance: v%d, want v100", ver)
+	}
+	if r.Staleness() != 0 {
+		t.Fatalf("staleness = %d after full drain", r.Staleness())
+	}
+}
+
+// BenchmarkReplicaAdvanceToPending10k is the satellite regression
+// guard: AdvanceTo over 10^4 pending in-order updates must scan, not
+// re-sort, the queue every tick.
+func BenchmarkReplicaAdvanceToPending10k(b *testing.B) {
+	r := NewReplica(time.Hour) // nothing becomes visible: steady 10k backlog
+	base := time.Now()
+	for i := 0; i < 10_000; i++ {
+		r.Offer(Update{Key: "k", Value: "v", Version: uint64(i + 1)}, base.Add(time.Duration(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.AdvanceTo(base)
+	}
+}

@@ -524,6 +524,22 @@ func (s *Steering) Isolated(name string) bool {
 	return ok
 }
 
+// IsolatedDevices snapshots the full quarantine set (device → MAC).
+// Because program() re-emits these rules on every table rebuild and
+// switch (re)connect, this set mirrors exactly the drop rules resident
+// in connected switches' flow tables — it is the controller-side
+// flow-table readback the failover recovery path rebuilds quarantine
+// state from.
+func (s *Steering) IsolatedDevices() map[string]packet.MACAddress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]packet.MACAddress, len(s.isolated))
+	for name, mac := range s.isolated {
+		out[name] = mac
+	}
+	return out
+}
+
 // dpids snapshots the connected switch IDs.
 func (s *Steering) dpids() []uint64 {
 	s.mu.Lock()

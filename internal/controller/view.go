@@ -10,6 +10,7 @@ package controller
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -145,6 +146,56 @@ func (v *View) Env(envVar string) string {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return v.env[envVar]
+}
+
+// Vars snapshots every committed variable in store convention
+// ("dev:<name>" / "env:<name>" → value) — the checkpointable state.
+func (v *View) Vars() map[string]string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]string, len(v.contexts)+len(v.env))
+	for dev, sc := range v.contexts {
+		out["dev:"+dev] = string(sc)
+	}
+	for name, val := range v.env {
+		out["env:"+name] = val
+	}
+	return out
+}
+
+// Restore bulk-loads variables into the view WITHOUT notifying
+// observers — recovery seeding from a checkpoint, where the caller
+// runs one explicit reconcile afterwards instead of paying one
+// reconcile per restored variable. Unchanged values are skipped
+// (idempotent, so checkpoint + journal-replay overlap is harmless);
+// variables are applied in sorted order so a rebuilt store assigns
+// versions deterministically. Returns the store version after the
+// load.
+func (v *View) Restore(vars map[string]string) uint64 {
+	keys := make([]string, 0, len(vars))
+	for k := range vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, varName := range keys {
+		value := vars[varName]
+		if name, ok := strings.CutPrefix(varName, "dev:"); ok {
+			if string(v.contexts[name]) == value {
+				continue
+			}
+			v.store.Put(varName, value)
+			v.contexts[name] = policy.SecurityContext(value)
+		} else if name, ok := strings.CutPrefix(varName, "env:"); ok {
+			if v.env[name] == value {
+				continue
+			}
+			v.store.Put(varName, value)
+			v.env[name] = value
+		}
+	}
+	return v.store.Version()
 }
 
 // State materializes the current policy.State.

@@ -87,6 +87,14 @@ type Platform struct {
 	// FLOW_MODs whenever a posture isolates or releases a device.
 	steering *controller.Steering
 
+	// hierarchy + supervision (SuperviseControllers): when attached,
+	// device events and scoped env readings route through the partition
+	// tier instead of straight into the global view.
+	hierarchy    *controller.Hierarchy
+	partitioning *controller.Partitioning
+	envLocality  map[string]int
+	supervisor   *controller.Supervisor
+
 	// failModeSnapshot remembers per-pipeline fail modes captured when
 	// the SLO watchdog escalated, so de-escalation restores exactly
 	// what the operator had configured (nil = not escalated).
@@ -166,7 +174,7 @@ func New(opts Options) (*Platform, error) {
 	p.Env.AddObserver(func(s envsim.Snapshot, _ map[string]float64) {
 		ctx, span := telemetry.StartSpan(context.Background(), "core.env_tick")
 		for _, v := range p.disc.Variables() {
-			p.Global.View.SetEnv(ctx, v, p.disc.Value(v, s.Get(v)), "environment")
+			p.reportEnv(ctx, v, p.disc.Value(v, s.Get(v)))
 		}
 		span.End()
 	})
@@ -436,8 +444,38 @@ func (p *Platform) ReportDeviceEvent(e device.Event) {
 	span.SetAttr("device", e.Device)
 	journal.Record(ctx, journal.TypeDeviceEvent, journal.Debug, e.Device,
 		fmt.Sprintf("%s: %s", e.Kind, e.Detail))
-	p.Global.View.HandleDeviceEvent(ctx, e)
+	p.mu.Lock()
+	h, part := p.hierarchy, p.partitioning
+	p.mu.Unlock()
+	// With a supervised partition tier attached, events from partitioned
+	// devices route through it (local absorb or escalate); everything
+	// else keeps the Global-only path.
+	if h != nil && part.GroupOf(e.Device) >= 0 {
+		h.HandleDeviceEvent(ctx, e)
+	} else {
+		p.Global.View.HandleDeviceEvent(ctx, e)
+	}
 	span.End()
+}
+
+// reportEnv routes one discretized environment level: through the
+// partition tier when the variable has declared locality, otherwise
+// straight into the global view (pre-hierarchy semantics).
+func (p *Platform) reportEnv(ctx context.Context, envVar, level string) {
+	p.mu.Lock()
+	h := p.hierarchy
+	group, scoped := -1, false
+	if h != nil && p.envLocality != nil {
+		if g, ok := p.envLocality[envVar]; ok {
+			group, scoped = g, true
+		}
+	}
+	p.mu.Unlock()
+	if h != nil && scoped {
+		h.HandleEnv(ctx, envVar, level, group, "environment")
+		return
+	}
+	p.Global.View.SetEnv(ctx, envVar, level, "environment")
 }
 
 // ReportAnomaly feeds one behavioral anomaly into the view as a fresh

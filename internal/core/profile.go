@@ -106,6 +106,15 @@ func identityOf(m *Managed) profile.Identity {
 // Engine exposes the underlying engine (debug handler, stats, health).
 func (pl *ProfilePlane) Engine() *profile.Engine { return pl.engine }
 
+// Generation reports the installed-profile generation (bumped by each
+// FinishLearning). Controller checkpoints record it so recovery knows
+// which profile set enforcement was running.
+func (pl *ProfilePlane) Generation() uint64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return uint64(pl.generation)
+}
+
 // RegisterHealth adds the profile engine to a health registry
 // (non-critical: a degraded profile plane signals active containment,
 // not an inability to serve).

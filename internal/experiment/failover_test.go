@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"iotsec/internal/controller"
+)
+
+func TestRunFailoverChaos(t *testing.T) {
+	var progress strings.Builder
+	tbl, results, err := RunFailover(FailoverOptions{
+		Sizes:      []int{512},
+		ShardSize:  32,
+		KillShards: 2,
+		Progress:   &progress,
+	})
+	if err != nil {
+		t.Fatalf("RunFailover: %v\n%s", err, progress.String())
+	}
+	if tbl.ID != "A12" {
+		t.Fatalf("table ID = %q", tbl.ID)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	r := results[0]
+	if r.Killed != 2 {
+		t.Fatalf("killed %d locals, want 2", r.Killed)
+	}
+	if r.ViolatingFrames != 0 {
+		t.Fatalf("%d frames delivered to quarantined devices during the failover window", r.ViolatingFrames)
+	}
+	if r.WindowFrames == 0 {
+		t.Fatal("no frames pumped during the failover window — the 0-violations claim is vacuous")
+	}
+	if !r.StateMatch {
+		t.Fatalf("post-recovery state diverged: %s != %s", r.Fingerprint, r.ControlFP)
+	}
+	if r.Quarantined == 0 || r.QuarantinesRepushed < r.Quarantined {
+		t.Fatalf("re-pushed %d quarantines for %d quarantined devices — union must cover intent",
+			r.QuarantinesRepushed, r.Quarantined)
+	}
+	if r.EventsReplayed == 0 {
+		t.Fatal("no journal events replayed — post-checkpoint wave did not travel")
+	}
+	if !r.TracesComplete {
+		t.Fatal("failover journal traces incomplete")
+	}
+	if !r.WithinSLO {
+		t.Fatalf("recovery p99 %.4fs over SLO", r.RecoveryP99Seconds)
+	}
+	if r.FailedOverShards != r.Killed {
+		t.Fatalf("fleet view shows %d failed-over shards, want %d", r.FailedOverShards, r.Killed)
+	}
+	for _, rec := range r.Records {
+		if rec.Target == "" || rec.Target == "global" {
+			t.Fatalf("re-home target %q — expected a surviving shard in rehome mode", rec.Target)
+		}
+	}
+}
+
+func TestRunFailoverFailGlobal(t *testing.T) {
+	_, results, err := RunFailover(FailoverOptions{
+		Sizes:      []int{128},
+		ShardSize:  32,
+		KillShards: 1,
+		FailMode:   controller.FailModeGlobal,
+	})
+	if err != nil {
+		// Fail-global is degraded by design: the global controller runs
+		// the full policy over restored state, so enforcement equality
+		// with the control run is NOT part of its contract — only the
+		// fail-closed quarantine guarantees are.
+		if len(results) == 1 && results[0].ViolatingFrames == 0 && !results[0].StateMatch {
+			t.Skipf("fail-global degraded as documented: %v", err)
+		}
+		t.Fatalf("RunFailover fail-global: %v", err)
+	}
+	r := results[0]
+	if r.ViolatingFrames != 0 {
+		t.Fatalf("%d violations in fail-global mode", r.ViolatingFrames)
+	}
+	for _, rec := range r.Records {
+		if rec.Target != "global" {
+			t.Fatalf("target %q, want global", rec.Target)
+		}
+	}
+}

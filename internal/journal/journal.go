@@ -94,6 +94,18 @@ const (
 	// TypeRogueQuarantine is an unregistered MAC detected under
 	// lockdown and cut off at the switch.
 	TypeRogueQuarantine Type = "rogue-quarantine"
+	// TypeCtrlFailover is a partition-local controller declared dead by
+	// the deadman supervisor (the start of a recovery trace).
+	TypeCtrlFailover Type = "controller-failover"
+	// TypeCtrlRehomed is an orphaned partition re-assigned to a new home
+	// (a surviving local controller, or the global controller in
+	// fail-global mode) with its state rebuilt from checkpoint + journal
+	// replay + flow-table readback.
+	TypeCtrlRehomed Type = "partition-rehomed"
+	// TypeCtrlRecovered closes a recovery trace: quarantines re-pushed,
+	// state rebuilt, postures reconciled — the partition is protected
+	// again. The detail carries the measured recovery duration.
+	TypeCtrlRecovered Type = "recovery-complete"
 )
 
 // Severity ranks events for filtering.

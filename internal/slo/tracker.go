@@ -408,6 +408,10 @@ func (t *Tracker) Incomplete() uint64 {
 // E2E exposes the end-to-end histogram (the watchdog windows it).
 func (t *Tracker) E2E() *telemetry.Histogram { return t.mE2E }
 
+// Rollup snapshots the cumulative end-to-end histogram. Together with
+// Sync and Incomplete it makes the tracker a watchdog Source.
+func (t *Tracker) Rollup() telemetry.HistogramRollup { return t.mE2E.Rollup() }
+
 // Sync drains any tapped events and runs one timeout sweep
 // synchronously — a deterministic barrier for tests and for the
 // watchdog's evaluation tick (so an evaluation never races the

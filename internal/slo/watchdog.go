@@ -56,12 +56,43 @@ func (o Objectives) String() string {
 		o.Quantile*100, o.Target, o.Window, o.BurnFactor)
 }
 
+// Source is what a watchdog windows: any producer of a cumulative
+// latency histogram plus an incomplete count. Tracker implements it for
+// detect→enforce MTTR; HistogramSource adapts any bare histogram (e.g.
+// the controller recovery-MTTR histogram) so failover recovery rides
+// the same SLO machinery.
+type Source interface {
+	// Sync is the pre-evaluation barrier: fold any pending observations
+	// so the window judges everything that should have resolved by now.
+	Sync()
+	// Rollup snapshots the cumulative histogram.
+	Rollup() telemetry.HistogramRollup
+	// Incomplete counts chains that will never complete (judged as +Inf
+	// observations). Sources without the concept return 0.
+	Incomplete() uint64
+}
+
+// HistogramSource adapts a bare telemetry histogram into a Source
+// (no sync barrier, no incomplete accounting).
+type HistogramSource struct {
+	H *telemetry.Histogram
+}
+
+func (s HistogramSource) Sync()                              {}
+func (s HistogramSource) Rollup() telemetry.HistogramRollup { return s.H.Rollup() }
+func (s HistogramSource) Incomplete() uint64                 { return 0 }
+
 // WatchdogOptions configures the evaluation machinery.
 type WatchdogOptions struct {
+	// ID distinguishes watchdogs sharing one registry (collector id and
+	// the {slo: id} label on scrape series). Default "slo-watchdog",
+	// which emits unlabeled series for backward compatibility.
+	ID string
 	// Journal receives slo-burn events (journal.Default when nil).
 	Journal *journal.Journal
-	// Registry receives the watchdog metrics (the tracker's registry
-	// when nil).
+	// Registry receives the watchdog metrics (NewWatchdog: the
+	// tracker's registry; NewWatchdogSource: telemetry.Default — when
+	// nil).
 	Registry *telemetry.Registry
 	// Clock drives the evaluation ticker (resilience.System when nil).
 	Clock resilience.Clock
@@ -91,7 +122,8 @@ type Evaluation struct {
 // Incomplete chains count as violations at +Inf — a chain that never
 // enforced is the worst possible MTTR, not a missing sample.
 type Watchdog struct {
-	t     *Tracker
+	src   Source
+	id    string
 	j     *journal.Journal
 	obj   Objectives
 	clock resilience.Clock
@@ -115,23 +147,38 @@ type Watchdog struct {
 	once    sync.Once
 }
 
-// NewWatchdog builds a watchdog over t. Call Start to begin ticking
-// (tests may call Evaluate directly instead).
+// NewWatchdog builds a watchdog over a tracker's detect→enforce
+// histogram. Call Start to begin ticking (tests may call Evaluate
+// directly instead).
 func NewWatchdog(t *Tracker, obj Objectives, opts WatchdogOptions) *Watchdog {
+	if opts.Registry == nil {
+		opts.Registry = t.reg
+	}
+	return NewWatchdogSource(t, obj, opts)
+}
+
+// NewWatchdogSource builds a watchdog over any Source — the recovery
+// SLO tap runs one over the controller recovery-MTTR histogram.
+func NewWatchdogSource(src Source, obj Objectives, opts WatchdogOptions) *Watchdog {
 	j := opts.Journal
 	if j == nil {
 		j = journal.Default
 	}
 	reg := opts.Registry
 	if reg == nil {
-		reg = t.reg
+		reg = telemetry.Default
 	}
 	clock := opts.Clock
 	if clock == nil {
 		clock = resilience.System
 	}
+	id := opts.ID
+	if id == "" {
+		id = "slo-watchdog"
+	}
 	w := &Watchdog{
-		t:         t,
+		src:       src,
+		id:        id,
 		j:         j,
 		obj:       obj.withDefaults(),
 		clock:     clock,
@@ -143,11 +190,11 @@ func NewWatchdog(t *Tracker, obj Objectives, opts WatchdogOptions) *Watchdog {
 	}
 	w.mBurn = reg.NewCounter("iotsec_slo_burn_total",
 		"Evaluation windows in which the MTTR objective's error budget was exceeded.")
-	reg.RegisterCollector("slo-watchdog", w.collect)
+	reg.RegisterCollector(id, w.collect)
 	// Baseline the histogram so the first window only sees its own
 	// delta, not process history.
-	w.prev = t.mE2E.Rollup()
-	w.prevInc = t.Incomplete()
+	w.prev = src.Rollup()
+	w.prevInc = src.Incomplete()
 	return w
 }
 
@@ -182,7 +229,7 @@ func (w *Watchdog) Stop() {
 		if w.started.Load() {
 			<-w.done
 		}
-		w.reg.UnregisterCollector("slo-watchdog")
+		w.reg.UnregisterCollector(w.id)
 	})
 }
 
@@ -191,9 +238,9 @@ func (w *Watchdog) Stop() {
 func (w *Watchdog) Evaluate() Evaluation {
 	// Barrier: fold anything sitting in the tap and sweep timeouts so
 	// the window judges every chain that should have resolved by now.
-	w.t.Sync()
-	cur := w.t.mE2E.Rollup()
-	inc := w.t.Incomplete()
+	w.src.Sync()
+	cur := w.src.Rollup()
+	inc := w.src.Incomplete()
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -246,9 +293,13 @@ func (w *Watchdog) Evaluate() Evaluation {
 
 	if ev.Burning {
 		w.mBurn.Inc()
+		name := "MTTR SLO"
+		if w.id != "slo-watchdog" {
+			name = w.id + " SLO"
+		}
 		w.j.Record(context.Background(), journal.TypeSLOBurn, journal.Warn, "",
-			fmt.Sprintf("MTTR SLO burn: %s violated — window p%g=%s, %d/%d over target (%d incomplete), viol %.1f%% > budget %.1f%%",
-				w.obj, w.obj.Quantile*100, ev.Quantile, ev.OverTarget+ev.Incomplete, ev.Total,
+			fmt.Sprintf("%s burn: %s violated — window p%g=%s, %d/%d over target (%d incomplete), viol %.1f%% > budget %.1f%%",
+				name, w.obj, w.obj.Quantile*100, ev.Quantile, ev.OverTarget+ev.Incomplete, ev.Total,
 				ev.Incomplete, ev.ViolFrac*100, ev.BudgetFrac*100))
 	}
 	was := w.burning
@@ -285,24 +336,31 @@ func (w *Watchdog) collect(emit func(name string, kind telemetry.Kind, help stri
 	last, burning, evals := w.last, w.burning, w.evals
 	obj := w.obj
 	w.mu.Unlock()
+	// Non-default watchdogs label their series so two objectives on one
+	// registry stay distinguishable; the default stays unlabeled for
+	// backward compatibility.
+	var labels telemetry.Labels
+	if w.id != "slo-watchdog" {
+		labels = telemetry.Labels{{Key: "slo", Value: w.id}}
+	}
 	b := 0.0
 	if burning {
 		b = 1
 	}
 	emit("iotsec_slo_burn_active", telemetry.KindGauge,
-		"1 while the last evaluated window violated the MTTR error budget.", nil, b)
+		"1 while the last evaluated window violated the MTTR error budget.", labels, b)
 	emit("iotsec_slo_objective_seconds", telemetry.KindGauge,
-		"Configured MTTR objective latency.", nil, obj.Target.Seconds())
+		"Configured MTTR objective latency.", labels, obj.Target.Seconds())
 	emit("iotsec_slo_objective_quantile", telemetry.KindGauge,
-		"Quantile the MTTR objective is stated at.", nil, obj.Quantile)
+		"Quantile the MTTR objective is stated at.", labels, obj.Quantile)
 	emit("iotsec_slo_evaluations_total", telemetry.KindCounter,
-		"SLO windows evaluated (including skipped low-traffic windows).", nil, float64(evals))
+		"SLO windows evaluated (including skipped low-traffic windows).", labels, float64(evals))
 	emit("iotsec_slo_window_quantile_seconds", telemetry.KindGauge,
 		"Last window's MTTR at the objective quantile (incomplete chains count as +Inf).",
-		nil, last.Quantile.Seconds())
+		labels, last.Quantile.Seconds())
 	emit("iotsec_slo_window_total", telemetry.KindGauge,
-		"Chains judged in the last window.", nil, float64(last.Total))
+		"Chains judged in the last window.", labels, float64(last.Total))
 	emit("iotsec_slo_window_violations", telemetry.KindGauge,
 		"Over-target plus incomplete chains in the last window.",
-		nil, float64(last.OverTarget+last.Incomplete))
+		labels, float64(last.OverTarget+last.Incomplete))
 }

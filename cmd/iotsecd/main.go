@@ -16,6 +16,7 @@ import (
 
 	"iotsec/internal/controller"
 	"iotsec/internal/core"
+	"iotsec/internal/forensics"
 	"iotsec/internal/journal"
 	"iotsec/internal/netsim"
 	"iotsec/internal/openflow"
@@ -78,12 +79,26 @@ func main() {
 		"observe device traffic for this long, then distill per-SKU behavior profiles (0 = no training window)")
 	profileEnforce := flag.Bool("profile-enforce", false,
 		"enforce learned/crowd SKU profiles as deny-by-default flow rules and quarantine rogue MACs")
+	journalCap := flag.Int("journal-cap", 0,
+		"forensic journal ring capacity in events (0 = default 8192); small caps exercise incident capture under eviction")
+	forensicsDir := flag.String("forensics-dir", "",
+		"durable incident store directory: incident-opening journal events pin their full trace chains here before ring eviction (empty = forensics disabled)")
+	forensicsMaxBytes := flag.Int64("forensics-max-bytes", 0,
+		"incident store size cap in bytes; oldest sealed segments are deleted over this (0 = default 64MiB)")
+	forensicsSegmentBytes := flag.Int64("forensics-segment-bytes", 0,
+		"incident store segment rotation threshold in bytes (0 = default 4MiB)")
 	flag.Parse()
 
 	failMode, err := netsim.ParseFailMode(*sbFailMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iotsecd: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *journalCap > 0 {
+		// Replace the process-wide ring before anything journals to it.
+		journal.Default = journal.New(*journalCap)
+		fmt.Printf("iotsecd: journal ring capped at %d events\n", *journalCap)
 	}
 
 	if *slowSpan > 0 {
@@ -246,6 +261,27 @@ func main() {
 		}
 	}
 
+	var capt *forensics.Capturer
+	if *forensicsDir != "" {
+		store, err := forensics.OpenStore(*forensicsDir, forensics.StoreOptions{
+			MaxBytes:     *forensicsMaxBytes,
+			SegmentBytes: *forensicsSegmentBytes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iotsecd: forensics: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		// Close before the deferred store.Close above: Close force-seals
+		// open incidents into the store so in-flight chains survive a
+		// restart.
+		capt = p.EnableForensics(forensics.Options{Store: store, Shard: *fleetSource})
+		defer capt.Close()
+		st := store.Stats()
+		fmt.Printf("iotsecd: incident forensics on %s (%d incident(s) recovered, shard %q)\n",
+			*forensicsDir, st.Incidents, *fleetSource)
+	}
+
 	if *fleetRollup > 0 {
 		// The gateway reports itself as one shard of the fleet plane;
 		// the tracker's e2e histogram supplies detect→enforce latency.
@@ -261,8 +297,12 @@ func main() {
 		if plane != nil {
 			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/profiles", Handler: plane.Engine().Handler()})
 		}
+		if capt != nil {
+			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/incidents", Handler: capt.Handler()})
+		}
 		if *fleetRollup > 0 {
 			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/fleet", Handler: p.Global.Fleet().Handler()})
+			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/fleet/incidents", Handler: p.Global.Fleet().IncidentsHandler()})
 		}
 		if sup != nil {
 			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/controllers", Handler: sup.Handler()})

@@ -4,10 +4,11 @@
 // Usage:
 //
 //	iotsim                  # run everything
-//	iotsim -exp t1          # one experiment: t1 t2 f1 f2 f3 f4 f5 a1..a6
+//	iotsim -exp t1          # one experiment: t1 t2 f1 f2 f3 f4 f5 a1..a6 a12 a13
 //	iotsim -exp t1,f2,a5    # a comma-separated subset
 //	iotsim -fleet 1000,10000,100000   # fleet load sweep (A10)
 //	iotsim -failover 1000,10000       # control-plane failover chaos (A12)
+//	iotsim -replay incident.json      # replay a captured incident (A13)
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma-separated: t1,t2,f1..f5,a1..a6,a12, or all)")
+	exp := flag.String("exp", "all", "experiments to run (comma-separated: t1,t2,f1..f5,a1..a6,a12,a13, or all)")
 	seed := flag.Int64("seed", 1, "seed for synthesized corpora")
 	fleet := flag.String("fleet", "", "run the fleet load sweep at these comma-separated sizes (e.g. 1000,10000,100000)")
 	fleetDuration := flag.Duration("fleet-duration", 2*time.Second, "event-driving window per fleet size")
@@ -36,6 +37,8 @@ func main() {
 	failoverKill := flag.Int("failover-kill", 3, "local controllers killed mid-quarantine per size")
 	failoverMode := flag.String("failover-mode", "rehome", "fail mode under test: rehome or fail-global")
 	failoverOut := flag.String("failover-out", "", "write the failover results (JSON) to this file")
+	replay := flag.String("replay", "", "replay a captured incident scenario (JSON from mboxctl incidents export) as a regression check (A13)")
+	replayOut := flag.String("replay-out", "", "write the replay verdict (JSON) to this file")
 	flag.Parse()
 
 	if *fleet != "" {
@@ -43,6 +46,9 @@ func main() {
 	}
 	if *failover != "" {
 		os.Exit(runFailoverSweep(*failover, *failoverShard, *failoverKill, *failoverMode, *failoverOut))
+	}
+	if *replay != "" {
+		os.Exit(runReplay(*replay, *replayOut))
 	}
 
 	runners := []struct {
@@ -71,6 +77,7 @@ func main() {
 			}
 			return tbl, err
 		}},
+		{"a13", func() (*experiment.Table, error) { return experiment.RunA13(os.Stderr) }},
 	}
 
 	// -exp accepts a comma-separated subset; every requested id must
@@ -219,6 +226,45 @@ func runFailoverSweep(sizesCSV string, shard, kill int, mode, outPath string) in
 			return 1
 		}
 		fmt.Printf("  failover results: %s\n", outPath)
+	}
+	return 0
+}
+
+// runReplay re-drives one exported incident scenario (A13) and exits
+// nonzero unless every expected chain stage re-fired within the SLO.
+func runReplay(path, outPath string) int {
+	start := time.Now()
+	res, err := experiment.RunReplayFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotsim: replay: %v\n", err)
+		return 1
+	}
+	verdict := "PASS"
+	if !res.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Printf("A13 replay %s: %s incident %s", verdict, res.Kind, res.Incident)
+	if res.Device != "" {
+		fmt.Printf(" (device %s)", res.Device)
+	}
+	fmt.Printf("\n  stages expected %v observed %v in %.3fs (SLO %.3fs)\n",
+		res.Expected, res.Observed, res.ElapsedSeconds, res.SLOSeconds)
+	if res.Chain != "" {
+		fmt.Printf("  replayed chain: %s\n", res.Chain)
+	}
+	if res.Error != "" {
+		fmt.Fprintf(os.Stderr, "iotsim: replay: %s\n", res.Error)
+	}
+	fmt.Printf("  (A13 completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if outPath != "" {
+		if err := writeJSON(outPath, res); err != nil {
+			fmt.Fprintf(os.Stderr, "iotsim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  replay verdict: %s\n", outPath)
+	}
+	if !res.Passed {
+		return 1
 	}
 	return 0
 }

@@ -13,7 +13,12 @@
 //	mboxctl [-telemetry-addr host:port] slo
 //	mboxctl [-telemetry-addr host:port] crowd
 //	mboxctl [-telemetry-addr host:port] trace <id>
-//	mboxctl [-telemetry-addr host:port] journal [-trace N] [-device D] [-type T] [-since 5m] [-sev warn] [-limit N] [-follow]
+//	mboxctl [-telemetry-addr host:port] journal [-trace N] [-device D] [-type T] [-since 5m] [-until 1m] [-sev warn] [-limit N] [-follow]
+//	mboxctl [-telemetry-addr host:port] incidents [list] [-trace N] [-device D] [-kind K] [-sev warn] [-since 5m] [-until 1m] [-limit N] [-offset N]
+//	mboxctl [-telemetry-addr host:port] incidents show <id>
+//	mboxctl [-telemetry-addr host:port] incidents export [-o file] <id>
+//	mboxctl [-telemetry-addr host:port] incidents fleet
+//	mboxctl [-telemetry-addr host:port] incidents timeline <trace>
 //	mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]
 //	mboxctl [-telemetry-addr host:port] controllers
 //
@@ -30,7 +35,12 @@
 // signature-repository link (state, per-SKU replay cursors, outbox
 // depth, reconnect/replay/dedup counters). trace renders the forensic
 // timeline of one causal chain; journal dumps (or, with -follow,
-// live-tails) the event journal.
+// live-tails) the event journal. incidents drives the durable
+// incident forensics plane (iotsecd -forensics-dir): list the
+// captured-chain index, show one sealed chain's timeline, export a
+// replay scenario for iotsim -replay, and — when the daemon runs the
+// fleet rollup plane — list the cross-shard merged view or assemble
+// one trace's fleet-wide timeline.
 package main
 
 import (
@@ -50,6 +60,7 @@ import (
 
 	"iotsec/internal/controller"
 	"iotsec/internal/core"
+	"iotsec/internal/forensics"
 	"iotsec/internal/journal"
 	"iotsec/internal/profile"
 	"iotsec/internal/telemetry"
@@ -117,6 +128,12 @@ func main() {
 	case "journal":
 		if err := printJournal(*telemetryAddr, args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "mboxctl: journal: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "incidents":
+		if err := printIncidents(*telemetryAddr, args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "mboxctl: incidents: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -874,6 +891,7 @@ func printJournal(addr string, args []string) error {
 	dev := fs.String("device", "", "restrict to one device")
 	typ := fs.String("type", "", "restrict to one event type")
 	since := fs.String("since", "", "only events since (duration like 5m, or RFC3339)")
+	until := fs.String("until", "", "only events until (duration like 5m, or RFC3339)")
 	sev := fs.String("sev", "", "minimum severity (debug|info|warn|critical)")
 	limit := fs.Int("limit", 64, "most recent N matches (0 = all)")
 	follow := fs.Bool("follow", false, "stream live events after the backlog")
@@ -892,6 +910,9 @@ func printJournal(addr string, args []string) error {
 	}
 	if *since != "" {
 		q.Set("since", *since)
+	}
+	if *until != "" {
+		q.Set("until", *until)
 	}
 	if *sev != "" {
 		q.Set("sev", *sev)
@@ -935,9 +956,210 @@ func printEvent(e journal.Event) {
 		e.Seq, e.Wall.Format("15:04:05.000"), e.Severity, e.Type, e.Device, e.TraceID, e.Detail)
 }
 
+// getJSON fetches one telemetry endpoint and decodes it into out.
+func getJSON(addr, path string, q url.Values, out interface{}) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	u := "http://" + addr + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		return fmt.Errorf("%w (is iotsecd running with -telemetry-addr %s?)", err, addr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// printDigest renders one incident summary line.
+func printDigest(dg forensics.Digest) {
+	state := "open"
+	if !dg.ClosedAt.IsZero() {
+		state = "closed"
+	}
+	loop := "complete"
+	if !dg.Complete {
+		loop = "partial"
+	}
+	if dg.Truncated > 0 {
+		loop += fmt.Sprintf(" trunc=%d", dg.Truncated)
+	}
+	shard := dg.Shard
+	if shard == "" {
+		shard = "-"
+	}
+	dev := dg.Device
+	if dev == "" {
+		dev = "-"
+	}
+	fmt.Printf("%-20s %s [%s] %-18s %-12s shard=%-10s trace=%-6d ev=%-3d %s/%s\n",
+		dg.ID, dg.OpenedAt.Format("15:04:05.000"), dg.Severity, dg.Kind,
+		dev, shard, dg.TraceID, dg.Events, state, loop)
+}
+
+// printIncidents drives the incident forensics plane: list the durable
+// index, show one captured chain, export a replay scenario, list the
+// fleet-merged view, or assemble one cross-shard timeline.
+func printIncidents(addr string, args []string) error {
+	mode := "list"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		mode = args[0]
+		args = args[1:]
+	}
+	switch mode {
+	case "list":
+		fs := flag.NewFlagSet("incidents list", flag.ExitOnError)
+		trace := fs.Uint64("trace", 0, "restrict to one causal chain")
+		dev := fs.String("device", "", "restrict to one device")
+		kind := fs.String("kind", "", "restrict to one incident kind")
+		sev := fs.String("sev", "", "minimum severity (debug|info|warn|critical)")
+		since := fs.String("since", "", "incidents opened since (duration like 5m, or RFC3339)")
+		until := fs.String("until", "", "incidents opened until (duration like 5m, or RFC3339)")
+		limit := fs.Int("limit", 64, "most recent N matches (0 = all)")
+		offset := fs.Int("offset", 0, "skip the most recent N matches")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		q := url.Values{}
+		if *trace != 0 {
+			q.Set("trace", strconv.FormatUint(*trace, 10))
+		}
+		if *dev != "" {
+			q.Set("device", *dev)
+		}
+		if *kind != "" {
+			q.Set("kind", *kind)
+		}
+		if *sev != "" {
+			q.Set("sev", *sev)
+		}
+		if *since != "" {
+			q.Set("since", *since)
+		}
+		if *until != "" {
+			q.Set("until", *until)
+		}
+		if *offset != 0 {
+			q.Set("offset", strconv.Itoa(*offset))
+		}
+		q.Set("limit", strconv.Itoa(*limit))
+		var list forensics.ListJSON
+		if err := getJSON(addr, "/debug/incidents", q, &list); err != nil {
+			return err
+		}
+		fmt.Printf("incidents: %d matched, %d shown (open %d, captured %d, tap evicted %d)\n",
+			list.Total, len(list.Incidents),
+			list.Stats.Open, list.Stats.Captured, list.Stats.TapEvicted)
+		if st := list.Stats.StoreStats; st != nil {
+			fmt.Printf("store: %s (%d segment(s), %d bytes, %d incident(s); dropped %d segment(s)/%d incident(s) under cap)\n",
+				st.Dir, st.Segments, st.Bytes, st.Incidents, st.DroppedSegments, st.DroppedIncidents)
+		}
+		for _, dg := range list.Incidents {
+			printDigest(dg)
+		}
+		return nil
+	case "show":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: incidents show <id>")
+		}
+		var inc forensics.Incident
+		if err := getJSON(addr, "/debug/incidents", url.Values{"id": {args[0]}}, &inc); err != nil {
+			return err
+		}
+		printDigest(inc.Digest())
+		tl := inc.Timeline()
+		fmt.Print(tl.Render())
+		fmt.Printf("chain: %s\n", tl.Chain())
+		return nil
+	case "export":
+		fs := flag.NewFlagSet("incidents export", flag.ExitOnError)
+		out := fs.String("o", "", "write the scenario to a file (default stdout)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: incidents export [-o file] <id>")
+		}
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get("http://" + addr + "/debug/incidents?" +
+			url.Values{"id": {fs.Arg(0)}, "export": {"1"}}.Encode())
+		if err != nil {
+			return fmt.Errorf("%w (is iotsecd running with -telemetry-addr %s?)", err, addr)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("server: %s", resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		// Refuse to write an export that iotsim -replay would reject.
+		sc, err := forensics.LoadScenario(body)
+		if err != nil {
+			return fmt.Errorf("server returned an invalid scenario: %w", err)
+		}
+		if *out == "" {
+			_, err := os.Stdout.Write(body)
+			return err
+		}
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s scenario for %s (device %q, SLO %.1fs) to %s\n",
+			sc.Kind, sc.Incident, sc.Device, sc.SLOSeconds, *out)
+		fmt.Printf("replay with: iotsim -replay %s\n", *out)
+		return nil
+	case "fleet":
+		var list controller.FleetIncidentsJSON
+		if err := getJSON(addr, "/debug/fleet/incidents", nil, &list); err != nil {
+			return err
+		}
+		fmt.Printf("fleet incidents: %d merged across shards\n", list.Total)
+		for _, dg := range list.Incidents {
+			printDigest(dg)
+		}
+		return nil
+	case "timeline":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: incidents timeline <trace>")
+		}
+		id, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil || id == 0 {
+			return fmt.Errorf("trace id must be a positive integer, got %q", args[0])
+		}
+		var tl forensics.FleetTimeline
+		if err := getJSON(addr, "/debug/fleet/incidents", url.Values{"trace": {args[0]}}, &tl); err != nil {
+			return err
+		}
+		if len(tl.Events) == 0 {
+			return fmt.Errorf("no fleet events for trace %d", id)
+		}
+		loop := "complete"
+		if !tl.Complete {
+			loop = "partial"
+		}
+		fmt.Printf("trace %d: %s chain across %d shard(s) %v (%s)\n",
+			tl.TraceID, tl.Kind, len(tl.Shards), tl.Shards, loop)
+		for _, se := range tl.Events {
+			fmt.Printf("%s %-10s [%s] %-20s %-12s %s\n",
+				se.Wall.Format("15:04:05.000"), se.Shard, se.Severity, se.Type, se.Device, se.Detail)
+		}
+		fmt.Printf("chain: %s\n", tl.Chain())
+		return nil
+	default:
+		return fmt.Errorf("unknown incidents mode %q (want list|show|export|fleet|timeline)", mode)
+	}
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mboxctl [-addr host:port] status|env|set-env <var> <value>|set-context <device> <context>
        mboxctl [-telemetry-addr host:port] stats [-json]|fleet [-json]|health|slo|crowd|trace <id>|journal [flags]
+       mboxctl [-telemetry-addr host:port] incidents [list [flags]|show <id>|export [-o file] <id>|fleet|timeline <trace>]
        mboxctl [-telemetry-addr host:port] profiles [list|show <sku>|violations]
        mboxctl [-telemetry-addr host:port] controllers`)
 	os.Exit(2)

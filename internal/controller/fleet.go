@@ -202,6 +202,10 @@ type FleetAggregator struct {
 	mu     sync.Mutex
 	shards map[string]*shardAgg
 
+	// Incident plane (fleet_incidents.go), attached on first use.
+	incOnce sync.Once
+	inc     *fleetIncidents
+
 	reports     atomic.Uint64
 	dupReports  atomic.Uint64
 	mergeErrors atomic.Uint64
@@ -607,9 +611,27 @@ type FleetRollupPlane struct {
 	stats    []*ShardStats
 	interval time.Duration
 
+	// incidents, when attached, has its digests pushed with every
+	// rollup flush (the incident side-channel of the shard report).
+	incidents atomic.Pointer[incidentFeed]
+
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
+}
+
+// incidentFeed pairs an incident source with its reporting name.
+type incidentFeed struct {
+	source string
+	src    IncidentSource
+}
+
+// AttachIncidents registers src as this plane's incident feed: the
+// aggregator gets the live pull handle immediately, and every flush
+// pushes the current digest set alongside the shard rollups.
+func (p *FleetRollupPlane) AttachIncidents(source string, src IncidentSource) {
+	p.incidents.Store(&incidentFeed{source: source, src: src})
+	p.agg.AttachIncidentSource(source, src)
 }
 
 // StartFleetRollups enables shard stats (if not already) and starts
@@ -655,11 +677,15 @@ func (p *FleetRollupPlane) run() {
 	}
 }
 
-// Flush pushes one rollup per shard immediately.
+// Flush pushes one rollup per shard immediately (plus the incident
+// digests when a feed is attached).
 func (p *FleetRollupPlane) Flush() {
 	now := time.Now()
 	for _, s := range p.stats {
 		_ = p.agg.Report(s.Rollup(now))
+	}
+	if feed := p.incidents.Load(); feed != nil {
+		p.agg.ReportIncidents(feed.source, feed.src.Digests())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 
+	"iotsec/internal/ids"
 	"iotsec/internal/policy"
 	"iotsec/internal/telemetry"
 )
@@ -27,7 +28,7 @@ type Admin struct {
 
 // AdminRequest is one CLI command.
 type AdminRequest struct {
-	Op     string `json:"op"` // status | env | set-env | set-context
+	Op     string `json:"op"` // status | env | set-env | set-context | inject-anomaly
 	Var    string `json:"var,omitempty"`
 	Value  string `json:"value,omitempty"`
 	Device string `json:"device,omitempty"`
@@ -151,6 +152,24 @@ func (a *Admin) handle(req AdminRequest) AdminResponse {
 		span.SetAttr("device", req.Device)
 		p.Global.View.SetDeviceContext(ctx, req.Device, sc, "admin")
 		span.End()
+		return AdminResponse{OK: true}
+	case "inject-anomaly":
+		// Forensic drill: drive a synthetic anomaly through the real
+		// detect→policy→enforce path so operators (and the restart
+		// smoke test) can exercise incident capture end to end.
+		if _, ok := p.Device(req.Device); !ok {
+			return AdminResponse{Error: "inject-anomaly: unknown device " + req.Device}
+		}
+		detail := req.Value
+		if detail == "" {
+			detail = "admin-injected anomaly drill"
+		}
+		p.ReportAnomaly(ids.Anomaly{
+			Device: req.Device,
+			Kind:   ids.AnomalyRate,
+			Detail: detail,
+			Score:  0.95,
+		})
 		return AdminResponse{OK: true}
 	default:
 		return AdminResponse{Error: "unknown op " + req.Op}

@@ -17,6 +17,7 @@ import (
 // through the same /debug/fleet view.
 type FleetSelfReport struct {
 	p       *Platform
+	source  string
 	agg     *controller.FleetAggregator
 	builder *telemetry.RollupBuilder
 
@@ -42,8 +43,9 @@ func (p *Platform) StartFleetSelfReport(source string, interval time.Duration, e
 		e2e = mEnforceSeconds
 	}
 	r := &FleetSelfReport{
-		p:   p,
-		agg: p.Global.Fleet(),
+		p:      p,
+		source: source,
+		agg:    p.Global.Fleet(),
 		// Posture applies stand in for handled events: on a single
 		// gateway every committed change ends in (at most) one apply.
 		builder: telemetry.NewRollupBuilder(source).
@@ -53,6 +55,12 @@ func (p *Platform) StartFleetSelfReport(source string, interval time.Duration, e
 			AddGauge(controller.RollupHealthy, func() float64 { return 1 }),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
+	}
+	// With forensics enabled, the shard report carries the incident
+	// plane too: live pull handle for cross-shard assembly, digests
+	// pushed with every flush.
+	if cap := p.Forensics(); cap != nil {
+		r.agg.AttachIncidentSource(source, cap)
 	}
 	go r.run(interval)
 	return r
@@ -73,7 +81,8 @@ func (r *FleetSelfReport) run(interval time.Duration) {
 	}
 }
 
-// flush pushes one rollup, folding in the live per-SKU device counts.
+// flush pushes one rollup, folding in the live per-SKU device counts
+// (and the incident digests, with forensics enabled).
 func (r *FleetSelfReport) flush() {
 	roll := r.builder.Take(time.Now())
 	for sku, n := range r.p.DevicesBySKU() {
@@ -83,6 +92,9 @@ func (r *FleetSelfReport) flush() {
 		roll.Gauges[controller.RollupSKUPrefix+sku] = float64(n)
 	}
 	_ = r.agg.Report(roll)
+	if cap := r.p.Forensics(); cap != nil {
+		r.agg.ReportIncidents(r.source, cap.Digests())
+	}
 }
 
 // Stop halts the reporter after a final flush. Idempotent.

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"iotsec/internal/forensics"
+	"iotsec/internal/journal"
+)
+
+// EnableForensics attaches an incident capturer to the process-wide
+// journal on behalf of this platform: opening events (anomalies,
+// profile violations, rogue quarantines, SLO burns, failovers) pin
+// their full causal chains into opt.Store before ring eviction, with
+// device SKUs resolved from the platform so exports are replayable.
+// Idempotent per platform: a second call returns the existing
+// capturer.
+func (p *Platform) EnableForensics(opt forensics.Options) *forensics.Capturer {
+	p.mu.Lock()
+	if p.forensicsCap != nil {
+		c := p.forensicsCap
+		p.mu.Unlock()
+		return c
+	}
+	p.mu.Unlock()
+	if opt.SKUOf == nil {
+		opt.SKUOf = func(device string) string {
+			if m, ok := p.Device(device); ok {
+				return m.Device.Profile.SKU
+			}
+			return ""
+		}
+	}
+	c := forensics.NewCapturer(journal.Default, opt)
+	p.mu.Lock()
+	if p.forensicsCap != nil {
+		// Lost the race to another enabler: keep theirs.
+		existing := p.forensicsCap
+		p.mu.Unlock()
+		c.Close()
+		return existing
+	}
+	p.forensicsCap = c
+	p.mu.Unlock()
+	return c
+}
+
+// Forensics returns the attached incident capturer (nil when
+// forensics is not enabled).
+func (p *Platform) Forensics() *forensics.Capturer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.forensicsCap
+}

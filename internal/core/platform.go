@@ -20,6 +20,7 @@ import (
 	"iotsec/internal/controller"
 	"iotsec/internal/device"
 	"iotsec/internal/envsim"
+	"iotsec/internal/forensics"
 	"iotsec/internal/ids"
 	"iotsec/internal/journal"
 	"iotsec/internal/mbox"
@@ -107,6 +108,10 @@ type Platform struct {
 	hostMACs     []packet.MACAddress
 	// crowd is the sigrepo link, once connected (profile publishing).
 	crowd *CrowdLink
+
+	// forensicsCap, when enabled, pins incident chains out of the
+	// journal ring into the durable store (EnableForensics).
+	forensicsCap *forensics.Capturer
 
 	recorder *netsim.Recorder
 }

@@ -1,0 +1,93 @@
+package forensics
+
+import (
+	"sort"
+	"strings"
+
+	"iotsec/internal/journal"
+)
+
+// ShardEvent is one journal event tagged with the shard that recorded
+// it — the unit of cross-shard assembly.
+type ShardEvent struct {
+	Shard string `json:"shard"`
+	journal.Event
+}
+
+// FleetTimeline is one causal chain assembled across shard journals:
+// a failover that re-homed a partition, or any chain whose events
+// landed in more than one journal, rendered as a single story.
+//
+// Ordering: per-journal sequence numbers and monotonic offsets are
+// meaningless across processes, so the merged order is wall-clock
+// first, then shard name, then sequence — good enough for the
+// human-facing story (same-shard events keep their exact causal
+// order; cross-shard ties resolve deterministically).
+type FleetTimeline struct {
+	TraceID  uint64       `json:"trace_id"`
+	Shards   []string     `json:"shards"`
+	Kind     string       `json:"kind,omitempty"`
+	Complete bool         `json:"complete"`
+	Events   []ShardEvent `json:"events"`
+}
+
+// AssembleFleetTimeline merges per-shard event sets for one trace.
+func AssembleFleetTimeline(traceID uint64, byShard map[string][]journal.Event) *FleetTimeline {
+	t := &FleetTimeline{TraceID: traceID}
+	for shard, events := range byShard {
+		contributed := false
+		for _, e := range events {
+			if e.TraceID != traceID {
+				continue
+			}
+			t.Events = append(t.Events, ShardEvent{Shard: shard, Event: e})
+			contributed = true
+		}
+		if contributed {
+			t.Shards = append(t.Shards, shard)
+		}
+	}
+	sort.Strings(t.Shards)
+	sort.Slice(t.Events, func(i, j int) bool {
+		a, b := t.Events[i], t.Events[j]
+		if !a.Wall.Equal(b.Wall) {
+			return a.Wall.Before(b.Wall)
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	flat := make([]journal.Event, len(t.Events))
+	for i, se := range t.Events {
+		flat[i] = se.Event
+	}
+	for _, se := range t.Events {
+		if kind, ok := KindOf(se.Type); ok {
+			t.Kind = kind
+			break
+		}
+	}
+	kind := t.Kind
+	if kind == "" {
+		kind = KindAnomaly
+	}
+	t.Complete = chainComplete(kind, flat)
+	return t
+}
+
+// Chain renders the merged chain in one line, each hop tagged with
+// its shard:
+//
+//	shard-a:controller-failover -> shard-b:partition-rehomed -> ...
+func (t *FleetTimeline) Chain() string {
+	parts := make([]string, 0, len(t.Events))
+	for _, se := range t.Events {
+		hop := se.Shard + ":" + string(se.Type)
+		if se.Device != "" {
+			hop += "(" + se.Device + ")"
+		}
+		parts = append(parts, hop)
+	}
+	return strings.Join(parts, " -> ")
+}

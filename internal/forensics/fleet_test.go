@@ -1,0 +1,117 @@
+package forensics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"iotsec/internal/journal"
+)
+
+// TestAssembleFleetTimeline: events for one trace scattered across two
+// shard journals merge into a single wall-clock-ordered story, with
+// per-shard sequence order preserved and chain completeness evaluated
+// on the union — the failover-crosses-a-rehoming case.
+func TestAssembleFleetTimeline(t *testing.T) {
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	ev := func(seq uint64, at time.Duration, typ journal.Type, dev string) journal.Event {
+		return journal.Event{Seq: seq, TraceID: 7, Wall: base.Add(at), Type: typ,
+			Severity: journal.Warn, Device: dev}
+	}
+	byShard := map[string][]journal.Event{
+		// The dying shard saw the detection; its local seqs are HIGH
+		// (long-lived journal) while the survivor's are low — cross-shard
+		// order must come from wall clocks, not sequence numbers.
+		"shard-a": {
+			ev(9001, 0, journal.TypeAnomaly, "cam"),
+			ev(9002, 10*time.Millisecond, journal.TypePosture, "cam"),
+		},
+		"shard-b": {
+			ev(3, 20*time.Millisecond, journal.TypeFlowMod, "cam"),
+			ev(4, 30*time.Millisecond, journal.TypeMboxReconfig, "cam"),
+		},
+		// A shard with no events for this trace contributes nothing.
+		"shard-c": {
+			{Seq: 1, TraceID: 99, Wall: base, Type: journal.TypeAnomaly, Device: "other"},
+		},
+	}
+	tl := AssembleFleetTimeline(7, byShard)
+	if len(tl.Shards) != 2 || tl.Shards[0] != "shard-a" || tl.Shards[1] != "shard-b" {
+		t.Fatalf("Shards = %v, want the two contributors sorted", tl.Shards)
+	}
+	if len(tl.Events) != 4 {
+		t.Fatalf("merged %d events, want 4", len(tl.Events))
+	}
+	wantOrder := []journal.Type{journal.TypeAnomaly, journal.TypePosture, journal.TypeFlowMod, journal.TypeMboxReconfig}
+	for i, typ := range wantOrder {
+		if tl.Events[i].Type != typ {
+			t.Fatalf("event[%d] = %s, want %s (wall-clock merge order)", i, tl.Events[i].Type, typ)
+		}
+	}
+	if tl.Kind != KindAnomaly {
+		t.Fatalf("Kind = %s, want anomaly (from the opening event)", tl.Kind)
+	}
+	if !tl.Complete {
+		t.Fatal("union closes detect→policy→enforce; Complete must be true across shards")
+	}
+	chain := tl.Chain()
+	if !strings.Contains(chain, "shard-a:anomaly(cam)") || !strings.Contains(chain, "shard-b:flow-mod(cam)") {
+		t.Fatalf("Chain rendering lost shard tags: %s", chain)
+	}
+}
+
+// TestAssembleFleetTimelineTieBreaks: equal wall clocks resolve by
+// shard then sequence, deterministically.
+func TestAssembleFleetTimelineTieBreaks(t *testing.T) {
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	byShard := map[string][]journal.Event{
+		"b": {{Seq: 1, TraceID: 5, Wall: base, Type: journal.TypePosture}},
+		"a": {
+			{Seq: 2, TraceID: 5, Wall: base, Type: journal.TypeAnomaly},
+			{Seq: 1, TraceID: 5, Wall: base, Type: journal.TypeDeviceEvent},
+		},
+	}
+	tl := AssembleFleetTimeline(5, byShard)
+	if len(tl.Events) != 3 {
+		t.Fatalf("merged %d events, want 3", len(tl.Events))
+	}
+	// All same wall: a/1, a/2, b/1.
+	if tl.Events[0].Shard != "a" || tl.Events[0].Seq != 1 ||
+		tl.Events[1].Shard != "a" || tl.Events[1].Seq != 2 ||
+		tl.Events[2].Shard != "b" {
+		t.Fatalf("tie-break order wrong: %s", tl.Chain())
+	}
+	// Determinism: re-assembly from the same inputs is identical.
+	if again := AssembleFleetTimeline(5, byShard); again.Chain() != tl.Chain() {
+		t.Fatal("assembly is not deterministic")
+	}
+}
+
+// TestAssembleFleetTimelineFailoverKind: a recovery chain spanning the
+// supervisor (survivor shard) and the re-homed partition is classified
+// and completeness-checked as a failover.
+func TestAssembleFleetTimelineFailoverKind(t *testing.T) {
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	byShard := map[string][]journal.Event{
+		"global": {
+			{Seq: 1, TraceID: 3, Wall: base, Type: journal.TypeCtrlFailover, Severity: journal.Critical},
+			{Seq: 2, TraceID: 3, Wall: base.Add(time.Millisecond), Type: journal.TypeFlowMod},
+		},
+		"survivor": {
+			{Seq: 1, TraceID: 3, Wall: base.Add(2 * time.Millisecond), Type: journal.TypeCtrlRehomed},
+			{Seq: 2, TraceID: 3, Wall: base.Add(3 * time.Millisecond), Type: journal.TypeCtrlRecovered},
+		},
+	}
+	tl := AssembleFleetTimeline(3, byShard)
+	if tl.Kind != KindFailover {
+		t.Fatalf("Kind = %s, want controller-failover", tl.Kind)
+	}
+	if !tl.Complete {
+		t.Fatal("failover→rehomed→recovered union must be complete")
+	}
+	// Drop the recovery tail: incomplete.
+	byShard["survivor"] = byShard["survivor"][:1]
+	if tl := AssembleFleetTimeline(3, byShard); tl.Complete {
+		t.Fatal("chain without recovery-complete must not be complete")
+	}
+}

@@ -1,0 +1,133 @@
+package forensics
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"iotsec/internal/journal"
+)
+
+// ListJSON is the /debug/incidents list response shape.
+type ListJSON struct {
+	TakenAt   time.Time     `json:"taken_at"`
+	Total     int           `json:"total"`
+	Offset    int           `json:"offset,omitempty"`
+	Stats     CapturerStats `json:"stats"`
+	Incidents []Digest      `json:"incidents"`
+}
+
+// parseQuery reads the incident filter parameters:
+//
+//	id=<inc-...>     one incident (full record; add export=1 for a
+//	                 replayable scenario)
+//	trace=<id>       one causal chain
+//	device=<name>    one device
+//	kind=<kind>      one incident kind
+//	sev=<name>       minimum severity
+//	since/until=<dur|rfc3339>  OpenedAt range
+//	offset=<n>, limit=<n>      pagination (limit defaults to 64)
+func parseQuery(req *http.Request) (Query, error) {
+	q := Query{Limit: 64}
+	v := req.URL.Query()
+	if s := v.Get("trace"); s != "" {
+		id, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return q, errBadParam{"trace", s}
+		}
+		q.TraceID = id
+	}
+	q.Device = v.Get("device")
+	q.Kind = v.Get("kind")
+	if s := v.Get("sev"); s != "" {
+		sev, ok := journal.ParseSeverity(s)
+		if !ok {
+			return q, errBadParam{"sev", s}
+		}
+		q.MinSeverity = sev
+	}
+	if s := v.Get("since"); s != "" {
+		t, err := parseTimeBound(s)
+		if err != nil {
+			return q, errBadParam{"since", s}
+		}
+		q.Since = t
+	}
+	if s := v.Get("until"); s != "" {
+		t, err := parseTimeBound(s)
+		if err != nil {
+			return q, errBadParam{"until", s}
+		}
+		q.Until = t
+	}
+	if s := v.Get("offset"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return q, errBadParam{"offset", s}
+		}
+		q.Offset = n
+	}
+	if s := v.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return q, errBadParam{"limit", s}
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// parseTimeBound accepts a relative duration ("5m" = five minutes
+// ago) or an absolute RFC3339 timestamp.
+func parseTimeBound(s string) (time.Time, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return time.Now().Add(-d), nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+type errBadParam struct{ name, value string }
+
+func (e errBadParam) Error() string { return "bad " + e.name + " parameter: " + e.value }
+
+// Handler serves the incident index (mount at /debug/incidents).
+// Plain GETs list digests filtered by the query parameters; id=
+// returns one full incident; id=&export=1 returns its replayable
+// scenario.
+func (c *Capturer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if id := req.URL.Query().Get("id"); id != "" {
+			inc, ok := c.Get(id)
+			if !ok {
+				http.Error(w, "unknown incident "+id, http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if req.URL.Query().Get("export") == "1" {
+				_ = enc.Encode(ExportScenario(inc, 0))
+				return
+			}
+			_ = enc.Encode(inc)
+			return
+		}
+		q, err := parseQuery(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		page, total := c.Incidents(q)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&ListJSON{
+			TakenAt:   time.Now(),
+			Total:     total,
+			Offset:    q.Offset,
+			Stats:     c.Stats(),
+			Incidents: page,
+		})
+	})
+}

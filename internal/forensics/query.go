@@ -1,0 +1,77 @@
+package forensics
+
+import (
+	"time"
+
+	"iotsec/internal/journal"
+)
+
+// Query selects incident digests. Zero-valued fields match everything.
+type Query struct {
+	// TraceID restricts to one causal chain.
+	TraceID uint64
+	// Device restricts to one device.
+	Device string
+	// Kind restricts to one incident kind.
+	Kind string
+	// MinSeverity drops incidents below it.
+	MinSeverity journal.Severity
+	// Since drops incidents opened before it.
+	Since time.Time
+	// Until drops incidents opened after it.
+	Until time.Time
+	// Offset skips that many matches (pagination).
+	Offset int
+	// Limit caps the returned page (0 = all matches).
+	Limit int
+}
+
+// Matches applies the filter to one digest.
+func (q Query) Matches(d Digest) bool {
+	if q.TraceID != 0 && d.TraceID != q.TraceID {
+		return false
+	}
+	if q.Device != "" && d.Device != q.Device {
+		return false
+	}
+	if q.Kind != "" && d.Kind != q.Kind {
+		return false
+	}
+	if d.Severity < q.MinSeverity {
+		return false
+	}
+	if !q.Since.IsZero() && d.OpenedAt.Before(q.Since) {
+		return false
+	}
+	if !q.Until.IsZero() && d.OpenedAt.After(q.Until) {
+		return false
+	}
+	return true
+}
+
+// Apply filters an already-ordered digest list and pages it,
+// reporting the total match count alongside the page.
+func (q Query) Apply(ds []Digest) (page []Digest, total int) {
+	matched := make([]Digest, 0, len(ds))
+	for _, d := range ds {
+		if q.Matches(d) {
+			matched = append(matched, d)
+		}
+	}
+	total = len(matched)
+	if q.Offset > 0 {
+		if q.Offset >= len(matched) {
+			return nil, total
+		}
+		matched = matched[q.Offset:]
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	return matched, total
+}
+
+// Incidents runs a query against the capturer's open ∪ stored view.
+func (c *Capturer) Incidents(q Query) (page []Digest, total int) {
+	return q.Apply(c.Digests())
+}

@@ -1,0 +1,143 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"iotsec/internal/journal"
+)
+
+// ScenarioVersion is bumped when the scenario shape changes
+// incompatibly; Load rejects versions it does not understand.
+const ScenarioVersion = 1
+
+// DefaultReplaySLO bounds a replayed detect→enforce (or
+// failover→recovered) chain when the export does not carry one.
+const DefaultReplaySLO = 5 * time.Second
+
+// Trigger is the condensed cause of the incident: what the replay
+// harness re-injects to re-drive the chain.
+type Trigger struct {
+	// Type is the opening journal event type.
+	Type journal.Type `json:"type"`
+	// Detail is the opening event's detail line.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Scenario is a self-contained, replayable incident export: enough to
+// rebuild an equivalent device and policy, re-inject the trigger, and
+// assert the same chain stages re-fire within the SLO — ROADMAP item
+// 4's "every discovered chain becomes a regression scenario" in file
+// form. It is what mboxctl incidents export writes and iotsim -replay
+// reads.
+type Scenario struct {
+	Version int `json:"version"`
+	// Incident and TraceID tie the scenario back to its capture.
+	Incident string `json:"incident_id"`
+	TraceID  uint64 `json:"trace_id,omitempty"`
+	// Kind selects the replay harness (detection kinds re-drive the
+	// anomaly path; controller-failover re-drives a supervised kill).
+	Kind string `json:"kind"`
+	// Device and SKU rebuild the victim device.
+	Device string `json:"device"`
+	SKU    string `json:"sku,omitempty"`
+	Shard  string `json:"shard,omitempty"`
+	// Trigger is re-injected to start the chain.
+	Trigger Trigger `json:"trigger"`
+	// ExpectedStages is the ordered set of chain stages the replay must
+	// re-observe (journal.Stage buckets for detection kinds; the three
+	// failover event types for failovers).
+	ExpectedStages []string `json:"expected_stages"`
+	// SLOSeconds bounds the replayed chain end to end.
+	SLOSeconds float64 `json:"slo_seconds"`
+	// Events is the originally captured chain, for human diffing of a
+	// replay against the real thing.
+	Events []journal.Event `json:"events,omitempty"`
+}
+
+// SLO returns the scenario's chain deadline.
+func (s *Scenario) SLO() time.Duration {
+	if s.SLOSeconds <= 0 {
+		return DefaultReplaySLO
+	}
+	return time.Duration(s.SLOSeconds * float64(time.Second))
+}
+
+// failoverStages is a failover chain's expected event-type order.
+var failoverStages = []string{
+	string(journal.TypeCtrlFailover),
+	string(journal.TypeCtrlRehomed),
+	string(journal.TypeCtrlRecovered),
+}
+
+// ExportScenario condenses a captured incident into a replayable
+// scenario. slo <= 0 uses DefaultReplaySLO.
+func ExportScenario(inc *Incident, slo time.Duration) *Scenario {
+	if slo <= 0 {
+		slo = DefaultReplaySLO
+	}
+	s := &Scenario{
+		Version:    ScenarioVersion,
+		Incident:   inc.ID,
+		TraceID:    inc.TraceID,
+		Kind:       inc.Kind,
+		Device:     inc.Device,
+		SKU:        inc.SKU,
+		Shard:      inc.Shard,
+		SLOSeconds: slo.Seconds(),
+		Events:     append([]journal.Event(nil), inc.Events...),
+	}
+	for _, e := range inc.Events {
+		if kind, ok := KindOf(e.Type); ok && kind == inc.Kind {
+			s.Trigger = Trigger{Type: e.Type, Detail: e.Detail}
+			break
+		}
+	}
+	if s.Kind == KindFailover {
+		s.ExpectedStages = append([]string(nil), failoverStages...)
+		return s
+	}
+	seen := make(map[string]bool)
+	for _, e := range inc.Events {
+		stage := journal.Stage(e.Type)
+		if stage == "other" || seen[stage] {
+			continue
+		}
+		seen[stage] = true
+		s.ExpectedStages = append(s.ExpectedStages, stage)
+	}
+	return s
+}
+
+// Validate rejects scenarios a replay harness cannot honor.
+func (s *Scenario) Validate() error {
+	if s.Version != ScenarioVersion {
+		return fmt.Errorf("forensics: scenario version %d (want %d)", s.Version, ScenarioVersion)
+	}
+	switch s.Kind {
+	case KindAnomaly, KindProfileViolation, KindRogueQuarantine, KindSLOBurn:
+		if s.Device == "" {
+			return fmt.Errorf("forensics: %s scenario without a device", s.Kind)
+		}
+	case KindFailover:
+	default:
+		return fmt.Errorf("forensics: unknown scenario kind %q", s.Kind)
+	}
+	if len(s.ExpectedStages) == 0 {
+		return fmt.Errorf("forensics: scenario with no expected stages")
+	}
+	return nil
+}
+
+// LoadScenario parses and validates a scenario document.
+func LoadScenario(b []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("forensics: scenario parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,118 @@
+package forensics
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"iotsec/internal/journal"
+)
+
+// chainIncident builds a sealed anomaly incident with a full loop.
+func chainIncident() *Incident {
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	ev := func(seq uint64, t journal.Type, detail string) journal.Event {
+		return journal.Event{Seq: seq, TraceID: 42, Wall: base.Add(time.Duration(seq) * time.Millisecond),
+			Type: t, Severity: journal.Warn, Device: "cam", Detail: detail}
+	}
+	return &Incident{
+		ID: IncidentID(42), TraceID: 42, Kind: KindAnomaly, Device: "cam", SKU: "dlink-cam-932L",
+		Severity: journal.Warn, OpenedAt: base, ClosedAt: base.Add(time.Second), Complete: true,
+		Events: []journal.Event{
+			ev(1, journal.TypeAnomaly, "rate anomaly"),
+			ev(2, journal.TypePosture, "quarantine"),
+			ev(3, journal.TypeFlowMod, "drop rule"),
+			ev(4, journal.TypeMboxReconfig, "pipeline swap"),
+		},
+	}
+}
+
+// TestExportScenarioRoundTrip: export condenses the incident into a
+// valid scenario whose JSON round-trips through LoadScenario.
+func TestExportScenarioRoundTrip(t *testing.T) {
+	s := ExportScenario(chainIncident(), 2*time.Second)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("exported scenario invalid: %v", err)
+	}
+	if s.Trigger.Type != journal.TypeAnomaly || s.Trigger.Detail != "rate anomaly" {
+		t.Fatalf("trigger = %s/%q, want the opening anomaly", s.Trigger.Type, s.Trigger.Detail)
+	}
+	want := []string{"detect", "policy", "controller", "mbox"}
+	if len(s.ExpectedStages) != len(want) {
+		t.Fatalf("stages %v, want %v", s.ExpectedStages, want)
+	}
+	for i, st := range want {
+		if s.ExpectedStages[i] != st {
+			t.Fatalf("stage[%d] = %s, want %s", i, s.ExpectedStages[i], st)
+		}
+	}
+	if s.SLO() != 2*time.Second {
+		t.Fatalf("SLO = %s, want the explicit 2s", s.SLO())
+	}
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadScenario(b)
+	if err != nil {
+		t.Fatalf("round-trip load: %v", err)
+	}
+	if back.Device != "cam" || back.SKU != "dlink-cam-932L" || back.Kind != KindAnomaly {
+		t.Fatalf("round trip lost identity: %+v", back)
+	}
+	if len(back.Events) != 4 {
+		t.Fatalf("round trip lost the original chain: %d events", len(back.Events))
+	}
+}
+
+// TestExportScenarioFailover: failover incidents expect the three
+// recovery event types in order, not Figure 2 stages.
+func TestExportScenarioFailover(t *testing.T) {
+	inc := chainIncident()
+	inc.Kind = KindFailover
+	inc.Device = ""
+	s := ExportScenario(inc, 0)
+	if s.SLO() != DefaultReplaySLO {
+		t.Fatalf("SLO = %s, want the default %s", s.SLO(), DefaultReplaySLO)
+	}
+	want := []string{"controller-failover", "partition-rehomed", "recovery-complete"}
+	if len(s.ExpectedStages) != 3 {
+		t.Fatalf("failover stages %v, want %v", s.ExpectedStages, want)
+	}
+	for i, st := range want {
+		if s.ExpectedStages[i] != st {
+			t.Fatalf("stage[%d] = %s, want %s", i, s.ExpectedStages[i], st)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("device-less failover scenario must validate: %v", err)
+	}
+}
+
+// TestScenarioValidateRejects: version skew, deviceless detection
+// scenarios, unknown kinds and empty stage lists are all refused
+// before a replay harness can trip over them.
+func TestScenarioValidateRejects(t *testing.T) {
+	good := ExportScenario(chainIncident(), 0)
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"version", func(s *Scenario) { s.Version = 99 }},
+		{"deviceless", func(s *Scenario) { s.Device = "" }},
+		{"unknown kind", func(s *Scenario) { s.Kind = "meteor-strike" }},
+		{"no stages", func(s *Scenario) { s.ExpectedStages = nil }},
+	}
+	for _, tc := range cases {
+		cp := *good
+		cp.ExpectedStages = append([]string(nil), good.ExpectedStages...)
+		tc.mutate(&cp)
+		if err := cp.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken scenario", tc.name)
+		}
+	}
+	if _, err := LoadScenario([]byte("not json")); err == nil {
+		t.Error("LoadScenario accepted garbage")
+	}
+}

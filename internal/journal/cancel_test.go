@@ -1,0 +1,210 @@
+package journal
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count settles back to at
+// most base (HTTP teardown is asynchronous).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d alive, want <= %d", runtime.NumGoroutine(), base)
+}
+
+// TestTailCancelReleasesSubscription: cancel closes the channel,
+// detaches the subscriber (no more deliveries, no drop accounting
+// against a dead consumer), and is idempotent.
+func TestTailCancelReleasesSubscription(t *testing.T) {
+	j := New(64)
+	ch, cancel := j.Tail(2)
+	j.RecordTrace(1, TypeAnomaly, Info, "d", "before")
+	cancel()
+	cancel() // idempotent
+
+	if _, ok := <-ch; !ok {
+		// Buffered pre-cancel event may or may not have been consumed
+		// before close; either way the channel must END closed.
+		t.Log("channel closed with no buffered event")
+	}
+	for range ch {
+	} // drains to close without deadlock
+
+	// A detached subscriber must not accrue drops however hard the
+	// journal is hammered.
+	_, drops0 := j.Stats()
+	for i := 0; i < 100; i++ {
+		j.RecordTrace(uint64(i+2), TypeDeviceEvent, Debug, "d", "after cancel")
+	}
+	if _, drops := j.Stats(); drops != drops0 {
+		t.Fatalf("drops grew %d→%d after cancel — subscription not released", drops0, drops)
+	}
+}
+
+// TestServeFollowClientDisconnectReleases: a follow stream whose
+// client goes away must release its Tail subscription (observable as
+// zero new drop accounting under load) and leak no goroutines.
+func TestServeFollowClientDisconnectReleases(t *testing.T) {
+	j := New(1024)
+	srv := httptest.NewServer(j.Handler())
+	defer srv.Close()
+
+	base := runtime.NumGoroutine()
+	ctx, cancelReq := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"?follow=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Confirm the stream is live, then hang up.
+	j.RecordTrace(1, TypeAnomaly, Warn, "cam", "live")
+	var e Event
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("live stream never delivered: %v", err)
+	}
+	cancelReq()
+	resp.Body.Close()
+	waitGoroutines(t, base)
+
+	// The handler exited; its Tail subscription must be gone. A leaked
+	// full channel would show up as tail drops under this hammering.
+	_, drops0 := j.Stats()
+	for i := 0; i < 1000; i++ { // > the follow buffer of 512
+		j.RecordTrace(uint64(i+10), TypeDeviceEvent, Debug, "d", "post-disconnect")
+	}
+	if _, drops := j.Stats(); drops != drops0 {
+		t.Fatalf("drops grew %d→%d after client disconnect — follow subscription leaked", drops0, drops)
+	}
+}
+
+// TestSubscriptionEvictedConcurrentAppend: under concurrent writers
+// and a concurrently draining consumer, delivered + evicted accounts
+// for every append — no event is double-counted or silently lost.
+func TestSubscriptionEvictedConcurrentAppend(t *testing.T) {
+	j := New(4096)
+	sub := j.Subscribe(64) // small cap forces evictions under the burst
+	defer sub.Close()
+
+	const writers = 8
+	const perWriter = 2000
+	var delivered uint64
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-sub.Wait():
+				n := uint64(len(sub.Drain()))
+				mu.Lock()
+				delivered += n
+				mu.Unlock()
+			case <-sub.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				j.RecordTrace(uint64(w*perWriter+i+1), TypeDeviceEvent, Debug, "d", "concurrent")
+				if r.Intn(64) == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Final drain picks up the residue, then close stops the consumer.
+	mu.Lock()
+	delivered += uint64(len(sub.Drain()))
+	mu.Unlock()
+	evicted := sub.Evicted()
+	sub.Close()
+	<-done
+	mu.Lock()
+	delivered += 0 // barrier for the race detector's benefit
+	total := delivered
+	mu.Unlock()
+
+	appended, _ := j.Stats()
+	if appended != writers*perWriter {
+		t.Fatalf("appended %d, want %d", appended, writers*perWriter)
+	}
+	if total+evicted != appended {
+		t.Fatalf("delivered %d + evicted %d != appended %d — tap accounting lost events", total, evicted, appended)
+	}
+	if evicted == 0 {
+		t.Log("note: no evictions occurred this run; accounting identity still verified")
+	}
+}
+
+// TestReconstructDeviceInterleavedOutOfOrder: the cross-shard merge
+// path hands ReconstructDevice events from several devices, several
+// traces, in scrambled arrival order — per-trace timelines must come
+// back sequence-sorted, grouped correctly, untraced events dropped.
+func TestReconstructDeviceInterleavedOutOfOrder(t *testing.T) {
+	// Three traces over two devices; arrival order deliberately
+	// scrambles sequences within and across traces (late shard pulls).
+	events := []Event{
+		{Seq: 12, TraceID: 2, Type: TypePosture, Device: "cam"},
+		{Seq: 3, TraceID: 1, Type: TypeFlowMod, Device: "cam"},
+		{Seq: 20, TraceID: 3, Type: TypeAnomaly, Device: "wemo"},
+		{Seq: 1, TraceID: 1, Type: TypeAnomaly, Device: "cam"},
+		{Seq: 11, TraceID: 2, Type: TypeAnomaly, Device: "cam"},
+		{Seq: 21, TraceID: 3, Type: TypePosture, Device: "wemo"},
+		{Seq: 2, TraceID: 1, Type: TypePosture, Device: "cam"},
+		{Seq: 5, TraceID: 0, Type: TypeDeviceEvent, Device: "cam"}, // untraced
+		{Seq: 13, TraceID: 2, Type: TypeMboxReconfig, Device: "cam"},
+	}
+	tls := ReconstructDevice(events, "cam")
+	if len(tls) != 2 {
+		t.Fatalf("got %d cam timelines, want 2 (traces 1 and 2)", len(tls))
+	}
+	// Grouping keyed by first arrival: trace 2's event came first.
+	if tls[0].TraceID != 2 || tls[1].TraceID != 1 {
+		t.Fatalf("timeline order %d,%d — want first-arrival order 2,1", tls[0].TraceID, tls[1].TraceID)
+	}
+	for _, tl := range tls {
+		for i := 1; i < len(tl.Events); i++ {
+			if tl.Events[i].Seq <= tl.Events[i-1].Seq {
+				t.Fatalf("trace %d not sequence-sorted despite shuffled arrival: %v", tl.TraceID, tl.Events)
+			}
+		}
+		for _, e := range tl.Events {
+			if e.Device != "cam" {
+				t.Fatalf("trace %d contains %s's event", tl.TraceID, e.Device)
+			}
+			if e.TraceID != tl.TraceID {
+				t.Fatalf("trace %d absorbed an event from trace %d", tl.TraceID, e.TraceID)
+			}
+		}
+	}
+	if len(tls[1].Events) != 3 {
+		t.Fatalf("trace 1 has %d events, want 3", len(tls[1].Events))
+	}
+	// The wemo view is disjoint.
+	if wemo := ReconstructDevice(events, "wemo"); len(wemo) != 1 || len(wemo[0].Events) != 2 {
+		t.Fatalf("wemo reconstruction wrong: %+v", wemo)
+	}
+}

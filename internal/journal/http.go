@@ -21,6 +21,7 @@ type SnapshotJSON struct {
 //	device=<name>    one device
 //	type=<type>      one event type
 //	since=<dur|rfc3339>  5m = last five minutes; or an absolute time
+//	until=<dur|rfc3339>  upper bound of the time range (same forms)
 //	sev=<name>       minimum severity (debug|info|warn|critical)
 //	limit=<n>        most recent n matches (default 256; 0 = all)
 func parseFilter(req *http.Request) (Filter, error) {
@@ -36,13 +37,18 @@ func parseFilter(req *http.Request) (Filter, error) {
 	f.Device = q.Get("device")
 	f.Type = Type(q.Get("type"))
 	if s := q.Get("since"); s != "" {
-		if d, err := time.ParseDuration(s); err == nil {
-			f.Since = time.Now().Add(-d)
-		} else if t, err := time.Parse(time.RFC3339, s); err == nil {
-			f.Since = t
-		} else {
+		t, err := parseTimeBound(s)
+		if err != nil {
 			return f, errBadParam{"since", s}
 		}
+		f.Since = t
+	}
+	if s := q.Get("until"); s != "" {
+		t, err := parseTimeBound(s)
+		if err != nil {
+			return f, errBadParam{"until", s}
+		}
+		f.Until = t
 	}
 	if s := q.Get("sev"); s != "" {
 		sev, ok := ParseSeverity(s)
@@ -59,6 +65,15 @@ func parseFilter(req *http.Request) (Filter, error) {
 		f.Limit = v
 	}
 	return f, nil
+}
+
+// parseTimeBound accepts either a relative duration ("5m" = five
+// minutes ago) or an absolute RFC3339 timestamp.
+func parseTimeBound(s string) (time.Time, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return time.Now().Add(-d), nil
+	}
+	return time.Parse(time.RFC3339, s)
 }
 
 type errBadParam struct{ name, value string }

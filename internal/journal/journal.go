@@ -321,6 +321,9 @@ type Filter struct {
 	Type Type
 	// Since drops events whose wall clock is before it.
 	Since time.Time
+	// Until drops events whose wall clock is after it (zero = no
+	// upper bound), giving Since..Until range queries.
+	Until time.Time
 	// MinSeverity drops events below it.
 	MinSeverity Severity
 	// Limit keeps only the most recent N matches (0 = all retained).
@@ -339,6 +342,9 @@ func (f Filter) matches(e Event) bool {
 		return false
 	}
 	if !f.Since.IsZero() && e.Wall.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && e.Wall.After(f.Until) {
 		return false
 	}
 	if e.Severity < f.MinSeverity {
